@@ -1,0 +1,112 @@
+"""E3/E4 — graph coloring results (Table 4) and the §2.3 spill study.
+
+Reproduces: columns required vs. total predicates per dataset, percent of
+triples covered by the coloring, spill counts when loading against a
+full-data coloring vs. a 10%-sample coloring, and the coloring-vs-hashing
+ablation (spill rows under pure hash composition).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RdfStore
+from repro.core.coloring import (
+    build_interference_graph,
+    direct_interference_graph,
+    greedy_color,
+    reverse_interference_graph,
+)
+
+from conftest import report
+
+MAX_COLUMNS = 100
+
+
+@pytest.fixture(scope="module")
+def datasets(lubm_data, sp2b_data, dbpedia_data, prbench_data):
+    return {
+        "LUBM": lubm_data.graph,
+        "SP2Bench": sp2b_data.graph,
+        "PRBench": prbench_data.graph,
+        "DBpedia": dbpedia_data.graph,
+    }
+
+
+def test_table4_coloring(benchmark, datasets):
+    """Table 4: predicates vs DPH/RPH columns and coverage per dataset."""
+
+    def run():
+        rows = []
+        for name, graph in datasets.items():
+            direct = greedy_color(direct_interference_graph(graph), MAX_COLUMNS)
+            reverse = greedy_color(reverse_interference_graph(graph), MAX_COLUMNS)
+            rows.append(
+                f"{name:<10} {len(graph):>9} {direct.total_predicates:>7} "
+                f"{direct.colors_used:>7} {100 * direct.covered_triple_fraction:>7.1f}% "
+                f"{reverse.colors_used:>7} {100 * reverse.covered_triple_fraction:>7.1f}%"
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = (
+        f"{'Dataset':<10} {'Triples':>9} {'Preds':>7} "
+        f"{'DPH':>7} {'Cover':>8} {'RPH':>7} {'Cover':>8}"
+    )
+    report("Table 4 — graph coloring results", "\n".join([header] + rows))
+
+
+def test_coloring_speed(benchmark, dbpedia_data):
+    """Coloring itself must be fast enough for bulk load preprocessing."""
+    sets = list(dbpedia_data.graph.predicate_sets_by_subject().values())
+    benchmark(lambda: greedy_color(build_interference_graph(sets), MAX_COLUMNS))
+
+
+def test_spills_full_vs_sample_coloring(benchmark, datasets):
+    """§2.3: color from a 10% entity sample, load the full dataset, count
+    the extra spills (the paper: negligible for LUBM/SP2B, <1% for
+    DBpedia)."""
+
+    def run():
+        rows = []
+        for name, graph in datasets.items():
+            full = RdfStore.from_graph(graph, max_columns=MAX_COLUMNS)
+            sample = RdfStore.from_graph(
+                graph, max_columns=MAX_COLUMNS, sample_fraction=0.1
+            )
+            rows.append(
+                f"{name:<10} {full.direct_meta.rows:>9} "
+                f"{full.direct_meta.spill_rows:>8} "
+                f"{sample.direct_meta.spill_rows:>10} "
+                f"{full.reverse_meta.spill_rows:>8} "
+                f"{sample.reverse_meta.spill_rows:>10}"
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = (
+        f"{'Dataset':<10} {'DPHrows':>9} {'spill':>8} {'spill@10%':>10} "
+        f"{'RPHspill':>8} {'spill@10%':>10}"
+    )
+    report(
+        "Section 2.3 — spills: full-data vs 10%-sample coloring",
+        "\n".join([header] + rows),
+    )
+
+
+def test_ablation_coloring_vs_hashing(benchmark, dbpedia_data):
+    """Ablation: spill rows and column usage, coloring vs pure hashing."""
+
+    def run():
+        colored = RdfStore.from_graph(dbpedia_data.graph, max_columns=MAX_COLUMNS)
+        hashed = RdfStore.from_graph(dbpedia_data.graph, use_coloring=False)
+        return (
+            f"{'layout':<12} {'columns':>8} {'spill rows':>11}\n"
+            f"{'coloring':<12} {colored.schema.direct_columns:>8} "
+            f"{colored.direct_meta.spill_rows:>11}\n"
+            f"{'hashing':<12} {hashed.schema.direct_columns:>8} "
+            f"{hashed.direct_meta.spill_rows:>11}"
+        )
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Ablation — coloring vs hash composition (DBpedia)", text)

@@ -1,0 +1,107 @@
+"""Loading and update performance — the paper's announced follow-up study
+("we are preparing a study on insertion, bulk load and update
+performance"). Measures bulk-load throughput per layout, incremental
+insert rate, the multi-value upgrade path, and deletion."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import Graph, RdfStore, Triple, URI
+from repro.baselines import NativeMemoryStore, TripleStore, VerticalStore
+from repro.workloads import lubm
+
+from conftest import report, scaled
+
+
+@pytest.fixture(scope="module")
+def load_graph():
+    return lubm.generate(universities=2).graph
+
+
+BUILDERS = {
+    "DB2RDF (colored)": lambda g: RdfStore.from_graph(g),
+    "DB2RDF (hashed)": lambda g: RdfStore.from_graph(g, use_coloring=False),
+    "triple-store": lambda g: TripleStore.from_graph(g),
+    "pred-oriented": lambda g: VerticalStore.from_graph(g),
+    "native-mem": lambda g: NativeMemoryStore.from_graph(g),
+}
+
+
+@pytest.mark.parametrize("layout", list(BUILDERS))
+def test_bulk_load(benchmark, load_graph, layout):
+    benchmark.group = "bulk load"
+    benchmark.pedantic(
+        lambda: BUILDERS[layout](load_graph), rounds=3, iterations=1
+    )
+
+
+def _fresh_triples(n: int):
+    counter = itertools.count()
+    return [
+        Triple(URI(f"subj{next(counter)}"), URI(f"p{i % 7}"), URI(f"obj{i % 50}"))
+        for i in range(n)
+    ]
+
+
+def test_incremental_insert(benchmark):
+    triples = _fresh_triples(scaled(500))
+
+    def run():
+        store = RdfStore()
+        for triple in triples:
+            store.add(triple)
+        return store
+
+    store = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert store.stats.total_triples == len(triples)
+
+
+def test_multivalue_upgrades(benchmark):
+    """Repeated objects on one (s, p): the lid-upgrade path."""
+    subject, predicate = URI("hub"), URI("links")
+    objects = [URI(f"o{i}") for i in range(scaled(300))]
+
+    def run():
+        store = RdfStore()
+        for obj in objects:
+            store.add(Triple(subject, predicate, obj))
+        return store
+
+    store = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert store.backend.row_count(store.schema.ds) == len(objects)
+
+
+def test_deletion(benchmark, load_graph):
+    triples = list(load_graph)[: scaled(300)]
+
+    def setup():
+        return (RdfStore.from_graph(load_graph),), {}
+
+    def run(store):
+        for triple in triples:
+            store.remove(triple)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+
+
+def test_loading_report(benchmark, load_graph):
+    import time
+
+    def run():
+        rows = []
+        for layout, builder in BUILDERS.items():
+            started = time.perf_counter()
+            builder(load_graph)
+            elapsed = time.perf_counter() - started
+            rate = len(load_graph) / elapsed
+            rows.append(f"{layout:<18} {elapsed:>8.2f}s {rate:>12,.0f} triples/s")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"Load study — bulk load of {len(load_graph)} LUBM triples",
+        "\n".join(rows),
+    )

@@ -1,0 +1,42 @@
+"""E8 — Figure 16: per-query LUBM timings across systems (log-scale plot in
+the paper; a per-query millisecond table here). The shape to reproduce:
+DB2RDF wins the long, complicated queries (LQ6, LQ8, LQ9, LQ13, LQ14 —
+scans and multi-way unions), while losing a few milliseconds on sub-second
+point lookups (LQ1, LQ3) where native stores shine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import lubm, runner
+
+from conftest import report
+
+QUERIES = lubm.queries()
+SYSTEMS = ["DB2RDF", "triple-store", "pred-oriented", "native-mem"]
+
+
+@pytest.mark.parametrize("query_name", list(QUERIES))
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_lubm_query(benchmark, lubm_stores, system, query_name):
+    store = lubm_stores[system]
+    sparql = QUERIES[query_name]
+    benchmark.group = f"lubm {query_name}"
+    benchmark(lambda: store.query(sparql))
+
+
+def test_figure16_table(benchmark, lubm_stores, lubm_data):
+    def run():
+        oracle = lubm_stores["native-mem"]
+        expected = runner.expected_counts(oracle, QUERIES)
+        summaries = {
+            name: runner.run_system(name, store, QUERIES, expected, runs=2)
+            for name, store in lubm_stores.items()
+        }
+        return runner.format_per_query_table(summaries, list(QUERIES))
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"Figure 16 — LUBM per-query times ({len(lubm_data.graph)} triples)",
+        table,
+    )

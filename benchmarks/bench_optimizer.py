@@ -1,0 +1,169 @@
+"""E6 — the hybrid optimizer vs the sub-optimal textual flow (§3.3, Fig 14)
+plus the node-merging ablation.
+
+Figure 14's setup: constants O1 (frequent, .75) and O2 (rare, .01) with the
+two-triple query ``?s SV1 O1 . ?s SV2 O2``. Starting from the selective O2
+and probing SV1 is ~5x faster than the reverse; the hybrid optimizer must
+find that order, the textual-order translator must not. The paper also
+reports a 5600x gap on PRBench's PQ1 (lookup by identifier then title);
+we reproduce the same shape with the PQ1-style query.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import EngineConfig, Graph, RdfStore, Triple, URI
+from repro.workloads.runner import time_query
+
+from conftest import report, scaled
+
+
+@pytest.fixture(scope="module")
+def skewed_graph():
+    """SV1 -> O1 for 75% of subjects; SV2 -> O2 for 1%."""
+    rng = random.Random(11)
+    graph = Graph()
+    subjects = scaled(20_000)
+    for i in range(subjects):
+        subject = URI(f"s{i}")
+        if rng.random() < 0.75:
+            graph.add(Triple(subject, URI("SV1"), URI("O1")))
+        else:
+            graph.add(Triple(subject, URI("SV1"), URI(f"other{rng.randrange(50)}")))
+        if rng.random() < 0.01:
+            graph.add(Triple(subject, URI("SV2"), URI("O2")))
+        else:
+            graph.add(Triple(subject, URI("SV2"), URI(f"noise{rng.randrange(50)}")))
+    return graph
+
+
+FIG14_QUERY = "SELECT ?s WHERE { ?s <SV1> <O1> . ?s <SV2> <O2> }"
+
+
+@pytest.fixture(scope="module")
+def fig14_stores(skewed_graph):
+    return {
+        "optimized": RdfStore.from_graph(skewed_graph),
+        "sub-optimal": RdfStore.from_graph(
+            skewed_graph, config=EngineConfig(optimizer="naive")
+        ),
+    }
+
+
+@pytest.mark.parametrize("mode", ["optimized", "sub-optimal"])
+def test_figure14_flow(benchmark, fig14_stores, mode):
+    store = fig14_stores[mode]
+    benchmark.group = "figure 14: flow direction"
+    result = benchmark(lambda: store.query(FIG14_QUERY))
+    # both flows must agree on the answer
+    assert len(result) == len(fig14_stores["optimized"].query(FIG14_QUERY))
+
+
+def test_figure14_starts_selective(fig14_stores, benchmark):
+    """The optimized SQL's first CTE must probe O2 (the rare constant)."""
+    sql = benchmark(lambda: fig14_stores["optimized"].explain(FIG14_QUERY))
+    first_cte = sql.split('"Q2"')[0]
+    assert "O2" in first_cte
+
+
+@pytest.fixture(scope="module")
+def pq1_setup(prbench_data):
+    # PQ1 with its triples in the *unfavourable* textual order (title
+    # pattern first): the textual translator follows the text and starts
+    # with a scan; the hybrid optimizer starts from the selective
+    # identifier lookup regardless of how the query is written.
+    pq1_reversed = (
+        "PREFIX dc: <http://purl.org/dc/elements/1.1/> "
+        'SELECT ?t WHERE { ?a dc:title ?t . ?a dc:identifier "BUGGER-0" }'
+    )
+    return {
+        "optimized": RdfStore.from_graph(prbench_data.graph),
+        "sub-optimal": RdfStore.from_graph(
+            prbench_data.graph, config=EngineConfig(optimizer="naive")
+        ),
+    }, pq1_reversed
+
+
+@pytest.mark.parametrize("mode", ["optimized", "sub-optimal"])
+def test_pq1_flow(benchmark, pq1_setup, mode):
+    stores, sparql = pq1_setup
+    benchmark.group = "PQ1: optimizer effect"
+    benchmark(lambda: stores[mode].query(sparql))
+
+
+def test_optimizer_gap_table(benchmark, fig14_stores, pq1_setup):
+    def run():
+        rows = []
+        for label, sparql, stores in (
+            ("Fig14", FIG14_QUERY, fig14_stores),
+            ("PQ1", pq1_setup[1], pq1_setup[0]),
+        ):
+            opt, _ = time_query(stores["optimized"], sparql, None)
+            naive, _ = time_query(stores["sub-optimal"], sparql, None)
+            gap = naive / opt if opt > 0 else float("inf")
+            rows.append(
+                f"{label:<6} {opt * 1000:>10.1f} {naive * 1000:>12.1f} {gap:>7.1f}x"
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Figure 14 / §3.3 — optimized vs sub-optimal flow (ms)",
+        f"{'query':<6} {'optimized':>10} {'sub-optimal':>12} {'gap':>8}\n"
+        + "\n".join(rows),
+    )
+
+
+# ------------------------------------------------------------- merge ablation
+
+
+@pytest.fixture(scope="module")
+def merge_stores(micro_data):
+    return {
+        "merge-on": RdfStore.from_graph(micro_data.graph),
+        "merge-off": RdfStore.from_graph(
+            micro_data.graph, config=EngineConfig(merge=False)
+        ),
+    }
+
+
+STAR = (
+    "SELECT ?s WHERE { ?s <http://example.org/micro/SV1> ?a . "
+    "?s <http://example.org/micro/SV2> ?b . "
+    "?s <http://example.org/micro/SV3> ?c . "
+    "?s <http://example.org/micro/SV4> ?d }"
+)
+
+
+@pytest.mark.parametrize("mode", ["merge-on", "merge-off"])
+def test_merge_ablation(benchmark, merge_stores, mode):
+    store = merge_stores[mode]
+    benchmark.group = "ablation: star merging"
+    result = benchmark(lambda: store.query(STAR))
+    assert len(result) == len(merge_stores["merge-on"].query(STAR))
+
+
+# --------------------------------------------------------- stats ablation
+
+
+@pytest.fixture(scope="module")
+def stats_stores(skewed_graph):
+    """Cost-aware flow vs cost-blind flow (the paper's contrast with
+    heuristics-only optimizers that ignore statistics)."""
+    return {
+        "with-stats": RdfStore.from_graph(skewed_graph),
+        "no-stats": RdfStore.from_graph(
+            skewed_graph, config=EngineConfig(use_statistics=False)
+        ),
+    }
+
+
+@pytest.mark.parametrize("mode", ["with-stats", "no-stats"])
+def test_statistics_ablation(benchmark, stats_stores, mode):
+    store = stats_stores[mode]
+    benchmark.group = "ablation: cost statistics"
+    result = benchmark(lambda: store.query(FIG14_QUERY))
+    assert len(result) == len(stats_stores["with-stats"].query(FIG14_QUERY))

@@ -1,0 +1,67 @@
+"""E9/E10 — Figures 17 and 18: PRBench long-running (PQ10, PQ26–PQ28) and
+medium-running (PQ14–PQ17, PQ24, PQ29) queries across systems. The paper's
+shape: DB2RDF consistently ahead on both sets — the long-running queries
+are multi-entity analytic joins where the flow-guided plan and merged star
+accesses pay off."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import prbench, runner
+
+from conftest import report
+
+QUERIES = prbench.queries()
+LONG_RUNNING = ["PQ10", "PQ26", "PQ27", "PQ28"]
+MEDIUM_RUNNING = ["PQ14", "PQ15", "PQ16", "PQ17", "PQ24", "PQ29"]
+SYSTEMS = ["DB2RDF", "triple-store", "pred-oriented", "native-mem"]
+
+
+@pytest.mark.parametrize("query_name", LONG_RUNNING)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_long_running(benchmark, prbench_stores, system, query_name):
+    benchmark.group = f"prbench long {query_name}"
+    store = prbench_stores[system]
+    sparql = QUERIES[query_name]
+    benchmark(lambda: store.query(sparql))
+
+
+@pytest.mark.parametrize("query_name", MEDIUM_RUNNING)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_medium_running(benchmark, prbench_stores, system, query_name):
+    benchmark.group = f"prbench medium {query_name}"
+    store = prbench_stores[system]
+    sparql = QUERIES[query_name]
+    benchmark(lambda: store.query(sparql))
+
+
+def test_figure17_18_tables(benchmark, prbench_stores, prbench_data):
+    def run():
+        oracle = prbench_stores["native-mem"]
+        subset = {
+            name: QUERIES[name] for name in LONG_RUNNING + MEDIUM_RUNNING
+        }
+        expected = runner.expected_counts(oracle, subset)
+        summaries = {
+            name: runner.run_system(name, store, subset, expected, runs=2)
+            for name, store in prbench_stores.items()
+        }
+        return (
+            runner.format_per_query_table(summaries, LONG_RUNNING),
+            runner.format_per_query_table(summaries, MEDIUM_RUNNING),
+        )
+
+    long_table, medium_table = benchmark.pedantic(run, rounds=1, iterations=1)
+    triples = len(prbench_data.graph)
+    report(f"Figure 17 — PRBench long-running ({triples} triples)", long_table)
+    report(f"Figure 18 — PRBench medium-running ({triples} triples)", medium_table)
+
+
+def test_wide_union(benchmark, prbench_stores):
+    """The paper's '500 triples across 100 OR patterns' stressor, scaled."""
+    sparql = prbench.queries(wide_union_branches=25)["PQ5"]
+    store = prbench_stores["DB2RDF"]
+    benchmark.group = "prbench wide union"
+    result = benchmark(lambda: store.query(sparql))
+    assert len(result) > 0

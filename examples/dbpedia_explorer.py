@@ -1,0 +1,80 @@
+"""Exploring a DBpedia-scale schema: dynamic predicates, coloring limits,
+and variable-predicate queries.
+
+DBpedia's challenge (paper §2): ~54k predicates with power-law usage — no
+fixed relational schema fits. This example generates a synthetic DBpedia,
+shows how coloring covers the frequent predicates while hashing absorbs the
+tail, and runs describe-style queries that no per-predicate layout handles
+gracefully.
+
+Run with:  python examples/dbpedia_explorer.py
+"""
+
+from repro import RdfStore
+from repro.core.coloring import direct_interference_graph, greedy_color
+from repro.workloads import dbpedia
+
+
+def main() -> None:
+    data = dbpedia.generate(target_triples=20_000, tail_predicates=300)
+    graph = data.graph
+    predicates = len(set(graph.predicates()))
+    print(f"generated {len(graph)} triples, {predicates} distinct predicates")
+
+    # How many columns would a naive one-column-per-predicate layout need?
+    interference = direct_interference_graph(graph)
+    unlimited = greedy_color(interference)
+    capped = greedy_color(interference, max_colors=60)
+    print(f"one-column-per-predicate would need: {predicates} columns")
+    print(f"greedy coloring needs:               {unlimited.colors_used} columns")
+    print(
+        f"capped at 60 columns it still covers  "
+        f"{100 * capped.covered_triple_fraction:.1f}% of triples "
+        f"({len(capped.uncovered)} rare predicates fall back to hashing)"
+    )
+
+    store = RdfStore.from_graph(graph, max_columns=60)
+    print(
+        f"\nloaded: DPH={store.schema.direct_columns} columns, "
+        f"{store.direct_meta.spill_rows} spill rows "
+        f"({100 * store.direct_meta.spill_rows / max(store.direct_meta.rows, 1):.2f}%)"
+    )
+
+    # DESCRIBE-style query: all properties of one entity. On the
+    # entity-oriented layout this is one DPH row; on a predicate-oriented
+    # layout it is a UNION over every predicate table.
+    describe = "SELECT ?p ?o WHERE { <http://dbpedia.org/resource/Entity_0> ?p ?o }"
+    print("\nEntity_0 description:")
+    for p, o in store.query(describe):
+        print(f"  {p} -> {o}")
+
+    # Who was born after 1950?  (typed-literal numeric FILTER)
+    births = """
+        PREFIX dbo: <http://dbpedia.org/ontology/>
+        PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+        SELECT ?s ?date WHERE {
+            ?s rdf:type dbo:Person .
+            ?s dbo:birthDate ?date
+            FILTER (?date > 1950)
+        } ORDER BY ?date LIMIT 5
+    """
+    print("\nfirst five people born after 1950:")
+    for s, date in store.query(births):
+        print(f"  {s}  ({date})")
+
+    # Union over alternative predicates, with optional labels.
+    founders = """
+        PREFIX dbo: <http://dbpedia.org/ontology/>
+        PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+        SELECT ?org ?person ?label WHERE {
+            { ?org dbo:foundedBy ?person } UNION { ?org dbo:keyPerson ?person }
+            OPTIONAL { ?org rdfs:label ?label }
+        } LIMIT 5
+    """
+    print("\norganizations and their people:")
+    for org, person, label in store.query(founders):
+        print(f"  {org} | {person} | {label}")
+
+
+if __name__ == "__main__":
+    main()

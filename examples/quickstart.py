@@ -1,0 +1,87 @@
+"""Quickstart: load RDF, run SPARQL, peek at the generated SQL.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Graph, RdfStore, Triple, URI
+
+# The paper's Figure 1(a) sample of DBpedia.
+DATA = [
+    ("Charles_Flint", "born", "1850"),
+    ("Charles_Flint", "died", "1934"),
+    ("Charles_Flint", "founder", "IBM"),
+    ("Larry_Page", "born", "1973"),
+    ("Larry_Page", "founder", "Google"),
+    ("Larry_Page", "board", "Google"),
+    ("Larry_Page", "home", "Palo_Alto"),
+    ("Android", "developer", "Google"),
+    ("Android", "version", "4.1"),
+    ("Android", "kernel", "Linux"),
+    ("Android", "preceded", "4.0"),
+    ("Android", "graphics", "OpenGL"),
+    ("Google", "industry", "Software"),
+    ("Google", "industry", "Internet"),
+    ("Google", "employees", "54604"),
+    ("Google", "HQ", "Mountain_View"),
+    ("IBM", "industry", "Software"),
+    ("IBM", "industry", "Hardware"),
+    ("IBM", "industry", "Services"),
+    ("IBM", "employees", "433362"),
+    ("IBM", "HQ", "Armonk"),
+]
+
+
+def main() -> None:
+    graph = Graph(Triple(URI(s), URI(p), URI(o)) for s, p, o in DATA)
+
+    # from_graph colors the predicate interference graph (Figure 4: the 13
+    # predicates fit in 5 columns) and bulk-loads DPH/DS/RPH/RS.
+    store = RdfStore.from_graph(graph)
+    report = store.report()
+    print(f"loaded {report.triples} triples")
+    print(
+        f"DPH: {report.direct.entities} entities in "
+        f"{store.schema.direct_columns} predicate columns, "
+        f"{report.direct.spill_rows} spill rows"
+    )
+    print(f"multi-valued predicates: {sorted(report.direct.multivalued)}\n")
+
+    # A star query: who is in the software industry AND headquartered where?
+    star = """
+        SELECT ?company ?hq WHERE {
+            ?company <industry> <Software> .
+            ?company <HQ> ?hq
+        }
+    """
+    print("software companies and their HQs:")
+    for company, hq in store.query(star):
+        print(f"  {company}  ->  {hq}")
+
+    # The paper's running query (Figure 6a): founders or board members of
+    # software companies, the products they develop, optional headcount.
+    fig6 = """
+        SELECT ?x ?y ?z ?m WHERE {
+            ?x <home> <Palo_Alto> .
+            { ?x <founder> ?y } UNION { ?x <board> ?y }
+            ?y <industry> <Software> .
+            ?z <developer> ?y .
+            OPTIONAL { ?y <employees> ?m }
+        }
+    """
+    print("\nFigure 6 query:")
+    for row in store.query(fig6):
+        print(" ", [str(v) if v else None for v in row])
+
+    # The store is a SPARQL-to-SQL compiler: inspect the generated SQL
+    # (Figure 13's CTE pipeline, with the merged star accesses).
+    print("\ngenerated SQL for the star query:")
+    print(store.explain(star))
+
+    # Incremental insert works too (the §2.2 hashing path).
+    store.add(Triple(URI("IBM"), URI("industry"), URI("Consulting")))
+    result = store.query("SELECT ?i WHERE { <IBM> <industry> ?i }")
+    print(f"\nIBM industries after insert: {sorted(str(r[0]) for r in result)}")
+
+
+if __name__ == "__main__":
+    main()

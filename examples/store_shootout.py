@@ -1,0 +1,40 @@
+"""A miniature Figure 15: compare the five stores on a LUBM workload.
+
+Run with:  python examples/store_shootout.py
+"""
+
+from repro import RdfStore
+from repro.baselines import (
+    NativeMemoryStore,
+    TripleStore,
+    TypeOrientedStore,
+    VerticalStore,
+)
+from repro.workloads import lubm, runner
+
+
+def main() -> None:
+    data = lubm.generate(universities=2)
+    graph = data.graph
+    queries = lubm.queries()
+    print(f"LUBM: {len(graph)} triples, {len(queries)} queries\n")
+
+    oracle = NativeMemoryStore.from_graph(graph)
+    stores = {
+        "DB2RDF": RdfStore.from_graph(graph),
+        "triple-store": TripleStore.from_graph(graph),
+        "pred-oriented": VerticalStore.from_graph(graph),
+        "type-oriented": TypeOrientedStore.from_graph(graph),
+        "native-mem": oracle,
+    }
+
+    summaries = runner.run_benchmark(
+        stores, queries, oracle, timeout=30.0, runs=3
+    )
+    print(runner.format_summary_table("LUBM", summaries))
+    print()
+    print(runner.format_per_query_table(summaries, list(queries)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Relational back-ends: the pure-Python engine and stdlib sqlite3."""
+
+from .base import Backend
+from .minirel import MiniRelBackend
+from .sqlite import SqliteBackend
+
+__all__ = ["Backend", "MiniRelBackend", "SqliteBackend"]
+
+
+def make_backend(name: str) -> Backend:
+    """Factory used by the benchmark harness (``"minirel"`` or ``"sqlite"``)."""
+    if name == "minirel":
+        return MiniRelBackend()
+    if name == "sqlite":
+        return SqliteBackend()
+    raise ValueError(f"unknown backend {name!r}")

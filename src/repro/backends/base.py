@@ -1,0 +1,65 @@
+"""The backend protocol: what any relational back-end must provide.
+
+The paper's system sits on DB2; this reproduction runs identically on two
+back-ends — the pure-Python engine and stdlib sqlite3 — behind this small
+interface. The translator emits SQL ASTs; each backend decides whether to
+execute the AST directly or render it to text first.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, Sequence
+
+from ..relational import ast
+from ..relational.types import ColumnType
+
+
+class Backend(abc.ABC):
+    """Abstract relational back-end used by the RDF store layers."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def create_table(
+        self,
+        table_name: str,
+        columns: Sequence[tuple[str, ColumnType]],
+        if_not_exists: bool = False,
+    ) -> None:
+        """Create a table with the given (name, type) columns."""
+
+    @abc.abstractmethod
+    def create_index(
+        self, index_name: str, table_name: str, columns: Sequence[str]
+    ) -> None:
+        """Create an equality index."""
+
+    @abc.abstractmethod
+    def insert_many(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-insert rows; returns the number inserted."""
+
+    @abc.abstractmethod
+    def execute(
+        self, statement: ast.Statement | str, timeout: float | None = None
+    ) -> tuple[list[str], list[tuple]]:
+        """Run a statement; returns (column names, rows).
+
+        ``timeout`` is in seconds; expiry raises
+        :class:`repro.relational.errors.QueryTimeout` on either backend.
+        """
+
+    @abc.abstractmethod
+    def table_names(self) -> list[str]:
+        """All table names currently in the catalog."""
+
+    @abc.abstractmethod
+    def row_count(self, table_name: str) -> int:
+        """Number of rows in a table (cheap metadata access)."""
+
+    def sql_text(self, statement: ast.Statement) -> str:
+        """Render a statement to this backend's SQL dialect (for EXPLAIN-style
+        introspection; both backends share the SQLite-ish dialect)."""
+        from ..relational.render import render_statement
+
+        return render_statement(statement)

@@ -1,0 +1,50 @@
+"""Backend over the pure-Python relational engine (executes ASTs directly)."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Sequence
+
+from ..relational import ast
+from ..relational.catalog import Database
+from ..relational.types import ColumnType
+from .base import Backend
+
+
+class MiniRelBackend(Backend):
+    """The default backend: :class:`repro.relational.Database` in-process."""
+
+    name = "minirel"
+
+    def __init__(self) -> None:
+        self.db = Database()
+        self._index_counter = 0
+
+    def create_table(
+        self,
+        table_name: str,
+        columns: Sequence[tuple[str, ColumnType]],
+        if_not_exists: bool = False,
+    ) -> None:
+        self.db.create_table(table_name, columns, if_not_exists=if_not_exists)
+
+    def create_index(
+        self, index_name: str, table_name: str, columns: Sequence[str]
+    ) -> None:
+        self.db.create_index(index_name, table_name, columns, if_not_exists=True)
+
+    def insert_many(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.db.insert(table_name, rows)
+
+    def execute(
+        self, statement: ast.Statement | str, timeout: float | None = None
+    ) -> tuple[list[str], list[tuple]]:
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        result = self.db.execute(statement, deadline=deadline)
+        return result.columns, result.rows
+
+    def table_names(self) -> list[str]:
+        return [table.name for table in self.db.tables.values()]
+
+    def row_count(self, table_name: str) -> int:
+        return len(self.db.table(table_name))

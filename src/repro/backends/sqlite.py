@@ -1,0 +1,110 @@
+"""Backend over stdlib sqlite3 (renders ASTs to SQL text).
+
+This backend exists for two reasons: it differentially tests the generated
+SQL against an independent, battle-tested engine, and it shows that the
+translator's output is plain portable SQL — the paper's central claim that
+SPARQL can be compiled down to an ordinary relational database.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from typing import Any, Iterable, Sequence
+
+from ..relational import ast
+from ..relational.errors import QueryTimeout
+from ..relational.expressions import CUSTOM_FUNCTIONS
+from ..relational.render import render_statement
+from ..relational.types import ColumnType
+from .base import Backend
+
+
+class SqliteBackend(Backend):
+    """In-memory (or file-backed) sqlite3 behind the Backend protocol."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA synchronous=OFF")
+        self._registered: set[str] = set()
+        self._register_functions()
+        self._index_counter = 0
+
+    def _register_functions(self) -> None:
+        """Expose the engine's custom scalar functions to sqlite."""
+        for name, fn in CUSTOM_FUNCTIONS.items():
+            if name in self._registered:
+                continue
+            # sqlite3 requires a fixed arity; -1 accepts any.
+            self.connection.create_function(name, -1, fn, deterministic=True)
+            self._registered.add(name)
+
+    def create_table(
+        self,
+        table_name: str,
+        columns: Sequence[tuple[str, ColumnType]],
+        if_not_exists: bool = False,
+    ) -> None:
+        statement = ast.CreateTable(
+            table_name,
+            tuple(ast.ColumnDef(name, column_type) for name, column_type in columns),
+            if_not_exists=if_not_exists,
+        )
+        self.connection.execute(render_statement(statement))
+
+    def create_index(
+        self, index_name: str, table_name: str, columns: Sequence[str]
+    ) -> None:
+        statement = ast.CreateIndex(
+            index_name, table_name, tuple(columns), if_not_exists=True
+        )
+        self.connection.execute(render_statement(statement))
+
+    def insert_many(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        materialized = [tuple(row) for row in rows]
+        if not materialized:
+            return 0
+        placeholders = ", ".join("?" for _ in materialized[0])
+        quoted = '"' + table_name.replace('"', '""') + '"'
+        self.connection.executemany(
+            f"INSERT INTO {quoted} VALUES ({placeholders})", materialized
+        )
+        return len(materialized)
+
+    def execute(
+        self, statement: ast.Statement | str, timeout: float | None = None
+    ) -> tuple[list[str], list[tuple]]:
+        self._register_functions()  # pick up late registrations
+        sql = statement if isinstance(statement, str) else render_statement(statement)
+        if timeout is not None:
+            deadline = time.monotonic() + timeout
+
+            def _checker() -> int:
+                return 1 if time.monotonic() > deadline else 0
+
+            self.connection.set_progress_handler(_checker, 10_000)
+        try:
+            cursor = self.connection.execute(sql)
+            rows = cursor.fetchall()
+        except sqlite3.OperationalError as exc:
+            if "interrupted" in str(exc):
+                raise QueryTimeout("sqlite query exceeded its deadline") from exc
+            raise
+        finally:
+            if timeout is not None:
+                self.connection.set_progress_handler(None, 0)
+        columns = [d[0] for d in cursor.description] if cursor.description else []
+        return columns, rows
+
+    def table_names(self) -> list[str]:
+        cursor = self.connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        )
+        return [row[0] for row in cursor.fetchall()]
+
+    def row_count(self, table_name: str) -> int:
+        quoted = '"' + table_name.replace('"', '""') + '"'
+        cursor = self.connection.execute(f"SELECT COUNT(*) FROM {quoted}")
+        return cursor.fetchone()[0]

@@ -1,0 +1,17 @@
+"""Baseline stores: the §2 relational layouts and a native in-memory store."""
+
+from .native_memory import HexastoreIndexes, NativeMemoryStore
+from .triplestore import TripleStore, TripleTableEmitter
+from .typeoriented import TypeOrientedEmitter, TypeOrientedStore
+from .vertical import VerticalEmitter, VerticalStore
+
+__all__ = [
+    "HexastoreIndexes",
+    "NativeMemoryStore",
+    "TripleStore",
+    "TripleTableEmitter",
+    "TypeOrientedEmitter",
+    "TypeOrientedStore",
+    "VerticalEmitter",
+    "VerticalStore",
+]

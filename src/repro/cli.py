@@ -1,0 +1,219 @@
+"""Command-line interface: load RDF files, query, explain, inspect.
+
+Usage examples::
+
+    python -m repro query data.ttl "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5"
+    python -m repro explain data.nt query.rq
+    python -m repro info data.nt --no-coloring
+    python -m repro shell data.ttl
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Iterable
+
+from .backends import SqliteBackend
+from .core.store import RdfStore
+from .rdf.graph import Graph
+from .rdf.ntriples import parse as parse_ntriples
+from .rdf.turtle import parse_turtle
+from .sparql.results import SelectResult
+from .sparql.serialize import FORMATTERS
+
+
+def load_graph(paths: Iterable[str]) -> Graph:
+    """Load one or more .nt / .ttl files into a graph."""
+    graph = Graph()
+    for path_text in paths:
+        path = pathlib.Path(path_text)
+        text = path.read_text()
+        if path.suffix in (".ttl", ".turtle"):
+            triples = parse_turtle(text)
+        else:
+            triples = parse_ntriples(text)
+        for triple in triples:
+            graph.add(triple)
+    return graph
+
+
+def build_store(args: argparse.Namespace) -> RdfStore:
+    """Load the data files and build a store per the CLI flags."""
+    graph = load_graph(args.data)
+    backend = SqliteBackend() if args.backend == "sqlite" else None
+    started = time.perf_counter()
+    store = RdfStore.from_graph(
+        graph,
+        backend=backend,
+        use_coloring=not args.no_coloring,
+        max_columns=args.max_columns,
+    )
+    elapsed = time.perf_counter() - started
+    if not args.quiet:
+        report = store.report()
+        print(
+            f"# loaded {report.triples} triples in {elapsed:.2f}s "
+            f"(DPH {store.schema.direct_columns} cols, "
+            f"{report.direct.spill_rows} spills; "
+            f"RPH {store.schema.reverse_columns} cols)",
+            file=sys.stderr,
+        )
+    return store
+
+
+def _read_query(text_or_path: str) -> str:
+    path = pathlib.Path(text_or_path)
+    if path.suffix in (".rq", ".sparql") and path.exists():
+        return path.read_text()
+    return text_or_path
+
+
+def print_result(result: SelectResult, fmt: str = "plain") -> None:
+    """Print a result in the requested output format."""
+    if fmt in FORMATTERS:
+        print(FORMATTERS[fmt](result), end="" if fmt == "csv" else "\n")
+        return
+    header = "\t".join(f"?{v}" for v in result.variables)
+    print(header)
+    for row in result.key_rows():
+        print("\t".join("" if value is None else value for value in row))
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query``: run a SPARQL query and print the results."""
+    store = build_store(args)
+    sparql = _read_query(args.query)
+    started = time.perf_counter()
+    result = store.query(sparql, timeout=args.timeout)
+    elapsed = time.perf_counter() - started
+    print_result(result, args.format)
+    if not args.quiet:
+        print(f"# {len(result)} rows in {elapsed * 1000:.1f} ms", file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: print the SQL generated for a query."""
+    store = build_store(args)
+    print(store.explain(_read_query(args.query)))
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """``repro info``: print load statistics for the data files."""
+    store = build_store(args)
+    report = store.report()
+    print(f"triples:              {report.triples}")
+    print(f"subjects (DPH rows):  {report.direct.entities} "
+          f"(+{report.direct.spill_rows} spill rows)")
+    print(f"objects (RPH rows):   {report.reverse.entities} "
+          f"(+{report.reverse.spill_rows} spill rows)")
+    print(f"DPH columns:          {report.direct_columns}")
+    print(f"RPH columns:          {report.reverse_columns}")
+    print(f"multi-valued (direct): {len(report.direct.multivalued)}")
+    print(f"multi-valued (reverse): {len(report.reverse.multivalued)}")
+    print(f"distinct predicates:  {len(store.stats.predicate_counts)}")
+    top = sorted(
+        store.stats.predicate_counts.items(), key=lambda kv: -kv[1]
+    )[:10]
+    print("top predicates:")
+    for predicate, count in top:
+        print(f"  {count:>8}  {predicate}")
+    return 0
+
+
+def cmd_shell(args: argparse.Namespace) -> int:
+    """``repro shell``: an interactive SPARQL read-eval-print loop."""
+    store = build_store(args)
+    print("# repro SPARQL shell — end queries with a blank line, "
+          "'\\q' quits, '\\e <query>' explains", file=sys.stderr)
+    buffer: list[str] = []
+    while True:
+        try:
+            line = input("sparql> " if not buffer else "   ...> ")
+        except EOFError:
+            return 0
+        if line.strip() == "\\q":
+            return 0
+        if line.startswith("\\e "):
+            try:
+                print(store.explain(line[3:]))
+            except Exception as exc:  # interactive: report, keep going
+                print(f"error: {exc}", file=sys.stderr)
+            continue
+        if line.strip():
+            buffer.append(line)
+            continue
+        if not buffer:
+            continue
+        sparql = "\n".join(buffer)
+        buffer = []
+        try:
+            started = time.perf_counter()
+            result = store.query(sparql, timeout=args.timeout)
+            elapsed = time.perf_counter() - started
+            print_result(result)
+            print(f"# {len(result)} rows in {elapsed * 1000:.1f} ms",
+                  file=sys.stderr)
+        except Exception as exc:
+            print(f"error: {exc}", file=sys.stderr)
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DB2RDF-style RDF store over a relational database",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, with_query: bool = True) -> None:
+        p.add_argument("data", nargs="+", help=".nt or .ttl file(s)")
+        if with_query:
+            p.add_argument("query", help="SPARQL text or a .rq file path")
+        p.add_argument(
+            "--backend", choices=["minirel", "sqlite"], default="minirel"
+        )
+        p.add_argument("--no-coloring", action="store_true",
+                       help="use hash composition instead of graph coloring")
+        p.add_argument("--max-columns", type=int, default=100)
+        p.add_argument("--timeout", type=float, default=None,
+                       help="query timeout in seconds")
+        p.add_argument("--quiet", action="store_true")
+        p.add_argument(
+            "--format",
+            choices=["plain", "table", "csv", "tsv", "json"],
+            default="plain",
+            help="result output format",
+        )
+
+    query_parser = sub.add_parser("query", help="run a SPARQL query")
+    common(query_parser)
+    query_parser.set_defaults(func=cmd_query)
+
+    explain_parser = sub.add_parser("explain", help="show the generated SQL")
+    common(explain_parser)
+    explain_parser.set_defaults(func=cmd_explain)
+
+    info_parser = sub.add_parser("info", help="load statistics")
+    common(info_parser, with_query=False)
+    info_parser.set_defaults(func=cmd_info)
+
+    shell_parser = sub.add_parser("shell", help="interactive SPARQL shell")
+    common(shell_parser, with_query=False)
+    shell_parser.set_defaults(func=cmd_shell)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

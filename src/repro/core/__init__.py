@@ -1,0 +1,58 @@
+"""The paper's contribution: the DB2RDF entity-oriented store."""
+
+from . import sqlfunctions  # noqa: F401  (registers RDF_* SQL functions)
+from .coloring import (
+    ColoringResult,
+    InterferenceGraph,
+    build_interference_graph,
+    color_graph_for_store,
+    coloring_report,
+    direct_interference_graph,
+    greedy_color,
+    reverse_interference_graph,
+)
+from .errors import LoadError, StoreError, UnsupportedQueryError
+from .loader import Loader, LoadReport, SideMetadata, pack_entity
+from .mapping import (
+    ColoringMapper,
+    CompositeMapper,
+    ExplicitMapper,
+    HashMapper,
+    PredicateMapper,
+    columns_required,
+    composed_hashes,
+    stable_hash,
+)
+from .schema import DB2RDFSchema
+from .stats import DatasetStatistics
+from .store import RdfStore, StoreReport
+
+__all__ = [
+    "ColoringMapper",
+    "ColoringResult",
+    "CompositeMapper",
+    "DB2RDFSchema",
+    "DatasetStatistics",
+    "ExplicitMapper",
+    "HashMapper",
+    "InterferenceGraph",
+    "LoadError",
+    "LoadReport",
+    "Loader",
+    "PredicateMapper",
+    "RdfStore",
+    "SideMetadata",
+    "StoreError",
+    "StoreReport",
+    "UnsupportedQueryError",
+    "build_interference_graph",
+    "color_graph_for_store",
+    "coloring_report",
+    "columns_required",
+    "composed_hashes",
+    "direct_interference_graph",
+    "greedy_color",
+    "pack_entity",
+    "reverse_interference_graph",
+    "stable_hash",
+]

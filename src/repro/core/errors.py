@@ -1,0 +1,19 @@
+"""Errors raised by the DB2RDF store layer."""
+
+from __future__ import annotations
+
+
+class StoreError(Exception):
+    """Base class for RDF-store errors."""
+
+
+class LoadError(StoreError):
+    """Invalid data encountered during load (e.g. reserved lid prefix)."""
+
+
+class UnsupportedQueryError(StoreError):
+    """A SPARQL query outside the supported/translatable subset.
+
+    The benchmark harness maps this to the paper's *unsupported*
+    classification (Figure 15).
+    """

@@ -1,0 +1,147 @@
+"""Predicate-to-column mappings (paper Definitions 2.1 and 2.2).
+
+A *predicate mapping* assigns each predicate URI to a column number in
+``[0, m)``. A single mapping risks conflicts (two predicates of the same
+entity landing on the same column), which force spill rows; *composition*
+of several independent mappings gives each predicate an ordered list of
+candidate columns, trading slightly costlier reads (CASE over candidates)
+for far fewer spills — exactly the hash-composition scheme of Section 2.2
+and Table 3.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping, Sequence
+
+
+class PredicateMapper:
+    """Base interface: predicate URI -> ordered candidate column numbers."""
+
+    #: number of physical columns this mapper targets
+    num_columns: int
+
+    def columns_for(self, predicate: str) -> tuple[int, ...]:
+        """Candidate columns in insertion-preference order (deduplicated)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+def stable_hash(text: str, seed: int) -> int:
+    """A deterministic string hash (Python's builtin ``hash`` is salted)."""
+    digest = hashlib.blake2b(
+        text.encode("utf-8"), digest_size=8, salt=seed.to_bytes(8, "little")
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashMapper(PredicateMapper):
+    """Definition 2.1 instantiated with a hash on the predicate URI."""
+
+    def __init__(self, num_columns: int, seed: int = 0) -> None:
+        if num_columns <= 0:
+            raise ValueError("num_columns must be positive")
+        self.num_columns = num_columns
+        self.seed = seed
+
+    def columns_for(self, predicate: str) -> tuple[int, ...]:
+        return (stable_hash(predicate, self.seed) % self.num_columns,)
+
+    def describe(self) -> str:
+        return f"hash(m={self.num_columns}, seed={self.seed})"
+
+
+class CompositeMapper(PredicateMapper):
+    """Definition 2.2: ``f1 ⊕ f2 ⊕ ... ⊕ fn``.
+
+    Candidates are the concatenation of each component's candidates with
+    duplicates removed, preserving order — the insertion path tries them in
+    sequence and reads must check all of them.
+    """
+
+    def __init__(self, mappers: Sequence[PredicateMapper]) -> None:
+        if not mappers:
+            raise ValueError("composition of zero mappings")
+        self.mappers = list(mappers)
+        self.num_columns = max(mapper.num_columns for mapper in mappers)
+
+    def columns_for(self, predicate: str) -> tuple[int, ...]:
+        seen: dict[int, None] = {}
+        for mapper in self.mappers:
+            for column in mapper.columns_for(predicate):
+                seen.setdefault(column, None)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        return " ⊕ ".join(mapper.describe() for mapper in self.mappers)
+
+
+def composed_hashes(num_columns: int, n: int = 2) -> CompositeMapper:
+    """The paper's default when no data sample exists: ``h1 ⊕ ... ⊕ hn``."""
+    return CompositeMapper([HashMapper(num_columns, seed) for seed in range(n)])
+
+
+class ExplicitMapper(PredicateMapper):
+    """A fixed predicate -> column table (used in tests and for Table 3)."""
+
+    def __init__(self, assignment: Mapping[str, int], num_columns: int) -> None:
+        self.assignment = dict(assignment)
+        self.num_columns = num_columns
+
+    def columns_for(self, predicate: str) -> tuple[int, ...]:
+        if predicate not in self.assignment:
+            raise KeyError(f"no column assigned to predicate {predicate!r}")
+        return (self.assignment[predicate],)
+
+    def describe(self) -> str:
+        return f"explicit({len(self.assignment)} predicates)"
+
+
+class ColoringMapper(PredicateMapper):
+    """Section 2.2's ``c_{D⊗P} ⊕ h``: colored predicates get exactly one
+    column; predicates outside the colored subset (or unseen at coloring
+    time — the dynamic-data case) fall back to the composed hash mapping."""
+
+    def __init__(
+        self,
+        assignment: Mapping[str, int],
+        num_columns: int,
+        fallback: PredicateMapper | None = None,
+    ) -> None:
+        self.assignment = dict(assignment)
+        self.num_columns = num_columns
+        self.fallback = fallback or composed_hashes(num_columns)
+
+    def columns_for(self, predicate: str) -> tuple[int, ...]:
+        color = self.assignment.get(predicate)
+        if color is not None:
+            return (color,)
+        return self.fallback.columns_for(predicate)
+
+    @property
+    def covered(self) -> frozenset[str]:
+        return frozenset(self.assignment)
+
+    def describe(self) -> str:
+        return (
+            f"coloring({len(self.assignment)} predicates, "
+            f"{self.colors_used()} colors) ⊕ {self.fallback.describe()}"
+        )
+
+    def colors_used(self) -> int:
+        return len(set(self.assignment.values())) if self.assignment else 0
+
+
+def columns_required(
+    mapper: PredicateMapper, predicates: Iterable[str]
+) -> int:
+    """How many distinct physical columns a predicate set actually touches.
+
+    This is the "DPH Columns" statistic of Table 4.
+    """
+    used: set[int] = set()
+    for predicate in predicates:
+        used.update(mapper.columns_for(predicate))
+    return len(used)

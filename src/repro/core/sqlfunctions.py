@@ -1,0 +1,153 @@
+"""RDF-aware scalar SQL functions shared by both backends.
+
+Stored column values are canonical term keys (bare URIs, ``_:`` blank nodes,
+N3-quoted literals). FILTER translation needs value-level views of those
+keys — numeric value, lexical form, language tag, datatype — which these
+functions provide. They are registered with the pure-Python engine's
+function registry at import time and with every sqlite3 connection the
+sqlite backend opens, so generated SQL behaves identically on both.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..rdf.terms import Literal, XSD_STRING, term_from_key
+from ..relational.expressions import register_function
+
+_NUMERIC_RE = re.compile(r"[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?$")
+
+
+def _as_literal(key: str | None) -> Literal | None:
+    if key is None or not key.startswith('"'):
+        return None
+    term = term_from_key(key)
+    return term if isinstance(term, Literal) else None
+
+
+def rdf_num(key: str | None) -> float | None:
+    """Numeric value of a term key, or NULL when not numeric.
+
+    Mirrors the reference evaluator (and SPARQL's operator table): only
+    numeric-typed literals participate in numeric comparisons.
+    """
+    literal = _as_literal(key)
+    if literal is None or not literal.is_numeric:
+        return None
+    text = literal.value.strip()
+    if not _NUMERIC_RE.match(text):
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def rdf_ord(key: str | None) -> str | None:
+    """Ordering-comparable string value: plain or xsd:string literals only
+    (URIs and other datatypes are not orderable, SPARQL §11.3)."""
+    literal = _as_literal(key)
+    if literal is None or literal.lang is not None:
+        return None
+    if literal.datatype not in (None, XSD_STRING):
+        return None
+    return literal.value
+
+
+def rdf_str(key: str | None) -> str | None:
+    """Lexical form: literal value, URI text, or blank-node label."""
+    if key is None:
+        return None
+    if key.startswith('"'):
+        literal = _as_literal(key)
+        return literal.value if literal is not None else None
+    return key
+
+
+def rdf_lang(key: str | None) -> str | None:
+    literal = _as_literal(key)
+    if literal is None:
+        return None
+    return literal.lang or ""
+
+
+def rdf_datatype(key: str | None) -> str | None:
+    literal = _as_literal(key)
+    if literal is None:
+        return None
+    return literal.datatype or XSD_STRING
+
+
+def rdf_is_uri(key: str | None) -> int | None:
+    if key is None:
+        return None
+    return 0 if key.startswith(('"', "_:")) else 1
+
+
+def rdf_is_literal(key: str | None) -> int | None:
+    if key is None:
+        return None
+    return 1 if key.startswith('"') else 0
+
+
+def rdf_is_blank(key: str | None) -> int | None:
+    if key is None:
+        return None
+    return 1 if key.startswith("_:") else 0
+
+
+def rdf_regex(key: str | None, pattern: str | None, flags: str | None) -> int | None:
+    if key is None or pattern is None:
+        return None
+    text = rdf_str(key)
+    if text is None:
+        return None
+    re_flags = re.IGNORECASE if flags and "i" in flags else 0
+    return 1 if re.search(pattern, text, re_flags) else 0
+
+
+def rdf_lang_matches(lang: str | None, pattern: str | None) -> int | None:
+    if lang is None or pattern is None:
+        return None
+    lang_l, pattern_l = lang.lower(), pattern.lower()
+    if pattern_l == "*":
+        return 1 if lang_l else 0
+    return 1 if lang_l == pattern_l or lang_l.startswith(pattern_l + "-") else 0
+
+
+def rdf_ebv(key: str | None) -> int | None:
+    """Effective boolean value of a term key (NULL on error/unbound)."""
+    literal = _as_literal(key)
+    if literal is None:
+        return None
+    if literal.datatype is not None and literal.datatype.endswith("#boolean"):
+        return 1 if literal.value in ("true", "1") else 0
+    number = rdf_num(key)
+    if number is not None and literal.datatype is not None:
+        return 1 if number != 0 else 0
+    if literal.datatype is None and literal.lang is None:
+        return 1 if literal.value else 0
+    return None
+
+
+ALL_FUNCTIONS = {
+    "RDF_NUM": rdf_num,
+    "RDF_STR": rdf_str,
+    "RDF_ORD": rdf_ord,
+    "RDF_LANG": rdf_lang,
+    "RDF_DATATYPE": rdf_datatype,
+    "RDF_ISURI": rdf_is_uri,
+    "RDF_ISLITERAL": rdf_is_literal,
+    "RDF_ISBLANK": rdf_is_blank,
+    "RDF_REGEX": rdf_regex,
+    "RDF_LANGMATCHES": rdf_lang_matches,
+    "RDF_EBV": rdf_ebv,
+}
+
+
+def register_all() -> None:
+    for name, fn in ALL_FUNCTIONS.items():
+        register_function(name, fn)
+
+
+register_all()

@@ -1,0 +1,93 @@
+"""Dataset statistics for the SPARQL optimizer (paper §3.1, input 2).
+
+The paper's examples use exactly these: total triple count, average triples
+per subject / per object, and top-k constants with exact counts (Figure 6b).
+Constants outside the top-k fall back to the averages.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Term, term_key
+
+
+@dataclass
+class DatasetStatistics:
+    """Cardinality statistics over one loaded dataset."""
+
+    total_triples: int = 0
+    distinct_subjects: int = 0
+    distinct_objects: int = 0
+    top_subjects: dict[str, int] = field(default_factory=dict)
+    top_objects: dict[str, int] = field(default_factory=dict)
+    predicate_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def avg_triples_per_subject(self) -> float:
+        if not self.distinct_subjects:
+            return 1.0
+        return self.total_triples / self.distinct_subjects
+
+    @property
+    def avg_triples_per_object(self) -> float:
+        if not self.distinct_objects:
+            return 1.0
+        return self.total_triples / self.distinct_objects
+
+    # ------------------------------------------------------ cost estimates
+
+    def subject_cardinality(self, subject: Term | str | None) -> float:
+        """Estimated triples retrieved by a subject lookup."""
+        if subject is None:
+            return self.avg_triples_per_subject
+        key = subject if isinstance(subject, str) else term_key(subject)
+        return float(self.top_subjects.get(key, self.avg_triples_per_subject))
+
+    def object_cardinality(self, obj: Term | str | None) -> float:
+        """Estimated triples retrieved by an object lookup."""
+        if obj is None:
+            return self.avg_triples_per_object
+        key = obj if isinstance(obj, str) else term_key(obj)
+        return float(self.top_objects.get(key, self.avg_triples_per_object))
+
+    def predicate_cardinality(self, predicate: str | None) -> float:
+        if predicate is None:
+            return float(self.total_triples)
+        return float(
+            self.predicate_counts.get(predicate, max(1.0, self.total_triples / 100))
+        )
+
+    def scan_cardinality(self) -> float:
+        return float(self.total_triples)
+
+    # --------------------------------------------------------- construction
+
+    @classmethod
+    def from_graph(cls, graph: Graph, top_k: int = 1000) -> "DatasetStatistics":
+        subject_counts: Counter = Counter()
+        object_counts: Counter = Counter()
+        predicate_counts: Counter = Counter()
+        for triple in graph:
+            subject_counts[term_key(triple.subject)] += 1
+            object_counts[term_key(triple.object)] += 1
+            predicate_counts[triple.predicate.value] += 1
+        return cls(
+            total_triples=len(graph),
+            distinct_subjects=len(subject_counts),
+            distinct_objects=len(object_counts),
+            top_subjects=dict(subject_counts.most_common(top_k)),
+            top_objects=dict(object_counts.most_common(top_k)),
+            predicate_counts=dict(predicate_counts),
+        )
+
+    def record_triple(self, subject_key: str, predicate: str, object_key: str) -> None:
+        """Cheap incremental maintenance used by ``RdfStore.add``."""
+        self.total_triples += 1
+        self.predicate_counts[predicate] = self.predicate_counts.get(predicate, 0) + 1
+        if subject_key in self.top_subjects:
+            self.top_subjects[subject_key] += 1
+        if object_key in self.top_objects:
+            self.top_objects[object_key] += 1

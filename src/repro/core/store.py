@@ -1,0 +1,208 @@
+"""The public DB2RDF store API.
+
+``RdfStore`` owns a relational backend, the DPH/DS/RPH/RS schema, the
+predicate mappers (hash composition by default, graph coloring via
+:meth:`RdfStore.from_graph`), load-time metadata, dataset statistics, and a
+SPARQL engine. Typical use::
+
+    from repro import RdfStore
+    store = RdfStore.from_graph(graph)           # color + bulk load
+    result = store.query("SELECT ?x WHERE { ?x <p> ?y }")
+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import sqlfunctions  # noqa: F401  (registers RDF_* SQL functions)
+from ..backends import Backend, MiniRelBackend
+from ..rdf.graph import Graph
+from ..rdf.terms import Triple, term_key
+from ..sparql.engine import EngineConfig, SparqlEngine
+from ..sparql.results import SelectResult
+from ..sparql.translator.db2rdf import Db2RdfEmitter, StorageInfo
+from .coloring import color_graph_for_store
+from .loader import Loader, LoadReport, SideMetadata
+from .mapping import PredicateMapper, composed_hashes
+from .schema import DB2RDFSchema
+from .stats import DatasetStatistics
+
+DEFAULT_COLUMNS = 32
+MAX_COLORING_COLUMNS = 100
+
+
+@dataclass
+class StoreReport:
+    """Load statistics exposed for the Table 4 / §2.3 experiments."""
+
+    triples: int
+    direct: SideMetadata
+    reverse: SideMetadata
+    direct_columns: int
+    reverse_columns: int
+
+
+class RdfStore:
+    """An entity-oriented RDF store over a relational backend."""
+
+    def __init__(
+        self,
+        backend: Backend | None = None,
+        direct_columns: int = DEFAULT_COLUMNS,
+        reverse_columns: int = DEFAULT_COLUMNS,
+        direct_mapper: PredicateMapper | None = None,
+        reverse_mapper: PredicateMapper | None = None,
+        table_prefix: str = "",
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.backend = backend if backend is not None else MiniRelBackend()
+        self.schema = DB2RDFSchema(direct_columns, reverse_columns, table_prefix)
+        self.schema.create_all(self.backend)
+        self.direct_mapper = direct_mapper or composed_hashes(direct_columns)
+        self.reverse_mapper = reverse_mapper or composed_hashes(reverse_columns)
+        self.loader = Loader(
+            self.schema, self.backend, self.direct_mapper, self.reverse_mapper
+        )
+        self.direct_meta = SideMetadata()
+        self.reverse_meta = SideMetadata()
+        self.stats = DatasetStatistics()
+        self.config = config or EngineConfig()
+        self._engine: SparqlEngine | None = None
+
+    # --------------------------------------------------------- construction
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        backend: Backend | None = None,
+        use_coloring: bool = True,
+        max_columns: int = MAX_COLORING_COLUMNS,
+        sample_fraction: float | None = None,
+        table_prefix: str = "",
+        config: EngineConfig | None = None,
+        top_k_stats: int = 1000,
+    ) -> "RdfStore":
+        """Build a store sized and colored for ``graph``, then bulk load it.
+
+        ``use_coloring=False`` gives the pure hash-composition layout;
+        ``sample_fraction`` colors from a random entity sample (the §2.3
+        incremental-coloring experiment).
+        """
+        if use_coloring and len(graph):
+            direct_result, reverse_result = color_graph_for_store(
+                graph, max_columns, sample_fraction=sample_fraction
+            )
+            direct_columns = max(direct_result.colors_used, 1)
+            reverse_columns = max(reverse_result.colors_used, 1)
+            direct_mapper: PredicateMapper = direct_result.to_mapper(
+                direct_columns, composed_hashes(direct_columns)
+            )
+            reverse_mapper: PredicateMapper = reverse_result.to_mapper(
+                reverse_columns, composed_hashes(reverse_columns)
+            )
+            store = cls(
+                backend=backend,
+                direct_columns=direct_columns,
+                reverse_columns=reverse_columns,
+                direct_mapper=direct_mapper,
+                reverse_mapper=reverse_mapper,
+                table_prefix=table_prefix,
+                config=config,
+            )
+            store.coloring_direct = direct_result
+            store.coloring_reverse = reverse_result
+        else:
+            store = cls(backend=backend, table_prefix=table_prefix, config=config)
+        store.load_graph(graph, top_k_stats=top_k_stats)
+        return store
+
+    # ---------------------------------------------------------------- load
+
+    def load_graph(self, graph: Graph, top_k_stats: int = 1000) -> LoadReport:
+        """Bulk load a graph (appends to any previously loaded data)."""
+        report = self.loader.bulk_load(graph)
+        self.direct_meta.merge(report.direct)
+        self.reverse_meta.merge(report.reverse)
+        self.stats = DatasetStatistics.from_graph(graph, top_k=top_k_stats)
+        self._engine = None
+        return report
+
+    def add(self, triple: Triple) -> None:
+        """Insert one triple incrementally (the dynamic-data path)."""
+        delta = self.loader.insert_triple(triple)
+        self.direct_meta.merge(delta)
+        reverse_part = getattr(delta, "reverse_part", None)
+        if reverse_part is not None:
+            self.reverse_meta.merge(reverse_part)
+        self.stats.record_triple(
+            term_key(triple.subject),
+            triple.predicate.value,
+            term_key(triple.object),
+        )
+        self._engine = None
+
+    def remove(self, triple: Triple) -> bool:
+        """Delete one triple; returns False when it was not stored."""
+        existed = self.loader.delete_triple(triple)
+        if existed:
+            self.stats.total_triples = max(0, self.stats.total_triples - 1)
+            predicate = triple.predicate.value
+            if predicate in self.stats.predicate_counts:
+                self.stats.predicate_counts[predicate] -= 1
+            subject_key = term_key(triple.subject)
+            if subject_key in self.stats.top_subjects:
+                self.stats.top_subjects[subject_key] -= 1
+            object_key = term_key(triple.object)
+            if object_key in self.stats.top_objects:
+                self.stats.top_objects[object_key] -= 1
+            self._engine = None
+        return existed
+
+    # --------------------------------------------------------------- query
+
+    @property
+    def engine(self) -> SparqlEngine:
+        if self._engine is None:
+            info = StorageInfo(
+                schema=self.schema,
+                direct_mapper=self.direct_mapper,
+                reverse_mapper=self.reverse_mapper,
+                multivalued_direct=self.direct_meta.multivalued,
+                multivalued_reverse=self.reverse_meta.multivalued,
+            )
+            self._engine = SparqlEngine(
+                backend=self.backend,
+                emitter=Db2RdfEmitter(info),
+                stats=self.stats,
+                spill_direct=frozenset(self.direct_meta.spill_predicates),
+                spill_reverse=frozenset(self.reverse_meta.spill_predicates),
+                config=self.config,
+            )
+        return self._engine
+
+    def query(self, sparql, timeout: float | None = None) -> SelectResult:
+        """Evaluate a SPARQL SELECT query (text or a parsed/rewritten
+        query object, e.g. from :mod:`repro.sparql.inference`)."""
+        return self.engine.query(sparql, timeout=timeout)
+
+    def ask(self, sparql: str, timeout: float | None = None) -> bool:
+        """Evaluate a SPARQL ASK query."""
+        return self.engine.ask(sparql, timeout=timeout)
+
+    def explain(self, sparql: str) -> str:
+        """The SQL this store would run for a query."""
+        return self.engine.explain(sparql)
+
+    # ----------------------------------------------------------- reporting
+
+    def report(self) -> StoreReport:
+        """Load statistics: entities, spills, multi-valued predicates."""
+        return StoreReport(
+            triples=self.stats.total_triples,
+            direct=self.direct_meta,
+            reverse=self.reverse_meta,
+            direct_columns=self.schema.direct_columns,
+            reverse_columns=self.schema.reverse_columns,
+        )

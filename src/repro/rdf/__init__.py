@@ -1,0 +1,54 @@
+"""RDF data model substrate: terms, triples, graphs, and serialization."""
+
+from .graph import Graph
+from .namespaces import DC, FOAF, Namespace, RDF, RDFS
+from .ntriples import NTriplesError, parse, parse_line, parse_term, serialize
+from .turtle import TurtleError, load_turtle, parse_turtle, serialize_turtle
+from .terms import (
+    BNode,
+    Literal,
+    RDF_TYPE,
+    Subject,
+    Term,
+    Triple,
+    URI,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+    term_from_key,
+    term_key,
+)
+
+__all__ = [
+    "BNode",
+    "DC",
+    "FOAF",
+    "Graph",
+    "Literal",
+    "Namespace",
+    "NTriplesError",
+    "RDF",
+    "RDFS",
+    "RDF_TYPE",
+    "Subject",
+    "Term",
+    "Triple",
+    "URI",
+    "XSD_BOOLEAN",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_INTEGER",
+    "XSD_STRING",
+    "TurtleError",
+    "load_turtle",
+    "parse",
+    "parse_turtle",
+    "parse_line",
+    "parse_term",
+    "serialize",
+    "serialize_turtle",
+    "term_from_key",
+    "term_key",
+]

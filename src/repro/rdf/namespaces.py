@@ -1,0 +1,31 @@
+"""Namespace helpers for building URIs tersely in generators and examples."""
+
+from __future__ import annotations
+
+from .terms import URI
+
+
+class Namespace:
+    """Callable URI factory: ``DBP = Namespace("http://dbpedia.org/");
+    DBP("IBM")`` or attribute style ``DBP.IBM``."""
+
+    def __init__(self, base: str) -> None:
+        self.base = base
+
+    def __call__(self, local: str) -> URI:
+        return URI(self.base + local)
+
+    def __getattr__(self, local: str) -> URI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return URI(self.base + local)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD_NS = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+DC = Namespace("http://purl.org/dc/elements/1.1/")

@@ -1,0 +1,91 @@
+"""N-Triples parser and serializer.
+
+N-Triples is the line-oriented RDF exchange syntax; every workload generator
+in :mod:`repro.workloads` can round-trip through it, and the loaders accept
+it directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, TextIO
+
+from .terms import BNode, Literal, Term, Triple, URI
+
+_IRI = r"<([^>]*)>"
+_BNODE = r"_:([A-Za-z0-9_.-]+)"
+_LITERAL = r'"((?:[^"\\]|\\.)*)"(?:\^\^<([^>]*)>|@([A-Za-z0-9-]+))?'
+
+_TERM_RE = re.compile(rf"\s*(?:{_IRI}|{_BNODE}|{_LITERAL})")
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+_ESCAPE_RE = re.compile(r"\\[nrt\"\\]")
+
+
+class NTriplesError(ValueError):
+    """Raised on malformed N-Triples input."""
+
+
+def _unescape(value: str) -> str:
+    return _ESCAPE_RE.sub(lambda m: _ESCAPES[m.group(0)], value)
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single N-Triples term (used by tests and term round-trips)."""
+    term, rest = _parse_term_at(text)
+    if rest.strip():
+        raise NTriplesError(f"trailing content after term: {rest!r}")
+    return term
+
+
+def _parse_term_at(text: str) -> tuple[Term, str]:
+    match = _TERM_RE.match(text)
+    if not match:
+        raise NTriplesError(f"expected an RDF term at: {text[:60]!r}")
+    iri, bnode, lit, datatype, lang = match.groups()
+    rest = text[match.end():]
+    if iri is not None:
+        return URI(iri), rest
+    if bnode is not None:
+        return BNode(bnode), rest
+    return Literal(_unescape(lit), datatype=datatype, lang=lang), rest
+
+
+def parse_line(line: str) -> Triple | None:
+    """Parse one N-Triples line; returns ``None`` for blanks and comments."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    subject, rest = _parse_term_at(stripped)
+    if isinstance(subject, Literal):
+        raise NTriplesError(f"literal subject is not allowed: {line!r}")
+    predicate, rest = _parse_term_at(rest)
+    if not isinstance(predicate, URI):
+        raise NTriplesError(f"predicate must be a URI: {line!r}")
+    obj, rest = _parse_term_at(rest)
+    if rest.strip() != ".":
+        raise NTriplesError(f"expected terminating '.': {line!r}")
+    return Triple(subject, predicate, obj)
+
+
+def parse(source: TextIO | str) -> Iterator[Triple]:
+    """Yield triples from an N-Triples document (string or file object)."""
+    lines = source.splitlines() if isinstance(source, str) else source
+    for number, line in enumerate(lines, start=1):
+        try:
+            triple = parse_line(line)
+        except NTriplesError as exc:
+            raise NTriplesError(f"line {number}: {exc}") from exc
+        if triple is not None:
+            yield triple
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Serialize triples to an N-Triples document."""
+    return "".join(t.n3() + "\n" for t in triples)

@@ -1,0 +1,149 @@
+"""RDF term model: URIs, literals, blank nodes, and triples.
+
+The paper treats RDF values as opaque strings stored in relational columns;
+this module gives those strings enough structure to parse, serialize, and
+compare them the way a real store must (typed literals, language tags, blank
+node scoping).
+
+Terms are immutable and hashable so they can serve as dictionary keys in
+indexes and as members of interference-graph node sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+# Well-known datatype URIs used for literal coercion.
+XSD = "http://www.w3.org/2001/XMLSchema#"
+XSD_STRING = XSD + "string"
+XSD_INTEGER = XSD + "integer"
+XSD_DECIMAL = XSD + "decimal"
+XSD_DOUBLE = XSD + "double"
+XSD_BOOLEAN = XSD + "boolean"
+
+RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+RDF_TYPE = RDF_NS + "type"
+
+
+@dataclass(frozen=True, slots=True)
+class URI:
+    """An IRI reference, e.g. ``URI("http://dbpedia.org/resource/IBM")``."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value
+
+    def n3(self) -> str:
+        """Render in N-Triples syntax: ``<http://...>``."""
+        return f"<{self.value}>"
+
+
+@dataclass(frozen=True, slots=True)
+class BNode:
+    """A blank node with a document-scoped label."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An RDF literal with optional datatype or language tag.
+
+    ``Literal("4.1")`` is a plain literal; ``Literal("1850", datatype=
+    XSD_INTEGER)`` is typed; ``Literal("chat", lang="fr")`` is language-tagged.
+    A literal has at most one of ``datatype`` / ``lang``.
+    """
+
+    value: str
+    datatype: str | None = None
+    lang: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.datatype is not None and self.lang is not None:
+            raise ValueError("a literal cannot have both a datatype and a language tag")
+
+    def __str__(self) -> str:
+        return self.value
+
+    def n3(self) -> str:
+        escaped = (
+            self.value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        body = f'"{escaped}"'
+        if self.lang:
+            return f"{body}@{self.lang}"
+        if self.datatype and self.datatype != XSD_STRING:
+            return f"{body}^^<{self.datatype}>"
+        return body
+
+    def to_python(self) -> Union[str, int, float, bool]:
+        """Coerce to the closest Python value for FILTER comparisons."""
+        if self.datatype == XSD_INTEGER:
+            return int(self.value)
+        if self.datatype in (XSD_DECIMAL, XSD_DOUBLE):
+            return float(self.value)
+        if self.datatype == XSD_BOOLEAN:
+            return self.value in ("true", "1")
+        return self.value
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.datatype in (XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE)
+
+
+Term = Union[URI, BNode, Literal]
+Subject = Union[URI, BNode]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """A single RDF statement (subject, predicate, object)."""
+
+    subject: Subject
+    predicate: URI
+    object: Term
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+
+def term_key(term: Term) -> str:
+    """A canonical string key for a term, used as the stored column value.
+
+    The store keeps full N3 lexical forms for literals so that two literals
+    differing only in datatype or language do not collide, while URIs and
+    blank nodes are stored as their bare identifier (URIs dominate the data,
+    and keeping them unwrapped makes generated SQL and debugging far more
+    readable, exactly as the paper's figures show values like ``IBM``).
+    """
+    if isinstance(term, URI):
+        return term.value
+    if isinstance(term, BNode):
+        return f"_:{term.label}"
+    return term.n3()
+
+
+def term_from_key(key: str) -> Term:
+    """Inverse of :func:`term_key` (best effort for literals)."""
+    if key.startswith("_:"):
+        return BNode(key[2:])
+    if key.startswith('"'):
+        from .ntriples import parse_term  # local import to avoid cycle
+
+        return parse_term(key)
+    return URI(key)

@@ -1,0 +1,268 @@
+"""A Turtle-subset parser and serializer.
+
+Covers the Turtle most datasets are published in: ``@prefix`` / ``@base``
+directives, prefixed names, predicate lists (``;``), object lists (``,``),
+the ``a`` keyword, numeric / boolean / language-tagged / typed literals,
+long strings, blank node labels, and comments. Collections ``( ... )`` and
+anonymous blank-node property lists ``[ p o ]`` are out of scope (rare in
+bulk data).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from .graph import Graph
+from .namespaces import RDF
+from .terms import (
+    BNode,
+    Literal,
+    Subject,
+    Term,
+    Triple,
+    URI,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+
+
+class TurtleError(ValueError):
+    """Malformed Turtle input."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<comment>\#[^\n]*)
+      | (?P<longstring>\"\"\"(?s:.*?)\"\"\"(?!\"))
+      | (?P<string>"(?:[^"\\\n]|\\.)*")
+      | (?P<iri><[^<>\s]*>)
+      | (?P<bnode>_:[A-Za-z0-9_.-]+)
+      | (?P<directive>@prefix\b|@base\b)
+      | (?P<langtag>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+      | (?P<dtype>\^\^)
+      | (?P<number>[+-]?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?))
+      | (?P<pname>(?:[A-Za-z_][A-Za-z0-9_.-]*)?:[A-Za-z0-9_][A-Za-z0-9_.-]*|(?:[A-Za-z_][A-Za-z0-9_.-]*)?:)
+      | (?P<keyword>\ba\b|\btrue\b|\bfalse\b)
+      | (?P<punct>[;,.\[\]])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {
+    "\\n": "\n", "\\r": "\r", "\\t": "\t",
+    '\\"': '"', "\\\\": "\\",
+}
+
+
+def _unescape(body: str) -> str:
+    return re.sub(r"\\[nrt\"\\]", lambda m: _ESCAPES[m.group(0)], body)
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str) -> None:
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            if text[position:].strip() == "":
+                break
+            raise TurtleError(
+                f"cannot tokenize Turtle at: {text[position:position + 40]!r}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "comment":
+            continue
+        if kind == "directive":
+            kind = "keyword"
+        tokens.append(_Token(kind.upper(), match.group(match.lastgroup)))
+    tokens.append(_Token("EOF", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.position = 0
+        self.prefixes: dict[str, str] = {}
+        self.base: str | None = None
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            raise TurtleError(f"expected {text or kind}, found {token}")
+        return self.advance()
+
+    # ------------------------------------------------------------ document
+
+    def parse(self) -> Iterator[Triple]:
+        while self.current.kind != "EOF":
+            if self.current.kind == "KEYWORD" and self.current.text == "@prefix":
+                self._parse_prefix()
+            elif self.current.kind == "KEYWORD" and self.current.text == "@base":
+                self._parse_base()
+            else:
+                yield from self._parse_statement()
+
+    def _parse_prefix(self) -> None:
+        self.advance()
+        pname = self.expect("PNAME").text
+        prefix = pname[:-1] if pname.endswith(":") else pname.split(":", 1)[0]
+        iri = self.expect("IRI").text[1:-1]
+        self.prefixes[prefix] = self._resolve(iri)
+        self.expect("PUNCT", ".")
+
+    def _parse_base(self) -> None:
+        self.advance()
+        self.base = self.expect("IRI").text[1:-1]
+        self.expect("PUNCT", ".")
+
+    def _parse_statement(self) -> Iterator[Triple]:
+        subject = self._parse_subject()
+        while True:
+            predicate = self._parse_predicate()
+            while True:
+                obj = self._parse_object()
+                yield Triple(subject, predicate, obj)
+                if self.current.kind == "PUNCT" and self.current.text == ",":
+                    self.advance()
+                    continue
+                break
+            if self.current.kind == "PUNCT" and self.current.text == ";":
+                self.advance()
+                # tolerate trailing ';' before '.'
+                if self.current.kind == "PUNCT" and self.current.text == ".":
+                    break
+                continue
+            break
+        self.expect("PUNCT", ".")
+
+    # --------------------------------------------------------------- terms
+
+    def _resolve(self, iri: str) -> str:
+        if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", iri):
+            return self.base + iri
+        return iri
+
+    def _parse_iri(self) -> URI:
+        token = self.current
+        if token.kind == "IRI":
+            self.advance()
+            return URI(self._resolve(token.text[1:-1]))
+        if token.kind == "PNAME":
+            self.advance()
+            prefix, _, local = token.text.partition(":")
+            if prefix not in self.prefixes:
+                raise TurtleError(f"undeclared prefix {prefix!r}:")
+            return URI(self.prefixes[prefix] + local)
+        raise TurtleError(f"expected IRI, found {token}")
+
+    def _parse_subject(self) -> Subject:
+        if self.current.kind == "BNODE":
+            return BNode(self.advance().text[2:])
+        return self._parse_iri()
+
+    def _parse_predicate(self) -> URI:
+        if self.current.kind == "KEYWORD" and self.current.text == "a":
+            self.advance()
+            return RDF.type
+        return self._parse_iri()
+
+    def _parse_object(self) -> Term:
+        token = self.current
+        if token.kind == "BNODE":
+            self.advance()
+            return BNode(token.text[2:])
+        if token.kind in ("IRI", "PNAME"):
+            return self._parse_iri()
+        if token.kind in ("STRING", "LONGSTRING"):
+            self.advance()
+            body = token.text[3:-3] if token.kind == "LONGSTRING" else token.text[1:-1]
+            value = _unescape(body)
+            if self.current.kind == "LANGTAG":
+                return Literal(value, lang=self.advance().text[1:])
+            if self.current.kind == "DTYPE":
+                self.advance()
+                return Literal(value, datatype=self._parse_iri().value)
+            return Literal(value)
+        if token.kind == "NUMBER":
+            self.advance()
+            text = token.text
+            if re.fullmatch(r"[+-]?\d+", text):
+                return Literal(text, datatype=XSD_INTEGER)
+            if "e" in text.lower():
+                return Literal(text, datatype=XSD_DOUBLE)
+            return Literal(text, datatype=XSD_DECIMAL)
+        if token.kind == "KEYWORD" and token.text in ("true", "false"):
+            self.advance()
+            return Literal(token.text, datatype=XSD_BOOLEAN)
+        raise TurtleError(f"expected an object term, found {token}")
+
+
+def parse_turtle(text: str) -> Iterator[Triple]:
+    """Yield triples from a Turtle document."""
+    return _Parser(text).parse()
+
+
+def load_turtle(text: str) -> Graph:
+    """Parse a Turtle document into a Graph."""
+    return Graph(parse_turtle(text))
+
+
+def serialize_turtle(graph: Graph, prefixes: dict[str, str] | None = None) -> str:
+    """Serialize a graph as (grouped) Turtle with optional prefix table."""
+    prefixes = prefixes or {}
+    reverse = sorted(prefixes.items(), key=lambda kv: -len(kv[1]))
+
+    def shorten(term: Term) -> str:
+        if isinstance(term, URI):
+            for prefix, base in reverse:
+                if term.value.startswith(base) and len(term.value) > len(base):
+                    local = term.value[len(base):]
+                    if re.fullmatch(r"[A-Za-z0-9_][A-Za-z0-9_.-]*", local):
+                        return f"{prefix}:{local}"
+        return term.n3()
+
+    lines = [f"@prefix {p}: <{iri}> ." for p, iri in prefixes.items()]
+    if lines:
+        lines.append("")
+    for subject in sorted(graph.subjects(), key=lambda s: s.n3()):
+        triples = sorted(
+            graph.triples_for_subject(subject),
+            key=lambda t: (t.predicate.value, t.object.n3()),
+        )
+        by_predicate: dict[URI, list[Term]] = {}
+        for triple in triples:
+            by_predicate.setdefault(triple.predicate, []).append(triple.object)
+        parts = []
+        for predicate, objects in by_predicate.items():
+            rendered = ", ".join(shorten(o) for o in objects)
+            name = "a" if predicate == RDF.type else shorten(predicate)
+            parts.append(f"{name} {rendered}")
+        lines.append(f"{shorten(subject)} " + " ;\n    ".join(parts) + " .")
+    return "\n".join(lines) + "\n"

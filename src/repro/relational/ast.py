@@ -1,0 +1,299 @@
+"""SQL abstract syntax tree.
+
+The SPARQL-to-SQL translator builds these nodes directly (no text round
+trip); the text parser in :mod:`repro.relational.parser` produces the same
+nodes, and :mod:`repro.relational.render` turns them back into SQL text for
+the sqlite3 backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from .types import ColumnType
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Column:
+    """A (possibly qualified) column reference, e.g. ``T.entry``."""
+
+    table: str | None
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal constant (``None`` renders as NULL)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary operator: comparison, arithmetic, ``||``, AND, OR."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """``NOT x`` or ``-x``."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    operand: "Expr"
+    items: tuple["Expr", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like:
+    """SQL LIKE with ``%`` and ``_`` wildcards (case-insensitive, as SQLite)."""
+
+    operand: "Expr"
+    pattern: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """Scalar function call (COALESCE, LOWER, UPPER, LENGTH, ABS, SUBSTR)."""
+
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Case:
+    """Searched CASE: ``CASE WHEN c1 THEN r1 ... ELSE d END``."""
+
+    whens: tuple[tuple["Expr", "Expr"], ...]
+    default: "Expr | None" = None
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Aggregate call; ``arg is None`` means ``COUNT(*)``."""
+
+    func: str  # COUNT, SUM, MIN, MAX, AVG
+    arg: "Expr | None" = None
+    distinct: bool = False
+
+
+Expr = Union[Column, Const, BinOp, UnaryOp, IsNull, InList, Like, FuncCall, Case, Aggregate]
+
+COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+ARITHMETIC_OPS = {"+", "-", "*", "/", "%", "||"}
+LOGICAL_OPS = {"AND", "OR"}
+
+
+# ---------------------------------------------------------------------------
+# FROM clause
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base table or CTE reference with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    """A derived table ``(SELECT ...) AS alias``."""
+
+    query: "Query"
+    alias: str
+
+
+@dataclass(frozen=True)
+class Join:
+    """A join tree node; ``on is None`` means a cross (comma) join."""
+
+    left: "FromItem"
+    right: "FromItem"
+    kind: str  # "INNER" or "LEFT"
+    on: Expr | None = None
+
+
+FromItem = Union[TableRef, SubqueryRef, Join]
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: an expression with an optional alias, or ``*``."""
+
+    expr: Expr | None  # None means "*"
+    alias: str | None = None
+
+    @staticmethod
+    def star() -> "SelectItem":
+        return SelectItem(expr=None, alias=None)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    from_: FromItem | None = None
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    distinct: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+
+
+@dataclass(frozen=True)
+class SetOp:
+    """UNION / UNION ALL / INTERSECT / EXCEPT of two queries."""
+
+    op: str
+    left: "Query"
+    right: "Query"
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+
+
+@dataclass(frozen=True)
+class With:
+    """A WITH clause: named, non-recursive CTEs evaluated in order."""
+
+    ctes: tuple[tuple[str, "Query"], ...]
+    body: "Query"
+
+
+Query = Union[Select, SetOp, With]
+
+
+# ---------------------------------------------------------------------------
+# DDL / DML
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type: ColumnType = ColumnType.TEXT
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...] | None
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+    if_exists: bool = False
+
+
+Statement = Union[
+    Query, CreateTable, CreateIndex, Insert, Delete, Update, DropTable
+]
+
+
+def union_all(queries: list["Query"]) -> "Query":
+    """Combine queries with UNION ALL as a *balanced* tree.
+
+    Left-deep chains of hundreds of branches (variable-predicate unpivots,
+    per-type-table unions) would otherwise nest deeply enough to exhaust
+    Python's recursion limit in the planner and renderer; a balanced tree
+    keeps depth logarithmic.
+    """
+    if not queries:
+        raise ValueError("union of zero queries")
+    level = list(queries)
+    while len(level) > 1:
+        paired: list[Query] = []
+        for i in range(0, len(level) - 1, 2):
+            paired.append(SetOp("UNION ALL", level[i], level[i + 1]))
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    return level[0]
+
+
+def conjoin(conditions: list[Expr]) -> Expr | None:
+    """AND together a list of conditions (None for an empty list)."""
+    result: Expr | None = None
+    for condition in conditions:
+        result = condition if result is None else BinOp("AND", result, condition)
+    return result
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a condition into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]

@@ -1,0 +1,121 @@
+"""The database catalog: tables, indexes, and the statement entry point."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from . import ast
+from .errors import CatalogError
+from .index import HashIndex
+from .table import Table, TableSchema
+from .types import ColumnType
+
+
+class Database:
+    """A collection of named tables and indexes plus ``execute()``.
+
+    This is the top-level object of the relational substrate. It can be used
+    standalone (``db.execute("SELECT ...")`` with SQL text) or programmatically
+    with AST statements, which is how the RDF store drives it.
+    """
+
+    def __init__(self) -> None:
+        self.tables: dict[str, Table] = {}
+        self.indexes: dict[str, HashIndex] = {}
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, ColumnType]],
+        if_not_exists: bool = False,
+    ) -> Table:
+        key = name.lower()
+        if key in self.tables:
+            if if_not_exists:
+                return self.tables[key]
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(TableSchema(name, columns))
+        self.tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self.tables:
+            raise CatalogError(f"no table {name!r}")
+        table = self.tables.pop(key)
+        for index_name in [n for n, i in self.indexes.items() if i.table is table]:
+            del self.indexes[index_name]
+
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        columns: Sequence[str],
+        if_not_exists: bool = False,
+    ) -> HashIndex:
+        key = name.lower()
+        if key in self.indexes:
+            if if_not_exists:
+                return self.indexes[key]
+            raise CatalogError(f"index {name!r} already exists")
+        index = HashIndex(name, self.table(table_name), columns)
+        self.indexes[key] = index
+        return index
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    # ------------------------------------------------------------------ DML
+
+    def insert(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.table(table_name).insert_many(rows)
+
+    # ------------------------------------------------------------- execute
+
+    def execute(
+        self,
+        statement: ast.Statement | str,
+        deadline: float | None = None,
+    ) -> "QueryResult":
+        """Run a statement (AST node or SQL text); returns a QueryResult.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant; queries
+        cooperatively abort with :class:`QueryTimeout` once it passes.
+        """
+        from .planner import run_statement  # deferred: planner imports catalog
+
+        if isinstance(statement, str):
+            from .parser import parse_sql
+
+            results: QueryResult | None = None
+            for parsed in parse_sql(statement):
+                results = run_statement(self, parsed, deadline)
+            if results is None:
+                raise CatalogError("empty SQL script")
+            return results
+        return run_statement(self, statement, deadline)
+
+
+class QueryResult:
+    """Column names plus materialized rows (list of tuples)."""
+
+    def __init__(self, columns: list[str], rows: list[tuple]) -> None:
+        self.columns = columns
+        self.rows = rows
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"QueryResult(columns={self.columns}, rows={len(self.rows)})"

@@ -1,0 +1,31 @@
+"""Errors raised by the relational engine."""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for all engine errors."""
+
+
+class CatalogError(RelationalError):
+    """Unknown or duplicate table / index / column."""
+
+
+class SqlSyntaxError(RelationalError):
+    """Malformed SQL text."""
+
+
+class PlanError(RelationalError):
+    """A query that parses but cannot be planned (e.g. unknown alias)."""
+
+
+class ExecutionError(RelationalError):
+    """A runtime failure while evaluating a plan."""
+
+
+class QueryTimeout(ExecutionError):
+    """The cooperative deadline for a query expired.
+
+    Mirrors the paper's 10-minute query timeout classification: the harness
+    catches this and records the query as *timeout* rather than *error*.
+    """

@@ -1,0 +1,240 @@
+"""Low-level execution operators: scans, joins, aggregation, and timeouts.
+
+Operators are generator functions over row tuples. The planner composes them
+into a pipeline; every operator that can loop unboundedly threads a
+:class:`Ticker` so long queries abort cooperatively, which is how the
+benchmark harness reproduces the paper's timeout classification.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable, Iterator
+
+from .errors import QueryTimeout
+from .expressions import Evaluator
+from .index import HashIndex
+from .table import Table
+
+Row = tuple
+
+
+class Ticker:
+    """Cooperative deadline: cheap counter, occasional clock check."""
+
+    CHECK_EVERY = 4096
+
+    def __init__(self, deadline: float | None) -> None:
+        self.deadline = deadline
+        self._count = 0
+
+    def tick(self) -> None:
+        if self.deadline is None:
+            return
+        self._count += 1
+        if self._count >= self.CHECK_EVERY:
+            self._count = 0
+            if time.monotonic() > self.deadline:
+                raise QueryTimeout("query exceeded its deadline")
+
+
+def seq_scan(table: Table, ticker: Ticker) -> Iterator[Row]:
+    for row in table.scan():
+        ticker.tick()
+        yield row
+
+
+def index_scan(index: HashIndex, key: tuple, ticker: Ticker) -> Iterator[Row]:
+    for row in index.lookup(key):
+        ticker.tick()
+        yield row
+
+
+def filter_rows(
+    rows: Iterable[Row], condition: Evaluator, ticker: Ticker
+) -> Iterator[Row]:
+    for row in rows:
+        ticker.tick()
+        if condition(row) is True:
+            yield row
+
+
+def project_rows(
+    rows: Iterable[Row], evaluators: list[Evaluator], ticker: Ticker
+) -> Iterator[Row]:
+    for row in rows:
+        ticker.tick()
+        yield tuple(evaluator(row) for evaluator in evaluators)
+
+
+def hash_join(
+    left_rows: Iterable[Row],
+    right_rows: Iterable[Row],
+    left_key: Callable[[Row], tuple],
+    right_key: Callable[[Row], tuple],
+    right_width: int,
+    residual: Evaluator | None,
+    outer: bool,
+    ticker: Ticker,
+) -> Iterator[Row]:
+    """Equi hash join; ``outer=True`` gives LEFT OUTER semantics.
+
+    Keys containing NULL never match (SQL equality is unknown on NULL).
+    ``residual`` is evaluated on the concatenated row and must be True for a
+    match; for outer joins a left row with no surviving match is emitted
+    padded with NULLs.
+    """
+    buckets: dict[tuple, list[Row]] = {}
+    for row in right_rows:
+        ticker.tick()
+        key = right_key(row)
+        if any(value is None for value in key):
+            continue
+        buckets.setdefault(key, []).append(row)
+
+    null_pad = (None,) * right_width
+    for left_row in left_rows:
+        ticker.tick()
+        key = left_key(left_row)
+        matched = False
+        if not any(value is None for value in key):
+            for right_row in buckets.get(key, ()):
+                ticker.tick()
+                combined = left_row + right_row
+                if residual is None or residual(combined) is True:
+                    matched = True
+                    yield combined
+        if outer and not matched:
+            yield left_row + null_pad
+
+
+def index_nested_loop_join(
+    left_rows: Iterable[Row],
+    index: HashIndex,
+    probe_key: Callable[[Row], tuple],
+    right_width: int,
+    right_filter: Evaluator | None,
+    residual: Evaluator | None,
+    outer: bool,
+    ticker: Ticker,
+) -> Iterator[Row]:
+    """Join by probing a hash index on the right table per left row.
+
+    ``right_filter`` is evaluated on the right row alone (pushed-down
+    conditions); ``residual`` on the concatenated row.
+    """
+    null_pad = (None,) * right_width
+    for left_row in left_rows:
+        ticker.tick()
+        key = probe_key(left_row)
+        matched = False
+        if not any(value is None for value in key):
+            for right_row in index.lookup(key):
+                ticker.tick()
+                if right_filter is not None and right_filter(right_row) is not True:
+                    continue
+                combined = left_row + right_row
+                if residual is None or residual(combined) is True:
+                    matched = True
+                    yield combined
+        if outer and not matched:
+            yield left_row + null_pad
+
+
+def nested_loop_join(
+    left_rows: Iterable[Row],
+    right_rows_factory: Callable[[], Iterable[Row]],
+    right_width: int,
+    condition: Evaluator | None,
+    outer: bool,
+    ticker: Ticker,
+) -> Iterator[Row]:
+    """Fallback join for non-equi conditions; right side re-iterated per row."""
+    materialized_right: list[Row] | None = None
+    null_pad = (None,) * right_width
+    for left_row in left_rows:
+        ticker.tick()
+        if materialized_right is None:
+            materialized_right = list(right_rows_factory())
+        matched = False
+        for right_row in materialized_right:
+            ticker.tick()
+            combined = left_row + right_row
+            if condition is None or condition(combined) is True:
+                matched = True
+                yield combined
+        if outer and not matched:
+            yield left_row + null_pad
+
+
+def distinct_rows(rows: Iterable[Row], ticker: Ticker) -> Iterator[Row]:
+    seen: set[Row] = set()
+    for row in rows:
+        ticker.tick()
+        if row not in seen:
+            seen.add(row)
+            yield row
+
+
+class AggregateState:
+    """Accumulator for one aggregate call within one group."""
+
+    __slots__ = ("func", "distinct", "count", "total", "minimum", "maximum", "seen")
+
+    def __init__(self, func: str, distinct: bool) -> None:
+        self.func = func
+        self.distinct = distinct
+        self.count = 0
+        self.total: Any = None
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.seen: set | None = set() if distinct else None
+
+    def add(self, value: Any) -> None:
+        if self.func == "COUNT" and value is _COUNT_STAR:
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if self.func in ("SUM", "AVG"):
+            numeric = float(value) if not isinstance(value, (int, float)) else value
+            self.total = numeric if self.total is None else self.total + numeric
+        elif self.func == "MIN":
+            from .types import compare
+
+            if self.minimum is None or compare(value, self.minimum) == -1:
+                self.minimum = value
+        elif self.func == "MAX":
+            from .types import compare
+
+            if self.maximum is None or compare(value, self.maximum) == 1:
+                self.maximum = value
+
+    def result(self) -> Any:
+        if self.func == "COUNT":
+            return self.count
+        if self.func == "SUM":
+            return self.total
+        if self.func == "AVG":
+            return None if self.total is None else self.total / self.count
+        if self.func == "MIN":
+            return self.minimum
+        if self.func == "MAX":
+            return self.maximum
+        raise AssertionError(f"unknown aggregate {self.func}")
+
+
+class _CountStar:
+    """Sentinel passed to COUNT(*) accumulators."""
+
+
+_COUNT_STAR = _CountStar()
+
+
+def count_star_sentinel() -> Any:
+    return _COUNT_STAR

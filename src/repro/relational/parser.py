@@ -1,0 +1,599 @@
+"""A recursive-descent parser for the SQL subset the engine executes.
+
+The SPARQL translator builds ASTs directly, so this parser exists for the
+standalone usability of the relational substrate, for tests, and for the
+round-trip property (parse → render → parse is identity on the subset).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from . import ast
+from .errors import SqlSyntaxError
+from .types import ColumnType
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>\d+\.\d+|\d+|\.\d+)
+      | (?P<qident>"(?:[^"]|"")*")
+      | (?P<ident>[A-Za-z_][A-Za-z0-9_$#]*)
+      | (?P<op><>|<=|>=|!=|\|\||[=<>+\-*/%(),.;])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "LIMIT", "OFFSET", "UNION", "ALL", "INTERSECT", "EXCEPT", "WITH", "AS",
+    "JOIN", "LEFT", "OUTER", "INNER", "CROSS", "ON", "AND", "OR", "NOT",
+    "NULL", "IS", "IN", "LIKE", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE",
+    "END", "CREATE", "TABLE", "INDEX", "IF", "EXISTS", "INSERT", "INTO",
+    "VALUES", "DELETE", "ASC", "DESC", "UPDATE", "SET", "DROP",
+}
+
+_AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str) -> None:
+        self.kind = kind  # STRING, NUMBER, IDENT, KEYWORD, OP, EOF
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}"
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if not match:
+            if sql[position:].strip() == "":
+                break
+            raise SqlSyntaxError(f"cannot tokenize SQL at: {sql[position:position + 30]!r}")
+        position = match.end()
+        if match.lastgroup == "string":
+            text = match.group("string")[1:-1].replace("''", "'")
+            tokens.append(_Token("STRING", text))
+        elif match.lastgroup == "number":
+            tokens.append(_Token("NUMBER", match.group("number")))
+        elif match.lastgroup == "qident":
+            text = match.group("qident")[1:-1].replace('""', '"')
+            tokens.append(_Token("IDENT", text))
+        elif match.lastgroup == "ident":
+            text = match.group("ident")
+            if text.upper() in _KEYWORDS:
+                tokens.append(_Token("KEYWORD", text.upper()))
+            else:
+                tokens.append(_Token("IDENT", text))
+        else:
+            tokens.append(_Token("OP", match.group("op")))
+    tokens.append(_Token("EOF", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self.tokens = _tokenize(sql)
+        self.position = 0
+
+    # -------------------------------------------------------------- cursor
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def at_keyword(self, *keywords: str) -> bool:
+        return self.current.kind == "KEYWORD" and self.current.text in keywords
+
+    def at_op(self, *ops: str) -> bool:
+        return self.current.kind == "OP" and self.current.text in ops
+
+    def accept_keyword(self, *keywords: str) -> str | None:
+        if self.at_keyword(*keywords):
+            return self.advance().text
+        return None
+
+    def accept_op(self, *ops: str) -> str | None:
+        if self.at_op(*ops):
+            return self.advance().text
+        return None
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise SqlSyntaxError(f"expected {keyword}, found {self.current}")
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise SqlSyntaxError(f"expected {op!r}, found {self.current}")
+
+    def expect_ident(self) -> str:
+        if self.current.kind == "IDENT":
+            return self.advance().text
+        raise SqlSyntaxError(f"expected identifier, found {self.current}")
+
+    # ---------------------------------------------------------- statements
+
+    def parse_statements(self) -> Iterator[ast.Statement]:
+        while self.current.kind != "EOF":
+            yield self.parse_statement()
+            while self.accept_op(";"):
+                pass
+
+    def parse_statement(self) -> ast.Statement:
+        if self.at_keyword("CREATE"):
+            return self._parse_create()
+        if self.at_keyword("DROP"):
+            self.advance()
+            self.expect_keyword("TABLE")
+            if_exists = False
+            if self.accept_keyword("IF"):
+                self.expect_keyword("EXISTS")
+                if_exists = True
+            return ast.DropTable(self.expect_ident(), if_exists)
+        if self.at_keyword("INSERT"):
+            return self._parse_insert()
+        if self.at_keyword("DELETE"):
+            return self._parse_delete()
+        if self.at_keyword("UPDATE"):
+            return self._parse_update()
+        if self.at_keyword("SELECT", "WITH") or self.at_op("("):
+            return self.parse_query()
+        raise SqlSyntaxError(f"unexpected token {self.current}")
+
+    def _parse_create(self) -> ast.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            if_not_exists = self._accept_if_not_exists()
+            name = self.expect_ident()
+            self.expect_op("(")
+            columns: list[ast.ColumnDef] = []
+            while True:
+                column_name = self.expect_ident()
+                type_name = "TEXT"
+                if self.current.kind == "IDENT":
+                    type_name = self.advance().text.upper()
+                try:
+                    column_type = ColumnType(type_name)
+                except ValueError:
+                    column_type = ColumnType.TEXT
+                columns.append(ast.ColumnDef(column_name, column_type))
+                if not self.accept_op(","):
+                    break
+            self.expect_op(")")
+            return ast.CreateTable(name, tuple(columns), if_not_exists)
+        if self.accept_keyword("INDEX"):
+            if_not_exists = self._accept_if_not_exists()
+            name = self.expect_ident()
+            self.expect_keyword("ON")
+            table = self.expect_ident()
+            self.expect_op("(")
+            columns = []
+            while True:
+                columns.append(self.expect_ident())
+                if not self.accept_op(","):
+                    break
+            self.expect_op(")")
+            return ast.CreateIndex(name, table, tuple(columns), if_not_exists)
+        raise SqlSyntaxError(f"expected TABLE or INDEX after CREATE, found {self.current}")
+
+    def _accept_if_not_exists(self) -> bool:
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            return True
+        return False
+
+    def _parse_insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: tuple[str, ...] | None = None
+        if self.accept_op("("):
+            names = [self.expect_ident()]
+            while self.accept_op(","):
+                names.append(self.expect_ident())
+            self.expect_op(")")
+            columns = tuple(names)
+        self.expect_keyword("VALUES")
+        rows: list[tuple[ast.Expr, ...]] = []
+        while True:
+            self.expect_op("(")
+            values = [self.parse_expr()]
+            while self.accept_op(","):
+                values.append(self.parse_expr())
+            self.expect_op(")")
+            rows.append(tuple(values))
+            if not self.accept_op(","):
+                break
+        return ast.Insert(table, columns, tuple(rows))
+
+    def _parse_delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        return ast.Delete(table, where)
+
+    def _parse_update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments: list[tuple[str, ast.Expr]] = []
+        while True:
+            column = self.expect_ident()
+            self.expect_op("=")
+            assignments.append((column, self.parse_expr()))
+            if not self.accept_op(","):
+                break
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        return ast.Update(table, tuple(assignments), where)
+
+    # -------------------------------------------------------------- query
+
+    def parse_query(self) -> ast.Query:
+        if self.at_keyword("WITH"):
+            self.expect_keyword("WITH")
+            ctes: list[tuple[str, ast.Query]] = []
+            while True:
+                name = self.expect_ident()
+                self.expect_keyword("AS")
+                self.expect_op("(")
+                cte_query = self.parse_query()
+                self.expect_op(")")
+                ctes.append((name, cte_query))
+                if not self.accept_op(","):
+                    break
+            body = self.parse_query()
+            return ast.With(tuple(ctes), body)
+
+        query = self._parse_query_term()
+        while self.at_keyword("UNION", "INTERSECT", "EXCEPT"):
+            op = self.advance().text
+            if op == "UNION" and self.accept_keyword("ALL"):
+                op = "UNION ALL"
+            right = self._parse_query_term()
+            query = ast.SetOp(op, query, right)
+
+        order_by, limit, offset = self._parse_order_limit()
+        if order_by or limit is not None or offset is not None:
+            if isinstance(query, ast.Select):
+                query = ast.Select(
+                    items=query.items,
+                    from_=query.from_,
+                    where=query.where,
+                    group_by=query.group_by,
+                    having=query.having,
+                    distinct=query.distinct,
+                    order_by=order_by,
+                    limit=limit,
+                    offset=offset,
+                )
+            elif isinstance(query, ast.SetOp):
+                query = ast.SetOp(
+                    query.op, query.left, query.right, order_by, limit, offset
+                )
+        return query
+
+    def _parse_query_term(self) -> ast.Query:
+        if self.accept_op("("):
+            query = self.parse_query()
+            self.expect_op(")")
+            return query
+        return self._parse_select_core()
+
+    def _parse_select_core(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        self.accept_keyword("ALL")
+        items = [self._parse_select_item()]
+        while self.accept_op(","):
+            items.append(self._parse_select_item())
+
+        from_: ast.FromItem | None = None
+        if self.accept_keyword("FROM"):
+            from_ = self._parse_from()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        group_by: tuple[ast.Expr, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            exprs = [self.parse_expr()]
+            while self.accept_op(","):
+                exprs.append(self.parse_expr())
+            group_by = tuple(exprs)
+        having = self.parse_expr() if self.accept_keyword("HAVING") else None
+        return ast.Select(
+            items=tuple(items),
+            from_=from_,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self.accept_op("*"):
+            return ast.SelectItem.star()
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "IDENT":
+            alias = self.advance().text
+        return ast.SelectItem(expr, alias)
+
+    def _parse_from(self) -> ast.FromItem:
+        item = self._parse_from_item()
+        while True:
+            if self.accept_op(","):
+                right = self._parse_from_item()
+                item = ast.Join(item, right, "INNER", None)
+                continue
+            kind: str | None = None
+            if self.at_keyword("LEFT"):
+                self.advance()
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                kind = "LEFT"
+            elif self.at_keyword("INNER"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                kind = "INNER"
+            elif self.at_keyword("CROSS"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                right = self._parse_from_item()
+                item = ast.Join(item, right, "INNER", None)
+                continue
+            elif self.at_keyword("JOIN"):
+                self.advance()
+                kind = "INNER"
+            if kind is None:
+                break
+            right = self._parse_from_item()
+            on = None
+            if self.accept_keyword("ON"):
+                on = self.parse_expr()
+            item = ast.Join(item, right, kind, on)
+        return item
+
+    def _parse_from_item(self) -> ast.FromItem:
+        if self.accept_op("("):
+            if self.at_keyword("SELECT", "WITH"):
+                query = self.parse_query()
+                self.expect_op(")")
+                self.accept_keyword("AS")
+                alias = self.expect_ident()
+                return ast.SubqueryRef(query, alias)
+            item = self._parse_from()
+            self.expect_op(")")
+            return item
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "IDENT":
+            alias = self.advance().text
+        return ast.TableRef(name, alias)
+
+    def _parse_order_limit(
+        self,
+    ) -> tuple[tuple[ast.OrderItem, ...], int | None, int | None]:
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                expr = self.parse_expr()
+                ascending = True
+                if self.accept_keyword("DESC"):
+                    ascending = False
+                else:
+                    self.accept_keyword("ASC")
+                order_by.append(ast.OrderItem(expr, ascending))
+                if not self.accept_op(","):
+                    break
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = int(self._expect_number())
+            if self.accept_keyword("OFFSET"):
+                offset = int(self._expect_number())
+            elif self.accept_op(","):  # LIMIT offset, count
+                offset = limit
+                limit = int(self._expect_number())
+        return tuple(order_by), limit, offset
+
+    def _expect_number(self) -> str:
+        if self.current.kind == "NUMBER":
+            return self.advance().text
+        raise SqlSyntaxError(f"expected number, found {self.current}")
+
+    # --------------------------------------------------------- expressions
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        expr = self._parse_and()
+        while self.accept_keyword("OR"):
+            expr = ast.BinOp("OR", expr, self._parse_and())
+        return expr
+
+    def _parse_and(self) -> ast.Expr:
+        expr = self._parse_not()
+        while self.accept_keyword("AND"):
+            expr = ast.BinOp("AND", expr, self._parse_not())
+        return expr
+
+    def _parse_not(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        expr = self._parse_additive()
+        while True:
+            if self.at_op("=", "<>", "!=", "<", "<=", ">", ">="):
+                op = self.advance().text
+                expr = ast.BinOp(op, expr, self._parse_additive())
+                continue
+            if self.at_keyword("IS"):
+                self.advance()
+                negated = bool(self.accept_keyword("NOT"))
+                self.expect_keyword("NULL")
+                expr = ast.IsNull(expr, negated)
+                continue
+            negated = False
+            if self.at_keyword("NOT"):
+                lookahead = self.tokens[self.position + 1]
+                if lookahead.kind == "KEYWORD" and lookahead.text in ("IN", "LIKE", "BETWEEN"):
+                    self.advance()
+                    negated = True
+                else:
+                    break
+            if self.accept_keyword("IN"):
+                self.expect_op("(")
+                items = [self.parse_expr()]
+                while self.accept_op(","):
+                    items.append(self.parse_expr())
+                self.expect_op(")")
+                expr = ast.InList(expr, tuple(items), negated)
+                continue
+            if self.accept_keyword("LIKE"):
+                expr = ast.Like(expr, self._parse_additive(), negated)
+                continue
+            if self.accept_keyword("BETWEEN"):
+                low = self._parse_additive()
+                self.expect_keyword("AND")
+                high = self._parse_additive()
+                between = ast.BinOp(
+                    "AND", ast.BinOp(">=", expr, low), ast.BinOp("<=", expr, high)
+                )
+                expr = ast.UnaryOp("NOT", between) if negated else between
+                continue
+            break
+        return expr
+
+    def _parse_additive(self) -> ast.Expr:
+        expr = self._parse_multiplicative()
+        while self.at_op("+", "-", "||"):
+            op = self.advance().text
+            expr = ast.BinOp(op, expr, self._parse_multiplicative())
+        return expr
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        expr = self._parse_unary()
+        while self.at_op("*", "/", "%"):
+            op = self.advance().text
+            expr = ast.BinOp(op, expr, self._parse_unary())
+        return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.accept_op("-"):
+            return ast.UnaryOp("-", self._parse_unary())
+        self.accept_op("+")
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "STRING":
+            self.advance()
+            return ast.Const(token.text)
+        if token.kind == "NUMBER":
+            self.advance()
+            if "." in token.text:
+                return ast.Const(float(token.text))
+            return ast.Const(int(token.text))
+        if self.at_keyword("NULL"):
+            self.advance()
+            return ast.Const(None)
+        if self.at_keyword("CASE"):
+            return self._parse_case()
+        if self.accept_op("("):
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if token.kind == "IDENT":
+            name = self.advance().text
+            if self.at_op("("):
+                return self._parse_call(name)
+            if self.accept_op("."):
+                column = self.expect_ident()
+                return ast.Column(name, column)
+            return ast.Column(None, name)
+        raise SqlSyntaxError(f"unexpected token in expression: {token}")
+
+    def _parse_case(self) -> ast.Expr:
+        self.expect_keyword("CASE")
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expr()
+            self.expect_keyword("THEN")
+            result = self.parse_expr()
+            whens.append((condition, result))
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.parse_expr()
+        self.expect_keyword("END")
+        if not whens:
+            raise SqlSyntaxError("CASE requires at least one WHEN")
+        return ast.Case(tuple(whens), default)
+
+    def _parse_call(self, name: str) -> ast.Expr:
+        self.expect_op("(")
+        upper = name.upper()
+        if upper in _AGGREGATES:
+            if self.accept_op("*"):
+                self.expect_op(")")
+                return ast.Aggregate("COUNT" if upper == "COUNT" else upper, None)
+            distinct = bool(self.accept_keyword("DISTINCT"))
+            arg = self.parse_expr()
+            self.expect_op(")")
+            return ast.Aggregate(upper, arg, distinct)
+        args: list[ast.Expr] = []
+        if not self.at_op(")"):
+            args.append(self.parse_expr())
+            while self.accept_op(","):
+                args.append(self.parse_expr())
+        self.expect_op(")")
+        return ast.FuncCall(upper, tuple(args))
+
+
+def parse_sql(sql: str) -> list[ast.Statement]:
+    """Parse a SQL script (one or more ``;``-separated statements)."""
+    return list(_Parser(sql).parse_statements())
+
+
+def parse_query(sql: str) -> ast.Query:
+    """Parse a single query."""
+    statements = parse_sql(sql)
+    if len(statements) != 1 or not isinstance(
+        statements[0], (ast.Select, ast.SetOp, ast.With)
+    ):
+        raise SqlSyntaxError("expected exactly one query")
+    return statements[0]
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone scalar expression (used in tests)."""
+    parser = _Parser(sql)
+    expr = parser.parse_expr()
+    if parser.current.kind != "EOF":
+        raise SqlSyntaxError(f"trailing tokens after expression: {parser.current}")
+    return expr

@@ -1,0 +1,846 @@
+"""Rule-based planner: SQL ASTs to operator pipelines.
+
+Planning follows the classic recipe the paper relies on its relational
+back-end to perform: conjunct classification (local / equi-join / residual),
+index selection for equality predicates, index-nested-loop joins for
+CTE-to-entry probes (the dominant pattern in the generated DB2RDF SQL), hash
+joins for the rest, and a final filter/aggregate/sort/limit pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from . import ast
+from .catalog import Database, QueryResult
+from .errors import PlanError
+from .executor import (
+    AggregateState,
+    Ticker,
+    count_star_sentinel,
+    filter_rows,
+    hash_join,
+    index_nested_loop_join,
+    index_scan,
+    nested_loop_join,
+    seq_scan,
+)
+from .expressions import Scope, compile_expr, contains_aggregate, expr_columns
+from .index import HashIndex, find_index
+from .table import Table
+from .types import sort_key
+
+Row = tuple
+RowsFactory = Callable[[], Iterator[Row]]
+
+
+@dataclass
+class PlannedUnit:
+    """One planned FROM unit: its scope, a re-iterable row source, and the
+    base table when the unit is a direct table reference (enables index use)."""
+
+    scope: Scope
+    factory: RowsFactory
+    base: Table | None
+
+
+def run_statement(
+    db: Database, statement: ast.Statement, deadline: float | None = None
+) -> QueryResult:
+    """Execute any statement against ``db``."""
+    if isinstance(statement, (ast.Select, ast.SetOp, ast.With)):
+        return Planner(db, deadline).execute_query(statement)
+    if isinstance(statement, ast.CreateTable):
+        db.create_table(
+            statement.name,
+            [(c.name, c.type) for c in statement.columns],
+            if_not_exists=statement.if_not_exists,
+        )
+        return QueryResult([], [])
+    if isinstance(statement, ast.CreateIndex):
+        db.create_index(
+            statement.name,
+            statement.table,
+            statement.columns,
+            if_not_exists=statement.if_not_exists,
+        )
+        return QueryResult([], [])
+    if isinstance(statement, ast.Insert):
+        return _run_insert(db, statement)
+    if isinstance(statement, ast.Delete):
+        return _run_delete(db, statement, deadline)
+    if isinstance(statement, ast.Update):
+        return _run_update(db, statement)
+    if isinstance(statement, ast.DropTable):
+        if statement.if_exists and not db.has_table(statement.name):
+            return QueryResult([], [])
+        db.drop_table(statement.name)
+        return QueryResult([], [])
+    raise PlanError(f"cannot execute statement {statement!r}")
+
+
+def _run_insert(db: Database, statement: ast.Insert) -> QueryResult:
+    table = db.table(statement.table)
+    empty_scope = Scope([])
+    count = 0
+    for row_exprs in statement.rows:
+        values = [compile_expr(expr, empty_scope)(()) for expr in row_exprs]
+        if statement.columns is not None:
+            full = [None] * len(table.schema)
+            for column_name, value in zip(statement.columns, values):
+                full[table.schema.position(column_name)] = value
+            values = full
+        table.insert(values)
+        count += 1
+    return QueryResult(["rowcount"], [(count,)])
+
+
+def _run_delete(
+    db: Database, statement: ast.Delete, deadline: float | None
+) -> QueryResult:
+    table = db.table(statement.table)
+    scope = Scope([(table.name, c) for c in table.schema.column_names])
+    condition = (
+        compile_expr(statement.where, scope) if statement.where is not None else None
+    )
+    doomed = [
+        row_id
+        for row_id, row in table.scan_with_ids()
+        if condition is None or condition(row) is True
+    ]
+    for row_id in doomed:
+        table.delete_row(row_id)
+    return QueryResult(["rowcount"], [(len(doomed),)])
+
+
+def _run_update(db: Database, statement: ast.Update) -> QueryResult:
+    table = db.table(statement.table)
+    scope = Scope([(table.name, c) for c in table.schema.column_names])
+    condition = (
+        compile_expr(statement.where, scope) if statement.where is not None else None
+    )
+    setters = [
+        (table.schema.position(column), compile_expr(value, scope))
+        for column, value in statement.assignments
+    ]
+    touched = 0
+    updates: list[tuple[int, list]] = []
+    for row_id, row in table.scan_with_ids():
+        if condition is None or condition(row) is True:
+            new_row = list(row)
+            for position, setter in setters:
+                new_row[position] = setter(row)
+            updates.append((row_id, new_row))
+    for row_id, new_row in updates:
+        table.update_row(row_id, new_row)
+        touched += 1
+    return QueryResult(["rowcount"], [(touched,)])
+
+
+class Planner:
+    """Plans and executes one query (shared CTE environment per query)."""
+
+    def __init__(
+        self,
+        db: Database,
+        deadline: float | None = None,
+        cte_env: dict[str, QueryResult] | None = None,
+    ) -> None:
+        self.db = db
+        self.ticker = Ticker(deadline)
+        self.deadline = deadline
+        self.cte_env: dict[str, QueryResult] = dict(cte_env or {})
+
+    # ------------------------------------------------------------- queries
+
+    def execute_query(self, query: ast.Query) -> QueryResult:
+        if isinstance(query, ast.With):
+            inner = Planner(self.db, self.deadline, self.cte_env)
+            for name, cte_query in query.ctes:
+                inner.cte_env[name.lower()] = inner.execute_query(cte_query)
+            return inner.execute_query(query.body)
+        if isinstance(query, ast.SetOp):
+            return self._execute_setop(query)
+        if isinstance(query, ast.Select):
+            return self._execute_select(query)
+        raise PlanError(f"not a query: {query!r}")
+
+    def _execute_setop(self, query: ast.SetOp) -> QueryResult:
+        left = self.execute_query(query.left)
+        right = self.execute_query(query.right)
+        if left.rows and right.rows and len(left.rows[0]) != len(right.rows[0]):
+            raise PlanError("set operation arity mismatch")
+        op = query.op.upper()
+        if op == "UNION ALL":
+            rows = left.rows + right.rows
+        elif op == "UNION":
+            rows = list(dict.fromkeys(left.rows + right.rows))
+        elif op == "INTERSECT":
+            right_set = set(right.rows)
+            rows = list(dict.fromkeys(r for r in left.rows if r in right_set))
+        elif op == "EXCEPT":
+            right_set = set(right.rows)
+            rows = list(dict.fromkeys(r for r in left.rows if r not in right_set))
+        else:
+            raise PlanError(f"unsupported set operation {query.op!r}")
+        columns = left.columns or right.columns
+        rows = self._order_output(rows, columns, query.order_by)
+        rows = _apply_limit(rows, query.limit, query.offset)
+        return QueryResult(columns, rows)
+
+    # -------------------------------------------------------------- select
+
+    def _execute_select(self, select: ast.Select) -> QueryResult:
+        scope, rows = self._plan_from_where(select)
+
+        is_aggregate = (
+            bool(select.group_by)
+            or select.having is not None
+            or any(
+                item.expr is not None and contains_aggregate(item.expr)
+                for item in select.items
+            )
+        )
+        if is_aggregate:
+            scope, rows = self._aggregate(select, scope, rows)
+            if select.having is not None:
+                condition = compile_expr(
+                    _rewrite_with_index(select.having, self._agg_index), scope
+                )
+                rows = [row for row in rows if condition(row) is True]
+        items = self._expand_items(select.items, scope)
+        column_names = [name for name, _ in items]
+        item_exprs = [expr for _, expr in items]
+        if is_aggregate:
+            item_exprs = [
+                _rewrite_with_index(expr, self._agg_index) for expr in item_exprs
+            ]
+        evaluators = [compile_expr(expr, scope) for expr in item_exprs]
+
+        needs_scope_sort = False
+        order_plan: list[tuple[str, Any, bool]] = []  # (kind, key, ascending)
+        for order_item in select.order_by:
+            resolved = self._resolve_order_item(order_item, column_names, scope)
+            order_plan.append(resolved)
+            if resolved[0] == "scope":
+                needs_scope_sort = True
+
+        materialized = list(rows)
+        if needs_scope_sort:
+            materialized = self._sort_scope_rows(
+                materialized, order_plan, evaluators, scope
+            )
+            projected = [
+                tuple(evaluator(row) for evaluator in evaluators)
+                for row in materialized
+            ]
+            if select.distinct:
+                projected = list(dict.fromkeys(projected))
+        else:
+            projected = [
+                tuple(evaluator(row) for evaluator in evaluators)
+                for row in materialized
+            ]
+            if select.distinct:
+                projected = list(dict.fromkeys(projected))
+            if order_plan:
+                projected = _sort_projected(projected, order_plan)
+        projected = _apply_limit(projected, select.limit, select.offset)
+        return QueryResult(column_names, projected)
+
+    def _resolve_order_item(
+        self, order_item: ast.OrderItem, column_names: list[str], scope: Scope
+    ) -> tuple[str, Any, bool]:
+        expr = order_item.expr
+        if isinstance(expr, ast.Const) and isinstance(expr.value, int):
+            position = expr.value - 1
+            if not 0 <= position < len(column_names):
+                raise PlanError(f"ORDER BY position {expr.value} out of range")
+            return ("output", position, order_item.ascending)
+        if isinstance(expr, ast.Column) and expr.table is None:
+            lowered = [name.lower() for name in column_names]
+            if lowered.count(expr.name.lower()) == 1:
+                return ("output", lowered.index(expr.name.lower()), order_item.ascending)
+        evaluator = compile_expr(expr, scope)
+        return ("scope", evaluator, order_item.ascending)
+
+    def _sort_scope_rows(
+        self,
+        rows: list[Row],
+        order_plan: list[tuple[str, Any, bool]],
+        evaluators: list,
+        scope: Scope,
+    ) -> list[Row]:
+        # Descending keys are handled by repeated stable sorts from the last
+        # key to the first.
+        result = list(rows)
+        for kind, key, ascending in reversed(order_plan):
+            if kind == "scope":
+                extractor = key
+            else:
+                evaluator = evaluators[key]
+                extractor = evaluator
+            result.sort(key=lambda row: sort_key(extractor(row)), reverse=not ascending)
+        return result
+
+    def _expand_items(
+        self, items: tuple[ast.SelectItem, ...], scope: Scope
+    ) -> list[tuple[str, ast.Expr]]:
+        expanded: list[tuple[str, ast.Expr]] = []
+        for position, item in enumerate(items):
+            if item.expr is None:
+                for binding, name in scope.slots:
+                    if binding == "#agg":
+                        continue
+                    expanded.append((name, ast.Column(binding, name)))
+                continue
+            if item.alias:
+                name = item.alias
+            elif isinstance(item.expr, ast.Column):
+                name = item.expr.name
+            else:
+                name = f"col{position + 1}"
+            expanded.append((name, item.expr))
+        return expanded
+
+    # ---------------------------------------------------------- FROM/WHERE
+
+    def _plan_from_where(self, select: ast.Select) -> tuple[Scope, Iterable[Row]]:
+        if select.from_ is None:
+            scope = Scope([])
+            rows: Iterable[Row] = [()]
+            if select.where is not None:
+                condition = compile_expr(select.where, scope)
+                rows = [row for row in rows if condition(row) is True]
+            return scope, rows
+
+        units = _flatten_from(select.from_)
+        remaining = ast.split_conjuncts(select.where)
+
+        first_item, _, _ = units[0]
+        planned = self._plan_unit(first_item)
+        scope = planned.scope
+        rows: Iterable[Row] = None  # type: ignore[assignment]
+        rows, remaining, used_base_index = self._apply_local(
+            planned, remaining
+        )
+
+        for item, kind, on in units[1:]:
+            right = self._plan_unit(item)
+            outer = kind == "LEFT"
+            merged = scope.merged_with(right.scope)
+            if outer:
+                candidates = ast.split_conjuncts(on)
+            else:
+                candidates = ast.split_conjuncts(on)
+                pulled = []
+                for conjunct in remaining:
+                    if _resolves_in(conjunct, merged) and not _resolves_in(
+                        conjunct, scope
+                    ):
+                        pulled.append(conjunct)
+                for conjunct in pulled:
+                    remaining.remove(conjunct)
+                candidates.extend(pulled)
+            rows = self._join(scope, rows, right, candidates, outer)
+            scope = merged
+            if not outer:
+                # conjuncts that became resolvable only now (rare) were pulled
+                # above; nothing else to do here
+                pass
+
+        # Apply any still-unapplied conjuncts (e.g. IS NULL over LEFT joins).
+        leftovers = []
+        for conjunct in remaining:
+            if not _resolves_in(conjunct, scope):
+                raise PlanError(f"cannot resolve WHERE condition {conjunct!r}")
+            leftovers.append(conjunct)
+        if leftovers:
+            condition = compile_expr(ast.conjoin(leftovers), scope)
+            rows = filter_rows(rows, condition, self.ticker)
+        return scope, rows
+
+    def _plan_unit(self, item: ast.FromItem) -> PlannedUnit:
+        if isinstance(item, ast.TableRef):
+            key = item.name.lower()
+            if key in self.cte_env:
+                result = self.cte_env[key]
+                binding = item.binding
+                scope = Scope([(binding, name) for name in result.columns])
+                rows_list = result.rows
+                return PlannedUnit(scope, lambda: iter(rows_list), None)
+            table = self.db.table(item.name)
+            binding = item.binding
+            scope = Scope([(binding, name) for name in table.schema.column_names])
+            ticker = self.ticker
+            return PlannedUnit(scope, lambda: seq_scan(table, ticker), table)
+        if isinstance(item, ast.SubqueryRef):
+            result = self.execute_query(item.query)
+            scope = Scope([(item.alias, name) for name in result.columns])
+            rows_list = result.rows
+            return PlannedUnit(scope, lambda: iter(rows_list), None)
+        if isinstance(item, ast.Join):
+            # A parenthesized join subtree: plan it as a nested pipeline.
+            sub_select = ast.Select(items=(ast.SelectItem.star(),), from_=item)
+            sub_scope, sub_rows = self._plan_from_where(sub_select)
+            rows_list = list(sub_rows)
+            return PlannedUnit(sub_scope, lambda: iter(rows_list), None)
+        raise PlanError(f"cannot plan FROM item {item!r}")
+
+    def _apply_local(
+        self, planned: PlannedUnit, remaining: list[ast.Expr]
+    ) -> tuple[Iterable[Row], list[ast.Expr], bool]:
+        """Apply WHERE conjuncts local to a just-planned first unit, using an
+        index for constant equality when available."""
+        local = [c for c in remaining if _resolves_in(c, planned.scope)]
+        rest = [c for c in remaining if c not in local]
+        used_index = False
+        rows: Iterable[Row]
+        if planned.base is not None and local:
+            index_match = _find_const_index_lookup(planned.base, planned.scope, local)
+            if index_match is not None:
+                index, key, leftovers = index_match
+                rows = index_scan(index, key, self.ticker)
+                local = leftovers
+                used_index = True
+            else:
+                rows = planned.factory()
+        else:
+            rows = planned.factory()
+        if local:
+            condition = compile_expr(ast.conjoin(local), planned.scope)
+            rows = filter_rows(rows, condition, self.ticker)
+        return rows, rest, used_index
+
+    def _join(
+        self,
+        left_scope: Scope,
+        left_rows: Iterable[Row],
+        right: PlannedUnit,
+        candidates: list[ast.Expr],
+        outer: bool,
+    ) -> Iterator[Row]:
+        merged = left_scope.merged_with(right.scope)
+        right_only: list[ast.Expr] = []
+        equi_pairs: list[tuple[ast.Column, ast.Column]] = []
+        residual: list[ast.Expr] = []
+        for conjunct in candidates:
+            pair = _as_equi_pair(conjunct, left_scope, right.scope)
+            if pair is not None:
+                equi_pairs.append(pair)
+            elif _resolves_in(conjunct, right.scope):
+                right_only.append(conjunct)
+            elif _resolves_in(conjunct, merged):
+                residual.append(conjunct)
+            else:
+                raise PlanError(f"cannot resolve join condition {conjunct!r}")
+
+        residual_eval = (
+            compile_expr(ast.conjoin(residual), merged) if residual else None
+        )
+
+        # Try an index-nested-loop join: right base table indexed on one of
+        # the equi-join columns (the DPH/RPH "entry" probe pattern), or on a
+        # constant-equality column from right_only.
+        if right.base is not None:
+            probe = self._try_index_probe(
+                left_scope, right, equi_pairs, right_only, residual_eval, outer
+            )
+            if probe is not None:
+                return probe(left_rows)
+
+        if equi_pairs:
+            left_slots = [left_scope.resolve(l) for l, _ in equi_pairs]
+            right_slots = [right.scope.resolve(r) for _, r in equi_pairs]
+            right_rows: Iterable[Row] = right.factory()
+            if right_only:
+                right_condition = compile_expr(ast.conjoin(right_only), right.scope)
+                right_rows = filter_rows(right_rows, right_condition, self.ticker)
+            return hash_join(
+                left_rows,
+                right_rows,
+                lambda row: tuple(row[s] for s in left_slots),
+                lambda row: tuple(row[s] for s in right_slots),
+                len(right.scope),
+                residual_eval,
+                outer,
+                self.ticker,
+            )
+
+        # No equi keys: nested loop with the full condition.
+        condition_parts = residual[:]
+        right_factory = right.factory
+        if right_only:
+            right_condition = compile_expr(ast.conjoin(right_only), right.scope)
+            ticker = self.ticker
+            base_factory = right.factory
+            right_factory = lambda: filter_rows(base_factory(), right_condition, ticker)
+        condition = (
+            compile_expr(ast.conjoin(condition_parts), merged)
+            if condition_parts
+            else None
+        )
+        return nested_loop_join(
+            left_rows,
+            right_factory,
+            len(right.scope),
+            condition,
+            outer,
+            self.ticker,
+        )
+
+    def _try_index_probe(
+        self,
+        left_scope: Scope,
+        right: PlannedUnit,
+        equi_pairs: list[tuple[ast.Column, ast.Column]],
+        right_only: list[ast.Expr],
+        residual_eval,
+        outer: bool,
+    ):
+        assert right.base is not None
+        for pair_position, (left_col, right_col) in enumerate(equi_pairs):
+            index = find_index(right.base, [right_col.name])
+            if index is None:
+                continue
+            left_slot = left_scope.resolve(left_col)
+            other_pairs = [
+                p for i, p in enumerate(equi_pairs) if i != pair_position
+            ]
+            merged = left_scope.merged_with(right.scope)
+            extra_residuals = [
+                ast.BinOp("=", l, r) for l, r in other_pairs
+            ]
+            combined_residual = residual_eval
+            if extra_residuals:
+                extra_eval = compile_expr(ast.conjoin(extra_residuals), merged)
+                if residual_eval is None:
+                    combined_residual = extra_eval
+                else:
+                    prior = residual_eval
+
+                    def combined(row, prior=prior, extra=extra_eval):
+                        return (
+                            True
+                            if prior(row) is True and extra(row) is True
+                            else False
+                        )
+
+                    combined_residual = combined
+            right_filter = (
+                compile_expr(ast.conjoin(right_only), right.scope)
+                if right_only
+                else None
+            )
+            ticker = self.ticker
+            width = len(right.scope)
+
+            def probe(left_rows, index=index, left_slot=left_slot):
+                return index_nested_loop_join(
+                    left_rows,
+                    index,
+                    lambda row: (row[left_slot],),
+                    width,
+                    right_filter,
+                    combined_residual,
+                    outer,
+                    ticker,
+                )
+
+            return probe
+        return None
+
+    # ----------------------------------------------------------- aggregate
+
+    _agg_index: dict[ast.Aggregate, int]
+
+    def _aggregate(
+        self, select: ast.Select, scope: Scope, rows: Iterable[Row]
+    ) -> tuple[Scope, list[Row]]:
+        aggregates: dict[ast.Aggregate, int] = {}
+        for item in select.items:
+            if item.expr is not None:
+                _rewrite_aggregates(item.expr, aggregates)
+        if select.having is not None:
+            _rewrite_aggregates(select.having, aggregates)
+        self._agg_index = aggregates
+
+        group_exprs = [
+            self._resolve_group_expr(expr, select, scope) for expr in select.group_by
+        ]
+        group_evals = [compile_expr(expr, scope) for expr in group_exprs]
+        agg_list = sorted(aggregates.items(), key=lambda kv: kv[1])
+        arg_evals = []
+        for aggregate, _ in agg_list:
+            if aggregate.arg is None:
+                arg_evals.append(None)
+            else:
+                arg_evals.append(compile_expr(aggregate.arg, scope))
+
+        groups: dict[tuple, tuple[Row, list[AggregateState]]] = {}
+        star = count_star_sentinel()
+        for row in rows:
+            self.ticker.tick()
+            key = tuple(evaluator(row) for evaluator in group_evals)
+            entry = groups.get(key)
+            if entry is None:
+                states = [
+                    AggregateState(aggregate.func.upper(), aggregate.distinct)
+                    for aggregate, _ in agg_list
+                ]
+                entry = (row, states)
+                groups[key] = entry
+            for (aggregate, _), state, arg_eval in zip(
+                agg_list, entry[1], arg_evals
+            ):
+                state.add(star if arg_eval is None else arg_eval(row))
+
+        if not groups and not select.group_by:
+            empty_row = (None,) * len(scope)
+            states = [
+                AggregateState(aggregate.func.upper(), aggregate.distinct)
+                for aggregate, _ in agg_list
+            ]
+            groups[()] = (empty_row, states)
+
+        extended_scope = Scope(
+            scope.slots + [("#agg", f"agg{i}") for i in range(len(agg_list))]
+        )
+        extended_rows = [
+            rep + tuple(state.result() for state in states)
+            for rep, states in groups.values()
+        ]
+        return extended_scope, extended_rows
+
+    def _resolve_group_expr(
+        self, expr: ast.Expr, select: ast.Select, scope: Scope
+    ) -> ast.Expr:
+        """GROUP BY may name a select alias or a 1-based output position."""
+        if isinstance(expr, ast.Const) and isinstance(expr.value, int):
+            position = expr.value - 1
+            if not 0 <= position < len(select.items):
+                raise PlanError(f"GROUP BY position {expr.value} out of range")
+            item = select.items[position]
+            if item.expr is None:
+                raise PlanError("GROUP BY position cannot reference *")
+            return item.expr
+        if isinstance(expr, ast.Column) and expr.table is None and not scope.contains(expr):
+            for item in select.items:
+                if item.alias and item.alias.lower() == expr.name.lower():
+                    if item.expr is None:
+                        break
+                    return item.expr
+        return expr
+
+    # ------------------------------------------------------------- sorting
+
+    def _order_output(
+        self,
+        rows: list[Row],
+        columns: list[str],
+        order_by: tuple[ast.OrderItem, ...],
+    ) -> list[Row]:
+        if not order_by:
+            return rows
+        plan = []
+        for order_item in order_by:
+            expr = order_item.expr
+            if isinstance(expr, ast.Const) and isinstance(expr.value, int):
+                plan.append((expr.value - 1, order_item.ascending))
+            elif isinstance(expr, ast.Column) and expr.table is None:
+                lowered = [name.lower() for name in columns]
+                if expr.name.lower() not in lowered:
+                    raise PlanError(f"unknown ORDER BY column {expr.name!r}")
+                plan.append((lowered.index(expr.name.lower()), order_item.ascending))
+            else:
+                raise PlanError("set-operation ORDER BY must use output columns")
+        result = list(rows)
+        for position, ascending in reversed(plan):
+            result.sort(key=lambda row: sort_key(row[position]), reverse=not ascending)
+        return result
+
+
+def _sort_projected(
+    rows: list[Row], order_plan: list[tuple[str, Any, bool]]
+) -> list[Row]:
+    result = list(rows)
+    for kind, key, ascending in reversed(order_plan):
+        assert kind == "output"
+        result.sort(key=lambda row: sort_key(row[key]), reverse=not ascending)
+    return result
+
+
+def _apply_limit(rows: list[Row], limit: int | None, offset: int | None) -> list[Row]:
+    start = offset or 0
+    if limit is None:
+        return rows[start:] if start else rows
+    return rows[start:start + limit]
+
+
+def _flatten_from(item: ast.FromItem) -> list[tuple[ast.FromItem, str, ast.Expr | None]]:
+    """Flatten a left-deep join tree into [(unit, join_kind, on), ...]."""
+    if isinstance(item, ast.Join):
+        units = _flatten_from(item.left)
+        units.append((item.right, item.kind, item.on))
+        return units
+    return [(item, "FIRST", None)]
+
+
+def _resolves_in(expr: ast.Expr, scope: Scope) -> bool:
+    columns = expr_columns(expr)
+    return all(scope.contains(column) for column in columns)
+
+
+def _as_equi_pair(
+    expr: ast.Expr, left_scope: Scope, right_scope: Scope
+) -> tuple[ast.Column, ast.Column] | None:
+    """Recognize ``left.col = right.col`` (either orientation)."""
+    if not (isinstance(expr, ast.BinOp) and expr.op == "="):
+        return None
+    lhs, rhs = expr.left, expr.right
+    if not (isinstance(lhs, ast.Column) and isinstance(rhs, ast.Column)):
+        return None
+    if left_scope.contains(lhs) and right_scope.contains(rhs) and not (
+        right_scope.contains(lhs) or left_scope.contains(rhs)
+    ):
+        return (lhs, rhs)
+    if left_scope.contains(rhs) and right_scope.contains(lhs) and not (
+        right_scope.contains(rhs) or left_scope.contains(lhs)
+    ):
+        return (rhs, lhs)
+    return None
+
+
+def _find_const_index_lookup(
+    table: Table, scope: Scope, conjuncts: list[ast.Expr]
+) -> tuple[HashIndex, tuple, list[ast.Expr]] | None:
+    """Find ``col = const`` conjuncts matching a hash index on ``table``."""
+    const_eq: dict[str, Any] = {}
+    sources: dict[str, ast.Expr] = {}
+    for conjunct in conjuncts:
+        if not (isinstance(conjunct, ast.BinOp) and conjunct.op == "="):
+            continue
+        column, const = None, None
+        if isinstance(conjunct.left, ast.Column) and isinstance(
+            conjunct.right, ast.Const
+        ):
+            column, const = conjunct.left, conjunct.right
+        elif isinstance(conjunct.right, ast.Column) and isinstance(
+            conjunct.left, ast.Const
+        ):
+            column, const = conjunct.right, conjunct.left
+        if column is None or not scope.contains(column):
+            continue
+        if const.value is None:
+            continue  # col = NULL is unknown, never a valid index probe
+        name = column.name.lower()
+        if name not in const_eq:
+            const_eq[name] = const.value
+            sources[name] = conjunct
+    if not const_eq:
+        return None
+    for index in table.indexes:
+        if not isinstance(index, HashIndex):
+            continue
+        names = [c.lower() for c in index.column_names]
+        if all(name in const_eq for name in names):
+            key = tuple(const_eq[name] for name in names)
+            used = {sources[name] for name in names}
+            leftovers = [c for c in conjuncts if c not in used]
+            return index, key, leftovers
+    return None
+
+
+def _rewrite_aggregates(
+    expr: ast.Expr, registry: dict[ast.Aggregate, int]
+) -> tuple[ast.Expr, bool]:
+    """Register aggregates found in ``expr``; returns (expr, found_any)."""
+    found = False
+    for aggregate in _collect_aggregates(expr):
+        found = True
+        if aggregate not in registry:
+            registry[aggregate] = len(registry)
+    return expr, found
+
+
+def _collect_aggregates(expr: ast.Expr | None) -> list[ast.Aggregate]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Aggregate):
+        return [expr]
+    if isinstance(expr, ast.BinOp):
+        return _collect_aggregates(expr.left) + _collect_aggregates(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return _collect_aggregates(expr.operand)
+    if isinstance(expr, ast.IsNull):
+        return _collect_aggregates(expr.operand)
+    if isinstance(expr, ast.InList):
+        found = _collect_aggregates(expr.operand)
+        for item in expr.items:
+            found.extend(_collect_aggregates(item))
+        return found
+    if isinstance(expr, ast.Like):
+        return _collect_aggregates(expr.operand) + _collect_aggregates(expr.pattern)
+    if isinstance(expr, ast.FuncCall):
+        found = []
+        for arg in expr.args:
+            found.extend(_collect_aggregates(arg))
+        return found
+    if isinstance(expr, ast.Case):
+        found = []
+        for cond, result in expr.whens:
+            found.extend(_collect_aggregates(cond))
+            found.extend(_collect_aggregates(result))
+        found.extend(_collect_aggregates(expr.default))
+        return found
+    return []
+
+
+def _rewrite_with_index(
+    expr: ast.Expr, registry: dict[ast.Aggregate, int]
+) -> ast.Expr:
+    """Replace Aggregate nodes with references to the synthetic #agg columns."""
+    if isinstance(expr, ast.Aggregate):
+        return ast.Column("#agg", f"agg{registry[expr]}")
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(
+            expr.op,
+            _rewrite_with_index(expr.left, registry),
+            _rewrite_with_index(expr.right, registry),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _rewrite_with_index(expr.operand, registry))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(_rewrite_with_index(expr.operand, registry), expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            _rewrite_with_index(expr.operand, registry),
+            tuple(_rewrite_with_index(item, registry) for item in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, ast.Like):
+        return ast.Like(
+            _rewrite_with_index(expr.operand, registry),
+            _rewrite_with_index(expr.pattern, registry),
+            expr.negated,
+        )
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            expr.name,
+            tuple(_rewrite_with_index(arg, registry) for arg in expr.args),
+        )
+    if isinstance(expr, ast.Case):
+        return ast.Case(
+            tuple(
+                (
+                    _rewrite_with_index(cond, registry),
+                    _rewrite_with_index(result, registry),
+                )
+                for cond, result in expr.whens
+            ),
+            _rewrite_with_index(expr.default, registry)
+            if expr.default is not None
+            else None,
+        )
+    return expr

@@ -1,0 +1,137 @@
+"""Heap tables: schema, row storage, and insert/delete maintenance."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from .errors import CatalogError, ExecutionError
+from .types import ColumnType
+
+
+class TableSchema:
+    """Ordered column definitions for a table."""
+
+    def __init__(self, name: str, columns: Sequence[tuple[str, ColumnType]]) -> None:
+        self.name = name
+        self.column_names = [column_name for column_name, _ in columns]
+        self.column_types = [column_type for _, column_type in columns]
+        self._positions = {
+            column_name.lower(): position
+            for position, (column_name, _) in enumerate(columns)
+        }
+        if len(self._positions) != len(columns):
+            raise CatalogError(f"duplicate column name in table {name!r}")
+
+    def position(self, column_name: str) -> int:
+        try:
+            return self._positions[column_name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {column_name!r}"
+            ) from None
+
+    def has_column(self, column_name: str) -> bool:
+        return column_name.lower() in self._positions
+
+    def __len__(self) -> int:
+        return len(self.column_names)
+
+
+class Table:
+    """A heap table: a schema plus a list of row tuples.
+
+    Deleted rows are tombstoned (set to ``None``) so that row ids held by
+    indexes stay stable; :meth:`compact` rebuilds storage when fragmentation
+    grows. Indexes attach via :meth:`register_index` and are maintained by
+    insert/delete.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: list[tuple | None] = []
+        self.live_count = 0
+        self._indexes: list[Any] = []  # HashIndex instances
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def register_index(self, index: Any) -> None:
+        self._indexes.append(index)
+        index.build(self)
+
+    @property
+    def indexes(self) -> list[Any]:
+        return list(self._indexes)
+
+    def insert(self, values: Sequence[Any]) -> int:
+        """Insert one row (coercing to column affinities); returns its row id."""
+        if len(values) != len(self.schema):
+            raise ExecutionError(
+                f"table {self.name!r} expects {len(self.schema)} values, "
+                f"got {len(values)}"
+            )
+        row = tuple(
+            column_type.coerce(value)
+            for column_type, value in zip(self.schema.column_types, values)
+        )
+        row_id = len(self.rows)
+        self.rows.append(row)
+        self.live_count += 1
+        for index in self._indexes:
+            index.insert(row_id, row)
+        return row_id
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def delete_row(self, row_id: int) -> None:
+        row = self.rows[row_id]
+        if row is None:
+            return
+        for index in self._indexes:
+            index.delete(row_id, row)
+        self.rows[row_id] = None
+        self.live_count -= 1
+
+    def update_row(self, row_id: int, values: Sequence[Any]) -> None:
+        old = self.rows[row_id]
+        if old is None:
+            raise ExecutionError(f"row {row_id} of table {self.name!r} is deleted")
+        new = tuple(
+            column_type.coerce(value)
+            for column_type, value in zip(self.schema.column_types, values)
+        )
+        for index in self._indexes:
+            index.delete(row_id, old)
+        self.rows[row_id] = new
+        for index in self._indexes:
+            index.insert(row_id, new)
+
+    def get(self, row_id: int) -> tuple | None:
+        return self.rows[row_id]
+
+    def scan(self) -> Iterator[tuple]:
+        """Yield all live rows."""
+        for row in self.rows:
+            if row is not None:
+                yield row
+
+    def scan_with_ids(self) -> Iterator[tuple[int, tuple]]:
+        for row_id, row in enumerate(self.rows):
+            if row is not None:
+                yield row_id, row
+
+    def compact(self) -> None:
+        """Drop tombstones and rebuild all indexes."""
+        self.rows = [row for row in self.rows if row is not None]
+        self.live_count = len(self.rows)
+        for index in self._indexes:
+            index.build(self)
+
+    def __len__(self) -> int:
+        return self.live_count

@@ -1,0 +1,121 @@
+"""SQL value semantics: types, NULL-aware comparison, and sort keys.
+
+SQL values in this engine are plain Python values: ``None`` for NULL,
+``int``/``float`` for numerics, and ``str`` for text. Comparisons follow
+SQLite's storage-class ordering (NULL < numeric < text) so the engine can be
+differentially tested against the stdlib ``sqlite3`` backend on identical
+queries.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+
+class ColumnType(Enum):
+    """Declared column affinities (validated on insert, SQLite-style lax)."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce a Python value to this affinity; NULL passes through."""
+        if value is None:
+            return None
+        if self is ColumnType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            if isinstance(value, str):
+                try:
+                    return int(value)
+                except ValueError:
+                    return value  # lax, like SQLite affinity
+            return value
+        if self is ColumnType.REAL:
+            if isinstance(value, bool):
+                return float(value)
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, str):
+                try:
+                    return float(value)
+                except ValueError:
+                    return value
+            return value
+        return value if isinstance(value, str) else str(value)
+
+
+# Three-valued logic: SQL booleans are True, False, or NULL (unknown).
+# We use Python True/False/None directly.
+
+
+def tv_and(a: bool | None, b: bool | None) -> bool | None:
+    """SQL AND: false dominates, then unknown."""
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def tv_or(a: bool | None, b: bool | None) -> bool | None:
+    """SQL OR: true dominates, then unknown."""
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def tv_not(a: bool | None) -> bool | None:
+    """SQL NOT: unknown stays unknown."""
+    return None if a is None else not a
+
+
+def _class_rank(value: Any) -> int:
+    """Storage-class ordering rank: NULL(0) < numeric(1) < text(2)."""
+    if value is None:
+        return 0
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return 1
+    if isinstance(value, bool):
+        return 1
+    return 2
+
+
+def compare(a: Any, b: Any) -> int | None:
+    """Three-way compare with SQL NULL semantics.
+
+    Returns ``None`` when either side is NULL (comparison is *unknown*),
+    otherwise -1 / 0 / 1. Values of different storage classes order by
+    class rank (numeric < text), matching SQLite.
+    """
+    if a is None or b is None:
+        return None
+    ra, rb = _class_rank(a), _class_rank(b)
+    if ra != rb:
+        return -1 if ra < rb else 1
+    if ra == 1:
+        fa, fb = float(a), float(b)
+        return (fa > fb) - (fa < fb)
+    return (a > b) - (a < b)
+
+
+def sort_key(value: Any) -> tuple[int, Any]:
+    """A total-order sort key (NULLs first, then numerics, then text)."""
+    rank = _class_rank(value)
+    if rank == 0:
+        return (0, 0)
+    if rank == 1:
+        return (1, float(value))
+    return (2, value)
+
+
+def row_sort_key(values: tuple[Any, ...]) -> tuple[tuple[int, Any], ...]:
+    return tuple(sort_key(v) for v in values)

@@ -1,0 +1,39 @@
+"""SPARQL substrate: parser, algebra, reference evaluator, optimizer,
+translator, and the end-to-end engine."""
+
+from .algebra import PatternTree, normalize
+from .ast import (
+    AskQuery,
+    GroupPattern,
+    OptionalPattern,
+    OrderCondition,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    Var,
+)
+from .engine import EngineConfig, SparqlEngine
+from .parser import SparqlSyntaxError, parse_sparql
+from .reference import evaluate_ask, evaluate_select, query_graph
+from .results import SelectResult
+
+__all__ = [
+    "AskQuery",
+    "EngineConfig",
+    "GroupPattern",
+    "OptionalPattern",
+    "OrderCondition",
+    "PatternTree",
+    "SelectQuery",
+    "SelectResult",
+    "SparqlEngine",
+    "SparqlSyntaxError",
+    "TriplePattern",
+    "UnionPattern",
+    "Var",
+    "evaluate_ask",
+    "evaluate_select",
+    "normalize",
+    "parse_sparql",
+    "query_graph",
+]

@@ -1,0 +1,180 @@
+"""Pattern-tree utilities: normalization, ancestor maps, LCA machinery.
+
+The optimizer's definitions (3.4–3.7 in the paper) are all phrased over the
+query parse tree: least common ancestors, the ancestors-to-LCA set ``↑↑``,
+OR-connected (``∪``) and OPTIONAL-connected (``∩``) triples. This module
+computes those relations once per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .ast import (
+    GroupPattern,
+    OptionalPattern,
+    PatternElement,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+)
+
+PatternNode = Union[GroupPattern, UnionPattern, OptionalPattern]
+
+
+def normalize(query: SelectQuery) -> SelectQuery:
+    """Flatten redundant nesting: a bare GroupPattern element inside a group
+    folds its elements and filters into the parent (``{ { P } }`` = ``{ P }``),
+    and single-branch unions collapse."""
+    query.where = _normalize_group(query.where)
+    return query
+
+
+def _normalize_group(group: GroupPattern) -> GroupPattern:
+    elements: list[PatternElement] = []
+    filters = list(group.filters)
+    for element in group.elements:
+        if isinstance(element, GroupPattern):
+            inner = _normalize_group(element)
+            elements.extend(inner.elements)
+            filters.extend(inner.filters)
+        elif isinstance(element, UnionPattern):
+            branches = [_normalize_group(branch) for branch in element.branches]
+            if len(branches) == 1:
+                elements.extend(branches[0].elements)
+                filters.extend(branches[0].filters)
+            else:
+                elements.append(UnionPattern(branches))
+        elif isinstance(element, OptionalPattern):
+            elements.append(OptionalPattern(_normalize_group(element.pattern)))
+        else:
+            elements.append(element)
+    return GroupPattern(elements, filters)
+
+
+@dataclass
+class PatternTree:
+    """Parent pointers and triple paths over a normalized pattern tree.
+
+    ``parents[x]`` is the chain from x's immediate parent up to the root
+    group; triples and pattern nodes are keyed by identity.
+    """
+
+    root: GroupPattern
+    parent: dict[int, object] = field(default_factory=dict)
+    _nodes: dict[int, object] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, root: GroupPattern) -> "PatternTree":
+        tree = cls(root)
+        tree._walk(root, None)
+        return tree
+
+    def _walk(self, node: object, parent: object | None) -> None:
+        self._nodes[id(node)] = node
+        if parent is not None:
+            self.parent[id(node)] = parent
+        if isinstance(node, GroupPattern):
+            for element in node.elements:
+                self._walk(element, node)
+        elif isinstance(node, UnionPattern):
+            for branch in node.branches:
+                self._walk(branch, node)
+        elif isinstance(node, OptionalPattern):
+            self._walk(node.pattern, node)
+
+    def ancestors(self, node: object) -> list[object]:
+        """``↑*``: the chain of ancestors from immediate parent to root."""
+        chain: list[object] = []
+        current = self.parent.get(id(node))
+        while current is not None:
+            chain.append(current)
+            current = self.parent.get(id(current))
+        return chain
+
+    def lca(self, a: object, b: object) -> object | None:
+        """Definition 3.4: the least common ancestor pattern node."""
+        if a is b:
+            return a
+        ids_a = {id(x) for x in [a] + self.ancestors(a)}
+        current = self.parent.get(id(b))
+        while current is not None:
+            if id(current) in ids_a:
+                return current
+            current = self.parent.get(id(current))
+        return None
+
+    def ancestors_to_lca(self, node: object, other: object) -> list[object]:
+        """Definition 3.5 ``↑↑(node, other)``: ancestors of ``node`` strictly
+        below the LCA of the two."""
+        lca = self.lca(node, other)
+        chain = []
+        for ancestor in self.ancestors(node):
+            if ancestor is lca:
+                break
+            chain.append(ancestor)
+        return chain
+
+    def or_connected(self, a: TriplePattern, b: TriplePattern) -> bool:
+        """Definition 3.6 ``∪``: the LCA is (effectively) a UNION — the two
+        triples live in different branches of the same union."""
+        lca = self.lca(a, b)
+        return isinstance(lca, UnionPattern)
+
+    def optional_connected(self, a: TriplePattern, b: TriplePattern) -> bool:
+        """Definition 3.7 ``∩(a, b)``: ``b`` is optional with respect to
+        ``a`` — an OPTIONAL pattern guards ``b`` below their LCA."""
+        return any(
+            isinstance(ancestor, OptionalPattern)
+            for ancestor in self.ancestors_to_lca(b, a)
+        )
+
+    def and_mergeable(self, a: TriplePattern, b: TriplePattern) -> bool:
+        """Definition 3.9: the LCA and every intermediate ancestor is a
+        plain conjunctive group."""
+        if not isinstance(self.lca(a, b), GroupPattern):
+            return False
+        return all(
+            isinstance(ancestor, GroupPattern)
+            for ancestor in self.ancestors_to_lca(a, b)
+            + self.ancestors_to_lca(b, a)
+        )
+
+    def or_mergeable(self, a: TriplePattern, b: TriplePattern) -> bool:
+        """Definition 3.10: the triples sit in sibling UNION branches with
+        only trivial structure in between.
+
+        In the normalized tree each union branch is a GroupPattern directly
+        under the UnionPattern, so the condition is: LCA is a UnionPattern
+        and each side's path to it crosses only its branch group.
+        """
+        lca = self.lca(a, b)
+        if not isinstance(lca, UnionPattern):
+            return False
+        for triple in (a, b):
+            for ancestor in self.ancestors_to_lca(triple, a if triple is b else b):
+                if ancestor is lca:
+                    continue
+                if not isinstance(ancestor, GroupPattern):
+                    return False
+        return True
+
+    def opt_mergeable(self, a: TriplePattern, b: TriplePattern) -> bool:
+        """Definition 3.11: all intermediate ancestors are conjunctive except
+        that ``b`` (the later triple) is immediately guarded by an OPTIONAL."""
+        if not isinstance(self.lca(a, b), GroupPattern):
+            return False
+        path_a = self.ancestors_to_lca(a, b)
+        if not all(isinstance(x, GroupPattern) for x in path_a):
+            return False
+        path_b = self.ancestors_to_lca(b, a)
+        seen_optional = False
+        for ancestor in path_b:
+            if isinstance(ancestor, GroupPattern):
+                continue
+            if isinstance(ancestor, OptionalPattern) and not seen_optional:
+                seen_optional = True
+                continue
+            return False
+        return seen_optional

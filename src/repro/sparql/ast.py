@@ -1,0 +1,227 @@
+"""The SPARQL query model: triple patterns, group patterns, filters.
+
+This mirrors the paper's parse-tree view (Figure 7): a query is a hierarchy
+of patterns — SIMPLE (triples), AND (groups), OR (UNION), and OPTIONAL —
+with FILTER expressions attached to their enclosing group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from ..rdf.terms import Term
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A SPARQL variable ``?name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+TermOrVar = Union[Term, Var]
+
+
+_triple_counter = 0
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class TriplePattern:
+    """One triple pattern; identity (not structure) distinguishes repeated
+    patterns, matching the paper's per-triple t1..tn labels."""
+
+    subject: TermOrVar
+    predicate: TermOrVar
+    object: TermOrVar
+
+    def variables(self) -> set[str]:
+        found = set()
+        for position in (self.subject, self.predicate, self.object):
+            if isinstance(position, Var):
+                found.add(position.name)
+        return found
+
+    def __str__(self) -> str:
+        def show(term: TermOrVar) -> str:
+            return str(term) if isinstance(term, Var) else term.n3()
+
+        return f"{show(self.subject)} {show(self.predicate)} {show(self.object)}"
+
+
+# ---------------------------------------------------------------------------
+# Filter expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FVar:
+    name: str
+
+
+@dataclass(frozen=True)
+class FConst:
+    term: Term
+
+
+@dataclass(frozen=True)
+class FBinary:
+    """Comparison, logical, or arithmetic operator over filter expressions."""
+
+    op: str  # = != < <= > >= && || + - * /
+    left: "FilterExpr"
+    right: "FilterExpr"
+
+
+@dataclass(frozen=True)
+class FUnary:
+    op: str  # ! -
+    operand: "FilterExpr"
+
+
+@dataclass(frozen=True)
+class FBound:
+    var: str
+
+
+@dataclass(frozen=True)
+class FRegex:
+    operand: "FilterExpr"
+    pattern: str
+    flags: str = ""
+
+
+@dataclass(frozen=True)
+class FCall:
+    """Builtin call: STR, LANG, DATATYPE, isURI, isLITERAL, isBLANK, sameTerm,
+    langMatches."""
+
+    name: str
+    args: tuple["FilterExpr", ...]
+
+
+FilterExpr = Union[FVar, FConst, FBinary, FUnary, FBound, FRegex, FCall]
+
+
+def filter_variables(expr: FilterExpr) -> set[str]:
+    if isinstance(expr, FVar):
+        return {expr.name}
+    if isinstance(expr, FBound):
+        return {expr.var}
+    if isinstance(expr, FBinary):
+        return filter_variables(expr.left) | filter_variables(expr.right)
+    if isinstance(expr, FUnary):
+        return filter_variables(expr.operand)
+    if isinstance(expr, FRegex):
+        return filter_variables(expr.operand)
+    if isinstance(expr, FCall):
+        found: set[str] = set()
+        for arg in expr.args:
+            found |= filter_variables(arg)
+        return found
+    return set()
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class GroupPattern:
+    """A braces group: a conjunction of elements plus its FILTERs."""
+
+    elements: list["PatternElement"] = field(default_factory=list)
+    filters: list[FilterExpr] = field(default_factory=list)
+
+    def triples(self) -> Iterator[TriplePattern]:
+        for element in self.elements:
+            if isinstance(element, TriplePattern):
+                yield element
+            else:
+                yield from element.triples()
+
+    def variables(self) -> set[str]:
+        found: set[str] = set()
+        for element in self.elements:
+            found |= element.variables()
+        return found
+
+
+@dataclass(eq=False)
+class UnionPattern:
+    """``{A} UNION {B} UNION ...``"""
+
+    branches: list[GroupPattern]
+
+    def triples(self) -> Iterator[TriplePattern]:
+        for branch in self.branches:
+            yield from branch.triples()
+
+    def variables(self) -> set[str]:
+        found: set[str] = set()
+        for branch in self.branches:
+            found |= branch.variables()
+        return found
+
+
+@dataclass(eq=False)
+class OptionalPattern:
+    """``OPTIONAL {...}``"""
+
+    pattern: GroupPattern
+
+    def triples(self) -> Iterator[TriplePattern]:
+        yield from self.pattern.triples()
+
+    def variables(self) -> set[str]:
+        return self.pattern.variables()
+
+
+PatternElement = Union[TriplePattern, GroupPattern, UnionPattern, OptionalPattern]
+
+
+# ---------------------------------------------------------------------------
+# Query
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    expr: FilterExpr
+    ascending: bool = True
+
+
+@dataclass(eq=False)
+class SelectQuery:
+    """A SPARQL 1.0 SELECT query."""
+
+    variables: list[str] | None  # None means SELECT *
+    where: GroupPattern
+    distinct: bool = False
+    reduced: bool = False
+    order_by: list[OrderCondition] = field(default_factory=list)
+    limit: int | None = None
+    offset: int | None = None
+
+    def projected_variables(self) -> list[str]:
+        if self.variables is not None:
+            return self.variables
+        # Internal variables (path desugaring, anonymous blank nodes) are
+        # hidden from SELECT *.
+        return sorted(
+            v for v in self.where.variables() if not v.startswith("__")
+        )
+
+    def triples(self) -> list[TriplePattern]:
+        return list(self.where.triples())
+
+
+@dataclass(eq=False)
+class AskQuery:
+    """A SPARQL ASK query (evaluated as SELECT * LIMIT 1 + non-emptiness)."""
+
+    where: GroupPattern

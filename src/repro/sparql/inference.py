@@ -1,0 +1,153 @@
+"""Query-expansion inference (the paper's §4.1 LUBM methodology, automated).
+
+The paper evaluates without OWL reasoning by rewriting queries: when the
+ontology says ``GraduateStudent ⊑ Student``, the pattern ``?x rdf:type
+Student`` becomes ``{?x rdf:type Student} UNION {?x rdf:type
+GraduateStudent}``. The authors expanded queries by hand; this module does
+it mechanically from subclass / subproperty maps — RDFS-style entailment by
+rewriting, applicable in front of *any* of the stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import RDFS
+from ..rdf.terms import RDF_TYPE, URI
+from .ast import (
+    GroupPattern,
+    OptionalPattern,
+    PatternElement,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+)
+
+RDF_TYPE_URI = URI(RDF_TYPE)
+RDFS_SUBCLASS = RDFS.subClassOf
+RDFS_SUBPROPERTY = RDFS.subPropertyOf
+
+
+@dataclass
+class Ontology:
+    """Subclass and subproperty hierarchies (URI string keyed)."""
+
+    subclasses: dict[str, set[str]] = field(default_factory=dict)
+    subproperties: dict[str, set[str]] = field(default_factory=dict)
+
+    # ----------------------------------------------------------- building
+
+    def add_subclass(self, child: str | URI, parent: str | URI) -> None:
+        self.subclasses.setdefault(_key(parent), set()).add(_key(child))
+
+    def add_subproperty(self, child: str | URI, parent: str | URI) -> None:
+        self.subproperties.setdefault(_key(parent), set()).add(_key(child))
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "Ontology":
+        """Read rdfs:subClassOf / rdfs:subPropertyOf triples from a graph."""
+        ontology = cls()
+        for triple in graph.triples_for_predicate(RDFS_SUBCLASS):
+            if isinstance(triple.object, URI):
+                ontology.add_subclass(triple.subject, triple.object)
+        for triple in graph.triples_for_predicate(RDFS_SUBPROPERTY):
+            if isinstance(triple.object, URI):
+                ontology.add_subproperty(triple.subject, triple.object)
+        return ontology
+
+    # ----------------------------------------------------------- closures
+
+    def _closure(self, hierarchy: dict[str, set[str]], root: str) -> list[str]:
+        """root plus all transitive descendants, depth-first, deduplicated."""
+        seen: dict[str, None] = {root: None}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for child in sorted(hierarchy.get(node, ())):
+                if child not in seen:
+                    seen[child] = None
+                    stack.append(child)
+        return list(seen)
+
+    def class_closure(self, uri: str | URI) -> list[str]:
+        return self._closure(self.subclasses, _key(uri))
+
+    def property_closure(self, uri: str | URI) -> list[str]:
+        return self._closure(self.subproperties, _key(uri))
+
+
+def _key(value: str | URI) -> str:
+    return value.value if isinstance(value, URI) else value
+
+
+def expand_query(query: SelectQuery, ontology: Ontology) -> SelectQuery:
+    """Rewrite the query so that type and property patterns match all
+    ontology descendants (returns a new query; the input is not changed)."""
+    return SelectQuery(
+        variables=list(query.variables) if query.variables is not None else None,
+        where=_expand_group(query.where, ontology),
+        distinct=query.distinct,
+        reduced=query.reduced,
+        order_by=list(query.order_by),
+        limit=query.limit,
+        offset=query.offset,
+    )
+
+
+def _expand_group(group: GroupPattern, ontology: Ontology) -> GroupPattern:
+    elements: list[PatternElement] = []
+    for element in group.elements:
+        elements.append(_expand_element(element, ontology))
+    return GroupPattern(elements, list(group.filters))
+
+
+def _expand_element(element: PatternElement, ontology: Ontology):
+    if isinstance(element, TriplePattern):
+        return _expand_triple(element, ontology)
+    if isinstance(element, GroupPattern):
+        return _expand_group(element, ontology)
+    if isinstance(element, UnionPattern):
+        return UnionPattern(
+            [_expand_group(branch, ontology) for branch in element.branches]
+        )
+    if isinstance(element, OptionalPattern):
+        return OptionalPattern(_expand_group(element.pattern, ontology))
+    raise TypeError(f"unknown pattern element {element!r}")
+
+
+def _expand_triple(triple: TriplePattern, ontology: Ontology):
+    """A type pattern with a known class, or any pattern with a known
+    property, becomes a UNION over the closure."""
+    alternatives: list[TriplePattern] = []
+    is_type_pattern = (
+        isinstance(triple.predicate, URI)
+        and triple.predicate == RDF_TYPE_URI
+        and isinstance(triple.object, URI)
+    )
+    if is_type_pattern:
+        for class_uri in ontology.class_closure(triple.object):
+            alternatives.append(
+                TriplePattern(triple.subject, triple.predicate, URI(class_uri))
+            )
+    elif isinstance(triple.predicate, URI):
+        for property_uri in ontology.property_closure(triple.predicate):
+            alternatives.append(
+                TriplePattern(triple.subject, URI(property_uri), triple.object)
+            )
+    else:
+        return triple
+
+    if len(alternatives) <= 1:
+        return triple
+    return UnionPattern([GroupPattern([alt]) for alt in alternatives])
+
+
+def expand_sparql(sparql: str, ontology: Ontology) -> SelectQuery:
+    """Parse and expand in one step."""
+    from .parser import parse_sparql
+
+    parsed = parse_sparql(sparql)
+    if not isinstance(parsed, SelectQuery):
+        raise TypeError("only SELECT queries can be expanded")
+    return expand_query(parsed, ontology)

@@ -1,0 +1,50 @@
+"""The hybrid SPARQL optimizer: data-flow builder + query-plan builder."""
+
+from .cost import ACO, ACS, ALL_METHODS, SC, triple_method_cost
+from .dataflow import (
+    DataFlowGraph,
+    FlowNode,
+    FlowTree,
+    build_data_flow_graph,
+    build_flow,
+    optimal_flow_tree,
+)
+from .merge import MergeContext, MergedNode, MergeMember, merge_execution_tree
+from .planbuilder import (
+    AccessNode,
+    AndNode,
+    EmptyNode,
+    ExecNode,
+    FilterNode,
+    OptNode,
+    OrNode,
+    build_execution_tree,
+    textual_execution_tree,
+)
+
+__all__ = [
+    "ACO",
+    "ACS",
+    "ALL_METHODS",
+    "AccessNode",
+    "AndNode",
+    "DataFlowGraph",
+    "EmptyNode",
+    "ExecNode",
+    "FilterNode",
+    "FlowNode",
+    "FlowTree",
+    "MergeContext",
+    "MergeMember",
+    "MergedNode",
+    "OptNode",
+    "OrNode",
+    "SC",
+    "build_data_flow_graph",
+    "build_execution_tree",
+    "build_flow",
+    "merge_execution_tree",
+    "optimal_flow_tree",
+    "textual_execution_tree",
+    "triple_method_cost",
+]

@@ -1,0 +1,303 @@
+"""Star-query node merging (paper §3.2.1, Figure 11).
+
+Triples that touch the same entity with the same access method can share a
+single primary-table access — the central payoff of the entity-oriented
+layout. Merging must respect:
+
+* **structural constraints** — same entity, same method, constant
+  predicates, and none of the predicates involved in spills (spilled
+  entities span rows, so a one-row star lookup would miss them; the
+  translator falls back to cascaded accesses exactly as the paper
+  prescribes);
+* **semantic constraints** — Definitions 3.9–3.11 (AND / OR / OPTIONAL
+  mergeable), evaluated over the original pattern tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ...rdf.terms import URI
+from ..algebra import PatternTree
+from ..ast import TriplePattern, Var
+from .cost import ACO, ACS
+from .planbuilder import (
+    AccessNode,
+    AndNode,
+    EmptyNode,
+    ExecNode,
+    FilterNode,
+    OptNode,
+    OrNode,
+)
+
+
+@dataclass(eq=False)
+class MergeMember:
+    triple: TriplePattern
+    optional: bool = False
+
+
+@dataclass(eq=False)
+class MergedNode:
+    """A single primary-table access evaluating several triple patterns.
+
+    ``kind`` is ``"AND"`` (conjunctive members, possibly with trailing
+    optional members) or ``"OR"`` (disjunctive members — the translator
+    emits the Figure 13 "flip").
+    """
+
+    method: str
+    entity: object  # Var or Term
+    kind: str
+    members: list[MergeMember] = field(default_factory=list)
+
+    @property
+    def triples(self) -> list[TriplePattern]:
+        return [member.triple for member in self.members]
+
+    def __repr__(self) -> str:
+        labels = ", ".join(str(m.triple) for m in self.members)
+        return f"Merged{self.kind}({labels}; {self.method})"
+
+
+PlanNode = Union[ExecNode, MergedNode]
+
+
+@dataclass
+class MergeContext:
+    """Everything the merger needs to know about query and storage."""
+
+    pattern_tree: PatternTree
+    spill_direct: frozenset[str] = frozenset()
+    spill_reverse: frozenset[str] = frozenset()
+    variable_triple_counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        pattern_tree: PatternTree,
+        triples: list[TriplePattern],
+        spill_direct: frozenset[str] = frozenset(),
+        spill_reverse: frozenset[str] = frozenset(),
+    ) -> "MergeContext":
+        counts: dict[str, int] = {}
+        for triple in triples:
+            for variable in triple.variables():
+                counts[variable] = counts.get(variable, 0) + 1
+        return cls(pattern_tree, spill_direct, spill_reverse, counts)
+
+    def eligible(self, node: AccessNode) -> bool:
+        """Structural per-triple constraints: constant predicate, no spills."""
+        predicate = node.triple.predicate
+        if not isinstance(predicate, URI):
+            return False
+        spills = self.spill_reverse if node.method == ACO else self.spill_direct
+        return predicate.value not in spills
+
+
+def entity_of(triple: TriplePattern, method: str):
+    """The entity a method accesses: subject for acs and sc (both address
+    the DPH row of the subject — a scan is just an unkeyed DPH access),
+    object for aco."""
+    if method == ACO:
+        return triple.object
+    return triple.subject
+
+
+def _merged_method(a: str, b: str) -> str | None:
+    """Methods are merge-compatible when they address the same primary
+    table: acs/sc both hit DPH (the merged access probes when the entity is
+    bound and scans otherwise), aco hits RPH."""
+    if a == ACO and b == ACO:
+        return ACO
+    if a != ACO and b != ACO:
+        return ACS if ACS in (a, b) else a
+    return None
+
+
+def _same_entity(a, b) -> bool:
+    if isinstance(a, Var) and isinstance(b, Var):
+        return a.name == b.name
+    if isinstance(a, Var) or isinstance(b, Var):
+        return False
+    return a == b
+
+
+def merge_execution_tree(node: ExecNode, ctx: MergeContext) -> PlanNode:
+    """Bottom-up merging rewrite producing the query plan tree."""
+    if isinstance(node, AccessNode) or isinstance(node, EmptyNode):
+        return node
+    if isinstance(node, FilterNode):
+        return FilterNode(merge_execution_tree(node.child, ctx), node.filters)
+    if isinstance(node, AndNode):
+        left = merge_execution_tree(node.left, ctx)
+        right = merge_execution_tree(node.right, ctx)
+        merged = _try_and_merge(left, right, ctx)
+        return merged if merged is not None else AndNode(left, right)
+    if isinstance(node, OrNode):
+        branches = [merge_execution_tree(branch, ctx) for branch in node.branches]
+        merged = _try_or_merge(branches, ctx)
+        return merged if merged is not None else OrNode(branches)
+    if isinstance(node, OptNode):
+        left = merge_execution_tree(node.left, ctx)
+        right = merge_execution_tree(node.right, ctx)
+        merged = _try_opt_merge(left, right, ctx)
+        return merged if merged is not None else OptNode(left, right)
+    if isinstance(node, MergedNode):
+        return node
+    raise TypeError(f"unknown execution node {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Merge attempts
+# ---------------------------------------------------------------------------
+
+
+def _tail_star(node: PlanNode) -> tuple[PlanNode | None, object | None]:
+    """Locate the rightmost access in a left-deep AND chain, returning
+    (tail, rebuild) where rebuild(replacement) reconstructs the tree."""
+    if isinstance(node, (AccessNode, MergedNode)):
+        return node, lambda replacement: replacement
+    if isinstance(node, AndNode):
+        if isinstance(node.right, (AccessNode, MergedNode)):
+            tail = node.right
+            return tail, lambda replacement: AndNode(node.left, replacement)
+    return None, None
+
+
+def _as_and_star(tail: PlanNode) -> MergedNode | None:
+    """View an AccessNode or conjunctive MergedNode as a star under
+    construction; OR-merged nodes cannot absorb conjunctive members."""
+    if isinstance(tail, AccessNode):
+        return MergedNode(
+            tail.method,
+            entity_of(tail.triple, tail.method),
+            "AND",
+            [MergeMember(tail.triple)],
+        )
+    if isinstance(tail, MergedNode) and tail.kind == "AND":
+        return MergedNode(tail.method, tail.entity, "AND", list(tail.members))
+    return None
+
+
+def _try_and_merge(
+    left: PlanNode, right: PlanNode, ctx: MergeContext
+) -> PlanNode | None:
+    if not isinstance(right, AccessNode) or not ctx.eligible(right):
+        return None
+    tail, rebuild = _tail_star(left)
+    if tail is None:
+        return None
+    star = _as_and_star(tail)
+    if star is None:
+        return None
+    combined_method = _merged_method(star.method, right.method)
+    if combined_method is None:
+        return None
+    star.method = combined_method
+    if not _same_entity(star.entity, entity_of(right.triple, right.method)):
+        return None
+    if _value_var_collides(star, right):
+        return None
+    if isinstance(tail, AccessNode) and not ctx.eligible(tail):
+        return None
+    if isinstance(tail, MergedNode) and any(m.optional for m in tail.members):
+        # optional members must stay last; a required member cannot join
+        # after them in a single access
+        return None
+    for member in star.members:
+        if not ctx.pattern_tree.and_mergeable(member.triple, right.triple):
+            return None
+    star.members.append(MergeMember(right.triple))
+    return rebuild(star)
+
+
+def _value_var_collides(star: MergedNode, right: AccessNode) -> bool:
+    """A new member whose value variable is already bound by an existing
+    member would need cross-member equality inside one access; decline."""
+    method = right.method
+    new_value = (
+        right.triple.subject if method == ACO else right.triple.object
+    )
+    if not isinstance(new_value, Var):
+        return False
+    entity = entity_of(right.triple, method)
+    if isinstance(entity, Var) and new_value.name == entity.name:
+        return False
+    for member in star.members:
+        existing = (
+            member.triple.subject if method == ACO else member.triple.object
+        )
+        if isinstance(existing, Var) and existing.name == new_value.name:
+            return True
+    return False
+
+
+def _try_or_merge(branches: list[PlanNode], ctx: MergeContext) -> MergedNode | None:
+    if len(branches) < 2:
+        return None
+    if not all(isinstance(branch, AccessNode) for branch in branches):
+        return None
+    accesses: list[AccessNode] = branches  # type: ignore[assignment]
+    first = accesses[0]
+    method = first.method
+    entity = entity_of(first.triple, first.method)
+    for access in accesses:
+        combined = _merged_method(method, access.method)
+        if combined is None or not ctx.eligible(access):
+            return None
+        method = combined
+        if not _same_entity(entity, entity_of(access.triple, access.method)):
+            return None
+    for i, a in enumerate(accesses):
+        for b in accesses[i + 1:]:
+            if not ctx.pattern_tree.or_mergeable(a.triple, b.triple):
+                return None
+    return MergedNode(
+        method,
+        entity,
+        "OR",
+        [MergeMember(access.triple) for access in accesses],
+    )
+
+
+def _try_opt_merge(
+    left: PlanNode, right: PlanNode, ctx: MergeContext
+) -> PlanNode | None:
+    if not isinstance(right, AccessNode) or not ctx.eligible(right):
+        return None
+    # The optional triple's fresh variables must not be shared with the rest
+    # of the query, otherwise the single-access CASE projection could not
+    # express the join with the other occurrence.
+    for position in (right.triple.object, right.triple.subject):
+        if isinstance(position, Var):
+            entity = entity_of(right.triple, right.method)
+            if isinstance(entity, Var) and position.name == entity.name:
+                continue
+            if ctx.variable_triple_counts.get(position.name, 0) > 1:
+                return None
+    tail, rebuild = _tail_star(left)
+    if tail is None:
+        return None
+    star = _as_and_star(tail)
+    if star is None:
+        return None
+    combined_method = _merged_method(star.method, right.method)
+    if combined_method is None:
+        return None
+    star.method = combined_method
+    if not _same_entity(star.entity, entity_of(right.triple, right.method)):
+        return None
+    if isinstance(tail, AccessNode) and not ctx.eligible(tail):
+        return None
+    if _value_var_collides(star, right):
+        return None
+    for member in star.members:
+        if member.optional:
+            continue
+        if not ctx.pattern_tree.opt_mergeable(member.triple, right.triple):
+            return None
+    star.members.append(MergeMember(right.triple, optional=True))
+    return rebuild(star)

@@ -1,0 +1,538 @@
+"""A recursive-descent parser for the SPARQL 1.0 subset of the paper's
+workloads: SELECT/ASK, group graph patterns, UNION, OPTIONAL, FILTER,
+predicate-object lists, solution modifiers.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..rdf.terms import (
+    BNode,
+    Literal,
+    Term,
+    URI,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from ..rdf.namespaces import RDF
+from .ast import (
+    AskQuery,
+    FBinary,
+    FBound,
+    FCall,
+    FConst,
+    FilterExpr,
+    FRegex,
+    FUnary,
+    FVar,
+    GroupPattern,
+    OptionalPattern,
+    OrderCondition,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    Var,
+)
+
+
+class SparqlSyntaxError(ValueError):
+    """Malformed SPARQL input."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<comment>\#[^\n]*)
+      | (?P<iri><[^<>\s]*>)
+      | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
+      | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+      | (?P<langtag>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+      | (?P<dtype>\^\^)
+      | (?P<number>[+-]?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?))
+      | (?P<bnode>_:[A-Za-z0-9_]+)
+      | (?P<pname>[A-Za-z_][A-Za-z0-9_.-]*?:[A-Za-z0-9_.-]*|:[A-Za-z0-9_.-]*)
+      | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+      | (?P<op>&&|\|\||!=|<=|>=|[{}()\[\].;,=<>!*/+^|-])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "ASK", "WHERE", "DISTINCT", "REDUCED", "PREFIX", "BASE",
+    "UNION", "OPTIONAL", "FILTER", "ORDER", "BY", "ASC", "DESC",
+    "LIMIT", "OFFSET", "A", "TRUE", "FALSE",
+}
+
+_BUILTINS = {
+    "BOUND", "REGEX", "STR", "LANG", "DATATYPE", "LANGMATCHES",
+    "ISURI", "ISIRI", "ISLITERAL", "ISBLANK", "SAMETERM",
+}
+
+_STRING_ESCAPES = {
+    "\\n": "\n", "\\r": "\r", "\\t": "\t",
+    '\\"': '"', "\\'": "'", "\\\\": "\\",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str) -> None:
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            if text[position:].strip() == "":
+                break
+            raise SparqlSyntaxError(
+                f"cannot tokenize SPARQL at: {text[position:position + 40]!r}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "comment":
+            continue
+        value = match.group(kind)
+        if kind == "name":
+            if value.upper() in _KEYWORDS:
+                tokens.append(_Token("KEYWORD", value.upper()))
+            else:
+                tokens.append(_Token("NAME", value))
+        else:
+            tokens.append(_Token(kind.upper(), value))
+    tokens.append(_Token("EOF", ""))
+    return tokens
+
+
+def _unescape_string(raw: str) -> str:
+    body = raw[1:-1]
+    return re.sub(
+        r"\\[nrt\"'\\]", lambda m: _STRING_ESCAPES[m.group(0)], body
+    )
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.position = 0
+        self.prefixes: dict[str, str] = {}
+        self.base: str | None = None
+        self._bnode_counter = 0
+
+    # -------------------------------------------------------------- cursor
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.accept(kind, text)
+        if token is None:
+            expected = text or kind
+            raise SparqlSyntaxError(f"expected {expected}, found {self.current}")
+        return token
+
+    # --------------------------------------------------------------- query
+
+    def parse_query(self) -> SelectQuery | AskQuery:
+        self._parse_prologue()
+        if self.at("KEYWORD", "ASK"):
+            self.advance()
+            where = self._parse_group()
+            query: SelectQuery | AskQuery = AskQuery(where)
+        else:
+            query = self._parse_select()
+        if self.current.kind != "EOF":
+            raise SparqlSyntaxError(f"trailing tokens: {self.current}")
+        return query
+
+    def _parse_prologue(self) -> None:
+        while True:
+            if self.accept("KEYWORD", "PREFIX"):
+                pname = self.expect("PNAME").text
+                prefix = pname[:-1] if pname.endswith(":") else pname.split(":", 1)[0]
+                iri = self.expect("IRI").text[1:-1]
+                self.prefixes[prefix] = iri
+            elif self.accept("KEYWORD", "BASE"):
+                self.base = self.expect("IRI").text[1:-1]
+            else:
+                return
+
+    def _parse_select(self) -> SelectQuery:
+        self.expect("KEYWORD", "SELECT")
+        distinct = bool(self.accept("KEYWORD", "DISTINCT"))
+        reduced = bool(self.accept("KEYWORD", "REDUCED"))
+        variables: list[str] | None
+        if self.accept("OP", "*"):
+            variables = None
+        else:
+            variables = []
+            while self.current.kind == "VAR":
+                variables.append(self.advance().text[1:])
+            if not variables:
+                raise SparqlSyntaxError("SELECT needs variables or *")
+        self.accept("KEYWORD", "WHERE")
+        where = self._parse_group()
+        order_by, limit, offset = self._parse_solution_modifiers()
+        return SelectQuery(
+            variables=variables,
+            where=where,
+            distinct=distinct,
+            reduced=reduced,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _parse_solution_modifiers(
+        self,
+    ) -> tuple[list[OrderCondition], int | None, int | None]:
+        order_by: list[OrderCondition] = []
+        if self.accept("KEYWORD", "ORDER"):
+            self.expect("KEYWORD", "BY")
+            while True:
+                condition = self._parse_order_condition()
+                if condition is None:
+                    break
+                order_by.append(condition)
+            if not order_by:
+                raise SparqlSyntaxError("ORDER BY needs at least one condition")
+        limit = offset = None
+        while self.at("KEYWORD", "LIMIT") or self.at("KEYWORD", "OFFSET"):
+            keyword = self.advance().text
+            number = self.expect("NUMBER").text
+            if keyword == "LIMIT":
+                limit = int(number)
+            else:
+                offset = int(number)
+        return order_by, limit, offset
+
+    def _parse_order_condition(self) -> OrderCondition | None:
+        if self.accept("KEYWORD", "ASC"):
+            self.expect("OP", "(")
+            expr = self._parse_expression()
+            self.expect("OP", ")")
+            return OrderCondition(expr, True)
+        if self.accept("KEYWORD", "DESC"):
+            self.expect("OP", "(")
+            expr = self._parse_expression()
+            self.expect("OP", ")")
+            return OrderCondition(expr, False)
+        if self.current.kind == "VAR":
+            return OrderCondition(FVar(self.advance().text[1:]), True)
+        if self.at("OP", "("):
+            self.advance()
+            expr = self._parse_expression()
+            self.expect("OP", ")")
+            return OrderCondition(expr, True)
+        return None
+
+    # ------------------------------------------------------------ patterns
+
+    def _parse_group(self) -> GroupPattern:
+        self.expect("OP", "{")
+        group = GroupPattern()
+        while not self.at("OP", "}"):
+            if self.accept("KEYWORD", "OPTIONAL"):
+                group.elements.append(OptionalPattern(self._parse_group()))
+            elif self.accept("KEYWORD", "FILTER"):
+                group.filters.append(self._parse_constraint())
+            elif self.at("OP", "{"):
+                branch = self._parse_group()
+                branches = [branch]
+                while self.accept("KEYWORD", "UNION"):
+                    branches.append(self._parse_group())
+                if len(branches) == 1:
+                    group.elements.append(branches[0])
+                else:
+                    group.elements.append(UnionPattern(branches))
+            else:
+                group.elements.extend(self._parse_triples_same_subject())
+            self.accept("OP", ".")
+        self.expect("OP", "}")
+        return group
+
+    def _parse_triples_same_subject(self) -> list:
+        subject = self._parse_var_or_term()
+        elements: list = []
+        while True:
+            path = self._parse_path()
+            while True:
+                obj = self._parse_var_or_term()
+                elements.extend(self._expand_path(subject, path, obj))
+                if not self.accept("OP", ","):
+                    break
+            if not self.accept("OP", ";"):
+                break
+            if self.at("OP", ".") or self.at("OP", "}"):
+                break  # dangling semicolon
+        return elements
+
+    # ---------------------------------------------------- property paths
+    #
+    # SPARQL 1.1-lite: sequence (/), alternation (|) and inverse (^) paths
+    # desugar at parse time into plain triple patterns with fresh internal
+    # variables (hidden from SELECT *), so every engine supports them.
+    # Arbitrary-length paths (* + ?) are not supported.
+
+    def _parse_path(self):
+        branches = [self._parse_path_sequence()]
+        while self.accept("OP", "|"):
+            branches.append(self._parse_path_sequence())
+        if len(branches) == 1:
+            return branches[0]
+        return ("alt", branches)
+
+    def _parse_path_sequence(self):
+        steps = [self._parse_path_primary()]
+        while self.accept("OP", "/"):
+            steps.append(self._parse_path_primary())
+        if len(steps) == 1:
+            return steps[0]
+        return ("seq", steps)
+
+    def _parse_path_primary(self):
+        if self.accept("OP", "^"):
+            return ("inv", self._parse_path_primary())
+        if self.accept("OP", "("):
+            path = self._parse_path()
+            self.expect("OP", ")")
+            self._reject_path_modifiers()
+            return path
+        if self.accept("KEYWORD", "A"):
+            verb = RDF.type
+        elif self.current.kind == "VAR":
+            verb = Var(self.advance().text[1:])
+        else:
+            verb = self._parse_iri()
+        self._reject_path_modifiers()
+        return verb
+
+    def _reject_path_modifiers(self) -> None:
+        if self.at("OP", "*") or self.at("OP", "+"):
+            raise SparqlSyntaxError(
+                "arbitrary-length property paths (* / +) are not supported"
+            )
+
+    def _fresh_path_var(self) -> Var:
+        self._bnode_counter += 1
+        return Var(f"__path{self._bnode_counter}")
+
+    def _expand_path(self, subject, path, obj) -> list:
+        if isinstance(path, (URI, Var)):
+            return [TriplePattern(subject, path, obj)]
+        kind = path[0]
+        if kind == "inv":
+            return self._expand_path(obj, path[1], subject)
+        if kind == "seq":
+            elements: list = []
+            current = subject
+            steps = path[1]
+            for index, step in enumerate(steps):
+                target = obj if index == len(steps) - 1 else self._fresh_path_var()
+                elements.extend(self._expand_path(current, step, target))
+                current = target
+            return elements
+        if kind == "alt":
+            branches = [
+                GroupPattern(self._expand_path(subject, branch, obj))
+                for branch in path[1]
+            ]
+            return [UnionPattern(branches)]
+        raise SparqlSyntaxError(f"unsupported property path {path!r}")
+
+    def _parse_var_or_term(self):
+        token = self.current
+        if token.kind == "VAR":
+            self.advance()
+            return Var(token.text[1:])
+        if token.kind == "BNODE":
+            self.advance()
+            return BNode(token.text[2:])
+        if token.kind == "OP" and token.text == "[":
+            self.advance()
+            self.expect("OP", "]")
+            self._bnode_counter += 1
+            return Var(f"__anon{self._bnode_counter}")
+        return self._parse_term()
+
+    def _parse_term(self) -> Term:
+        token = self.current
+        if token.kind in ("IRI", "PNAME"):
+            return self._parse_iri()
+        if token.kind == "STRING":
+            self.advance()
+            value = _unescape_string(token.text)
+            if self.current.kind == "LANGTAG":
+                lang = self.advance().text[1:]
+                return Literal(value, lang=lang)
+            if self.accept("DTYPE"):
+                datatype = self._parse_iri()
+                return Literal(value, datatype=datatype.value)
+            return Literal(value)
+        if token.kind == "NUMBER":
+            self.advance()
+            return _numeric_literal(token.text)
+        if token.kind == "KEYWORD" and token.text in ("TRUE", "FALSE"):
+            self.advance()
+            return Literal(token.text.lower(), datatype=XSD_BOOLEAN)
+        raise SparqlSyntaxError(f"expected an RDF term, found {token}")
+
+    def _parse_iri(self) -> URI:
+        token = self.current
+        if token.kind == "IRI":
+            self.advance()
+            iri = token.text[1:-1]
+            if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", iri):
+                iri = self.base + iri
+            return URI(iri)
+        if token.kind == "PNAME":
+            self.advance()
+            prefix, _, local = token.text.partition(":")
+            if prefix not in self.prefixes:
+                raise SparqlSyntaxError(f"undeclared prefix {prefix!r}:")
+            return URI(self.prefixes[prefix] + local)
+        raise SparqlSyntaxError(f"expected IRI, found {token}")
+
+    # ------------------------------------------------------------- filters
+
+    def _parse_constraint(self) -> FilterExpr:
+        if self.at("OP", "("):
+            self.advance()
+            expr = self._parse_expression()
+            self.expect("OP", ")")
+            return expr
+        return self._parse_builtin()
+
+    def _parse_expression(self) -> FilterExpr:
+        return self._parse_or_expression()
+
+    def _parse_or_expression(self) -> FilterExpr:
+        expr = self._parse_and_expression()
+        while self.accept("OP", "||"):
+            expr = FBinary("||", expr, self._parse_and_expression())
+        return expr
+
+    def _parse_and_expression(self) -> FilterExpr:
+        expr = self._parse_relational()
+        while self.accept("OP", "&&"):
+            expr = FBinary("&&", expr, self._parse_relational())
+        return expr
+
+    def _parse_relational(self) -> FilterExpr:
+        expr = self._parse_additive()
+        for op in ("<=", ">=", "!=", "=", "<", ">"):
+            if self.at("OP", op):
+                self.advance()
+                return FBinary(op, expr, self._parse_additive())
+        return expr
+
+    def _parse_additive(self) -> FilterExpr:
+        expr = self._parse_multiplicative()
+        while self.at("OP", "+") or self.at("OP", "-"):
+            op = self.advance().text
+            expr = FBinary(op, expr, self._parse_multiplicative())
+        return expr
+
+    def _parse_multiplicative(self) -> FilterExpr:
+        expr = self._parse_unary()
+        while self.at("OP", "*") or self.at("OP", "/"):
+            op = self.advance().text
+            expr = FBinary(op, expr, self._parse_unary())
+        return expr
+
+    def _parse_unary(self) -> FilterExpr:
+        if self.accept("OP", "!"):
+            return FUnary("!", self._parse_unary())
+        if self.accept("OP", "-"):
+            return FUnary("-", self._parse_unary())
+        self.accept("OP", "+")
+        return self._parse_primary()
+
+    def _parse_primary(self) -> FilterExpr:
+        token = self.current
+        if token.kind == "OP" and token.text == "(":
+            self.advance()
+            expr = self._parse_expression()
+            self.expect("OP", ")")
+            return expr
+        if token.kind == "VAR":
+            self.advance()
+            return FVar(token.text[1:])
+        if token.kind == "NAME" and token.text.upper() in _BUILTINS:
+            return self._parse_builtin()
+        if token.kind in ("IRI", "PNAME", "STRING", "NUMBER") or (
+            token.kind == "KEYWORD" and token.text in ("TRUE", "FALSE")
+        ):
+            return FConst(self._parse_term())
+        raise SparqlSyntaxError(f"unexpected token in FILTER expression: {token}")
+
+    def _parse_builtin(self) -> FilterExpr:
+        token = self.current
+        if token.kind != "NAME" or token.text.upper() not in _BUILTINS:
+            raise SparqlSyntaxError(f"expected a builtin call, found {token}")
+        name = self.advance().text.upper()
+        self.expect("OP", "(")
+        if name == "BOUND":
+            var = self.expect("VAR").text[1:]
+            self.expect("OP", ")")
+            return FBound(var)
+        if name == "REGEX":
+            operand = self._parse_expression()
+            self.expect("OP", ",")
+            pattern_term = self._parse_expression()
+            flags = ""
+            if self.accept("OP", ","):
+                flags_term = self._parse_expression()
+                if isinstance(flags_term, FConst):
+                    flags = flags_term.term.value
+            self.expect("OP", ")")
+            if not isinstance(pattern_term, FConst):
+                raise SparqlSyntaxError("REGEX pattern must be a literal")
+            return FRegex(operand, pattern_term.term.value, flags)
+        args = []
+        if not self.at("OP", ")"):
+            args.append(self._parse_expression())
+            while self.accept("OP", ","):
+                args.append(self._parse_expression())
+        self.expect("OP", ")")
+        return FCall(name, tuple(args))
+
+
+def _numeric_literal(text: str) -> Literal:
+    if re.fullmatch(r"[+-]?\d+", text):
+        return Literal(text, datatype=XSD_INTEGER)
+    if "e" in text.lower():
+        return Literal(text, datatype=XSD_DOUBLE)
+    return Literal(text, datatype=XSD_DECIMAL)
+
+
+def parse_sparql(text: str) -> SelectQuery | AskQuery:
+    """Parse a SPARQL query string into the query model."""
+    return _Parser(text).parse_query()

@@ -1,0 +1,408 @@
+"""A naive reference SPARQL evaluator over the in-memory graph.
+
+This is the correctness oracle: deliberately simple (nested-loop BGP
+evaluation in textual order, direct implementation of the SPARQL algebra)
+so its answers can be trusted, and every optimized engine in the repository
+is tested against it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..rdf.graph import Graph
+from ..rdf.terms import BNode, Literal, Term, URI, XSD_BOOLEAN, term_key
+from .ast import (
+    AskQuery,
+    FBinary,
+    FBound,
+    FCall,
+    FConst,
+    FilterExpr,
+    FRegex,
+    FUnary,
+    FVar,
+    GroupPattern,
+    OptionalPattern,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    Var,
+)
+from .parser import parse_sparql
+from .results import SelectResult, project_rows
+
+Bindings = dict[str, Term]
+
+
+class FilterError(Exception):
+    """SPARQL expression evaluation error (treated as FILTER-false)."""
+
+
+# ---------------------------------------------------------------------------
+# Pattern evaluation
+# ---------------------------------------------------------------------------
+
+
+def _substitute(position, bindings: Bindings):
+    if isinstance(position, Var):
+        return bindings.get(position.name)
+    return position
+
+
+def _match_triple(
+    graph: Graph, pattern: TriplePattern, bindings: Bindings
+) -> Iterable[Bindings]:
+    subject = _substitute(pattern.subject, bindings)
+    predicate = _substitute(pattern.predicate, bindings)
+    obj = _substitute(pattern.object, bindings)
+    predicate_uri = predicate if isinstance(predicate, URI) else None
+    if predicate is not None and predicate_uri is None:
+        return  # a literal/bnode bound in predicate position can never match
+    if isinstance(subject, Literal):
+        return
+    for triple in graph.match(subject, predicate_uri, obj):
+        extended = dict(bindings)
+        consistent = True
+        for position, value in (
+            (pattern.subject, triple.subject),
+            (pattern.predicate, triple.predicate),
+            (pattern.object, triple.object),
+        ):
+            if isinstance(position, Var):
+                bound = extended.get(position.name)
+                if bound is None:
+                    extended[position.name] = value
+                elif bound != value:
+                    consistent = False
+                    break
+        if consistent:
+            yield extended
+
+
+def evaluate_group(
+    graph: Graph, group: GroupPattern, inputs: list[Bindings]
+) -> list[Bindings]:
+    """Evaluate a group pattern left-to-right, extending each input binding
+    (SPARQL's sequential join/leftjoin semantics), then apply its filters."""
+    solutions = inputs
+    for element in group.elements:
+        if isinstance(element, TriplePattern):
+            solutions = [
+                extended
+                for bindings in solutions
+                for extended in _match_triple(graph, element, bindings)
+            ]
+        elif isinstance(element, GroupPattern):
+            solutions = evaluate_group(graph, element, solutions)
+        elif isinstance(element, UnionPattern):
+            solutions = [
+                extended
+                for bindings in solutions
+                for branch in element.branches
+                for extended in evaluate_group(graph, branch, [bindings])
+            ]
+        elif isinstance(element, OptionalPattern):
+            next_solutions: list[Bindings] = []
+            for bindings in solutions:
+                extensions = evaluate_group(graph, element.pattern, [bindings])
+                if extensions:
+                    next_solutions.extend(extensions)
+                else:
+                    next_solutions.append(bindings)
+            solutions = next_solutions
+        else:
+            raise TypeError(f"unknown pattern element {element!r}")
+    for condition in group.filters:
+        solutions = [
+            bindings
+            for bindings in solutions
+            if _filter_passes(condition, bindings)
+        ]
+    return solutions
+
+
+# ---------------------------------------------------------------------------
+# Filter expressions
+# ---------------------------------------------------------------------------
+
+
+def _filter_passes(expr: FilterExpr, bindings: Bindings) -> bool:
+    try:
+        return _ebv(evaluate_filter(expr, bindings))
+    except FilterError:
+        return False
+
+
+def _ebv(value) -> bool:
+    """Effective boolean value (SPARQL §11.2.2)."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return len(value) > 0
+    if isinstance(value, Literal):
+        if value.datatype == XSD_BOOLEAN:
+            return value.value in ("true", "1")
+        if value.is_numeric:
+            try:
+                return float(value.value) != 0
+            except ValueError as exc:
+                raise FilterError(str(exc)) from exc
+        if value.datatype is None and value.lang is None:
+            return len(value.value) > 0
+    raise FilterError(f"no effective boolean value for {value!r}")
+
+
+def _numeric(value) -> float | int:
+    if isinstance(value, bool):
+        raise FilterError("boolean is not numeric")
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, Literal) and value.is_numeric:
+        number = value.to_python()
+        if isinstance(number, (int, float)):
+            return number
+    raise FilterError(f"not a number: {value!r}")
+
+
+def _orderable_string(value) -> str | None:
+    """The string value usable in ordering comparisons: plain or
+    xsd:string literals and computed strings only (SPARQL §11.3 operator
+    table) — URIs and other datatypes are not orderable."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Literal):
+        from ..rdf.terms import XSD_STRING
+
+        if value.lang is None and value.datatype in (None, XSD_STRING):
+            return value.value
+    return None
+
+
+def _compare(op: str, left, right) -> bool:
+    # Numeric comparison when both sides are numeric.
+    try:
+        ln, rn = _numeric(left), _numeric(right)
+    except FilterError:
+        ln = rn = None
+    if ln is not None and rn is not None:
+        return _apply(op, ln, rn)
+
+    if op in ("=", "!="):
+        equal = _term_equal(left, right)
+        return equal if op == "=" else not equal
+
+    # Ordering comparisons: defined only for string-comparable operands.
+    ls, rs = _orderable_string(left), _orderable_string(right)
+    if ls is None or rs is None:
+        raise FilterError(f"{op} not defined for {left!r}, {right!r}")
+    return _apply(op, ls, rs)
+
+
+def _apply(op: str, left, right) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise FilterError(f"unknown comparison {op!r}")
+
+
+def _term_equal(left, right) -> bool:
+    if isinstance(left, (URI, BNode, Literal)) and isinstance(
+        right, (URI, BNode, Literal)
+    ):
+        return term_key(left) == term_key(right)
+    return _string_value(left) == _string_value(right)
+
+
+def _string_value(value) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, Literal):
+        return value.value
+    if isinstance(value, URI):
+        return value.value
+    if isinstance(value, BNode):
+        return f"_:{value.label}"
+    raise FilterError(f"no string value for {value!r}")
+
+
+def evaluate_filter(expr: FilterExpr, bindings: Bindings):
+    """Evaluate a FILTER expression; raises FilterError on type errors."""
+    if isinstance(expr, FVar):
+        value = bindings.get(expr.name)
+        if value is None:
+            raise FilterError(f"unbound variable ?{expr.name}")
+        return value
+    if isinstance(expr, FConst):
+        return expr.term
+    if isinstance(expr, FBound):
+        return expr.var in bindings
+    if isinstance(expr, FUnary):
+        if expr.op == "!":
+            return not _ebv(evaluate_filter(expr.operand, bindings))
+        if expr.op == "-":
+            return -_numeric(evaluate_filter(expr.operand, bindings))
+        raise FilterError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, FBinary):
+        return _evaluate_binary(expr, bindings)
+    if isinstance(expr, FRegex):
+        text = _string_value(evaluate_filter(expr.operand, bindings))
+        flags = re.IGNORECASE if "i" in expr.flags else 0
+        return re.search(expr.pattern, text, flags) is not None
+    if isinstance(expr, FCall):
+        return _evaluate_call(expr, bindings)
+    raise FilterError(f"cannot evaluate {expr!r}")
+
+
+def _evaluate_binary(expr: FBinary, bindings: Bindings):
+    op = expr.op
+    if op in ("&&", "||"):
+        # SPARQL three-valued logic with errors.
+        left = _try_ebv(expr.left, bindings)
+        right = _try_ebv(expr.right, bindings)
+        if op == "&&":
+            if left is False or right is False:
+                return False
+            if left is None or right is None:
+                raise FilterError("error in &&")
+            return True
+        if left is True or right is True:
+            return True
+        if left is None or right is None:
+            raise FilterError("error in ||")
+        return False
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        return _compare(
+            op,
+            evaluate_filter(expr.left, bindings),
+            evaluate_filter(expr.right, bindings),
+        )
+    if op in ("+", "-", "*", "/"):
+        left = _numeric(evaluate_filter(expr.left, bindings))
+        right = _numeric(evaluate_filter(expr.right, bindings))
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if right == 0:
+            raise FilterError("division by zero")
+        return left / right
+    raise FilterError(f"unknown operator {op!r}")
+
+
+def _try_ebv(expr: FilterExpr, bindings: Bindings) -> bool | None:
+    try:
+        return _ebv(evaluate_filter(expr, bindings))
+    except FilterError:
+        return None
+
+
+def _evaluate_call(expr: FCall, bindings: Bindings):
+    name = expr.name.upper()
+    if name == "STR":
+        return _string_value(evaluate_filter(expr.args[0], bindings))
+    if name == "LANG":
+        value = evaluate_filter(expr.args[0], bindings)
+        if isinstance(value, Literal):
+            return value.lang or ""
+        raise FilterError("LANG on non-literal")
+    if name == "DATATYPE":
+        value = evaluate_filter(expr.args[0], bindings)
+        if isinstance(value, Literal):
+            from ..rdf.terms import XSD_STRING
+
+            return URI(value.datatype or XSD_STRING)
+        raise FilterError("DATATYPE on non-literal")
+    if name in ("ISURI", "ISIRI"):
+        return isinstance(evaluate_filter(expr.args[0], bindings), URI)
+    if name == "ISLITERAL":
+        return isinstance(evaluate_filter(expr.args[0], bindings), Literal)
+    if name == "ISBLANK":
+        return isinstance(evaluate_filter(expr.args[0], bindings), BNode)
+    if name == "SAMETERM":
+        left = evaluate_filter(expr.args[0], bindings)
+        right = evaluate_filter(expr.args[1], bindings)
+        both_terms = isinstance(left, (URI, BNode, Literal)) and isinstance(
+            right, (URI, BNode, Literal)
+        )
+        return term_key(left) == term_key(right) if both_terms else False
+    if name == "LANGMATCHES":
+        lang = _string_value(evaluate_filter(expr.args[0], bindings)).lower()
+        pattern = _string_value(evaluate_filter(expr.args[1], bindings)).lower()
+        if pattern == "*":
+            return bool(lang)
+        return lang == pattern or lang.startswith(pattern + "-")
+    raise FilterError(f"unknown builtin {expr.name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Query evaluation
+# ---------------------------------------------------------------------------
+
+
+def _sort_solutions(
+    solutions: list[Bindings], query: SelectQuery
+) -> list[Bindings]:
+    if not query.order_by:
+        return solutions
+    result = list(solutions)
+    for condition in reversed(query.order_by):
+        if not isinstance(condition.expr, FVar):
+            raise ValueError("ORDER BY supports plain variables only")
+        variable = condition.expr.name
+
+        def key(bindings: Bindings, variable=variable):
+            value = bindings.get(variable)
+            return (0, "") if value is None else (1, term_key(value))
+
+        result.sort(key=key, reverse=not condition.ascending)
+    return result
+
+
+def evaluate_select(graph: Graph, query: SelectQuery) -> SelectResult:
+    """Evaluate a SELECT query against a graph (the oracle entry point)."""
+    solutions = evaluate_group(graph, query.where, [{}])
+    solutions = _sort_solutions(solutions, query)
+    variables = query.projected_variables()
+    rows = project_rows(variables, solutions)
+    if query.distinct or query.reduced:
+        rows = list(dict.fromkeys(rows))
+    start = query.offset or 0
+    if query.limit is not None:
+        rows = rows[start:start + query.limit]
+    elif start:
+        rows = rows[start:]
+    return SelectResult(variables, rows)
+
+
+def evaluate_ask(graph: Graph, query: AskQuery) -> bool:
+    """Evaluate an ASK query: does the pattern have any solution?"""
+    return bool(evaluate_group(graph, query.where, [{}]))
+
+
+def query_graph(graph: Graph, sparql: str) -> SelectResult | bool:
+    """Parse and evaluate a SPARQL query against a graph (the oracle API)."""
+    from .algebra import normalize
+
+    query = parse_sparql(sparql)
+    if isinstance(query, AskQuery):
+        return evaluate_ask(graph, query)
+    return evaluate_select(graph, normalize(query))

@@ -1,0 +1,63 @@
+"""Query result container shared by every engine in the repository.
+
+All engines (DB2RDF over either backend, the relational baselines, the
+native in-memory store, and the reference evaluator) return a
+:class:`SelectResult`, which makes cross-engine equivalence checks one-line
+assertions in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..rdf.terms import Term, term_key
+
+
+@dataclass
+class SelectResult:
+    """Projected variables plus rows of terms (``None`` = unbound)."""
+
+    variables: list[str]
+    rows: list[tuple[Term | None, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Term | None, ...]]:
+        return iter(self.rows)
+
+    def as_dicts(self) -> list[dict[str, Term | None]]:
+        return [dict(zip(self.variables, row)) for row in self.rows]
+
+    def key_rows(self) -> list[tuple[str | None, ...]]:
+        """Rows as canonical string keys — the cross-engine comparison form."""
+        return [
+            tuple(None if value is None else term_key(value) for value in row)
+            for row in self.rows
+        ]
+
+    def canonical(self) -> list[tuple[str | None, ...]]:
+        """Sorted key rows: equal multisets compare equal regardless of
+        row order (used when the query has no ORDER BY)."""
+        return sorted(
+            self.key_rows(), key=lambda row: tuple("" if v is None else v for v in row)
+        )
+
+    def matches(self, other: "SelectResult", ordered: bool = False) -> bool:
+        if [v.lower() for v in self.variables] != [v.lower() for v in other.variables]:
+            return False
+        if ordered:
+            return self.key_rows() == other.key_rows()
+        return self.canonical() == other.canonical()
+
+
+def project_rows(
+    variables: Sequence[str],
+    solutions: Sequence[dict[str, Term]],
+) -> list[tuple[Term | None, ...]]:
+    """Turn binding dictionaries into positional rows."""
+    return [
+        tuple(solution.get(variable) for variable in variables)
+        for solution in solutions
+    ]

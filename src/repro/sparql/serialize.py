@@ -1,0 +1,115 @@
+"""SPARQL result serialization: W3C-style CSV, TSV, and JSON formats.
+
+``SELECT`` results serialize per the SPARQL 1.1 Query Results CSV/TSV and
+JSON formats (the subset covering URIs, blank nodes, and literals).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from ..rdf.terms import BNode, Term, URI, XSD_STRING
+from .results import SelectResult
+
+
+def _csv_value(term: Term | None) -> str:
+    if term is None:
+        return ""
+    if isinstance(term, URI):
+        return term.value
+    if isinstance(term, BNode):
+        return f"_:{term.label}"
+    return term.value
+
+
+def to_csv(result: SelectResult) -> str:
+    """SPARQL 1.1 Query Results CSV (values unquoted where possible)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\r\n")
+    writer.writerow(result.variables)
+    for row in result.rows:
+        writer.writerow([_csv_value(value) for value in row])
+    return buffer.getvalue()
+
+
+def _tsv_value(term: Term | None) -> str:
+    if term is None:
+        return ""
+    if isinstance(term, URI):
+        return term.n3()
+    if isinstance(term, BNode):
+        return term.n3()
+    return term.n3()
+
+
+def to_tsv(result: SelectResult) -> str:
+    """SPARQL 1.1 Query Results TSV (terms in N-Triples syntax)."""
+    lines = ["\t".join(f"?{v}" for v in result.variables)]
+    for row in result.rows:
+        lines.append("\t".join(_tsv_value(value) for value in row))
+    return "\n".join(lines) + "\n"
+
+
+def _json_value(term: Term) -> dict:
+    if isinstance(term, URI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": term.label}
+    binding: dict = {"type": "literal", "value": term.value}
+    if term.lang:
+        binding["xml:lang"] = term.lang
+    elif term.datatype and term.datatype != XSD_STRING:
+        binding["datatype"] = term.datatype
+    return binding
+
+
+def to_json(result: SelectResult, indent: int | None = None) -> str:
+    """SPARQL 1.1 Query Results JSON."""
+    bindings = []
+    for row in result.rows:
+        binding = {
+            variable: _json_value(value)
+            for variable, value in zip(result.variables, row)
+            if value is not None
+        }
+        bindings.append(binding)
+    document = {
+        "head": {"vars": list(result.variables)},
+        "results": {"bindings": bindings},
+    }
+    return json.dumps(document, indent=indent, ensure_ascii=False)
+
+
+def to_ascii_table(result: SelectResult, max_width: int = 48) -> str:
+    """A human-oriented aligned table (the CLI's default)."""
+    headers = [f"?{v}" for v in result.variables]
+    rows = [
+        [
+            "" if value is None else (
+                key if len(key := _csv_value(value)) <= max_width
+                else key[: max_width - 1] + "…"
+            )
+            for value in row
+        ]
+        for row in result.rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(cells):
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+FORMATTERS = {
+    "csv": to_csv,
+    "tsv": to_tsv,
+    "json": lambda result: to_json(result, indent=2),
+    "table": to_ascii_table,
+}

@@ -1,0 +1,17 @@
+"""SPARQL-to-SQL translation: generic pipeline + storage emitters."""
+
+from .db2rdf import Db2RdfEmitter, StorageInfo
+from .filters import FilterTranslator, UntranslatableFilter
+from .pipeline import Ctx, PipelineTranslator, SqlBuilder, TripleEmitter, var_col
+
+__all__ = [
+    "Ctx",
+    "Db2RdfEmitter",
+    "FilterTranslator",
+    "PipelineTranslator",
+    "SqlBuilder",
+    "StorageInfo",
+    "TripleEmitter",
+    "UntranslatableFilter",
+    "var_col",
+]

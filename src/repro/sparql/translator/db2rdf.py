@@ -1,0 +1,609 @@
+"""Access emission against the DB2RDF schema (paper §3.2.2, Figures 12–13).
+
+Each access (a single triple or a merged star) becomes one or two CTEs:
+
+* **Phase A** probes DPH (``acs``/``sc``) or RPH (``aco``) by entry,
+  checks predicate presence across the predicate's candidate columns
+  (CASE over multiple columns when hash composition assigned several),
+  and projects raw values;
+* **Phase B** (when needed) resolves multi-valued lids through the
+  secondary table with ``LEFT OUTER JOIN ... COALESCE(S.elm, val)``, and
+  for OR-merged stars emits the per-member "flip" as a UNION ALL.
+
+Variables that may be unbound in the incoming bindings (``ctx.maybe``) are
+consumed with compatibility semantics: ``col IS NULL OR col = value`` plus a
+COALESCE re-projection, so NULL-as-unbound behaves like SPARQL's free
+variable rather than SQL's never-equal NULL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...core.errors import UnsupportedQueryError
+from ...core.mapping import PredicateMapper
+from ...core.schema import DB2RDFSchema, ENTRY, pred_col, val_col
+from ...rdf.terms import URI, term_key
+from ...relational import ast as sql
+from ..ast import TriplePattern, Var
+from ..optimizer.cost import ACO
+from ..optimizer.merge import MergedNode, MergeMember
+from ..optimizer.planbuilder import AccessNode
+from .pipeline import (
+    Ctx,
+    SqlBuilder,
+    TripleEmitter,
+    compat_condition,
+    compat_projection,
+    passthrough_items,
+    var_col,
+)
+
+
+@dataclass
+class StorageInfo:
+    """What the emitter needs to know about one loaded store."""
+
+    schema: DB2RDFSchema
+    direct_mapper: PredicateMapper
+    reverse_mapper: PredicateMapper
+    multivalued_direct: set[str] = field(default_factory=set)
+    multivalued_reverse: set[str] = field(default_factory=set)
+
+
+@dataclass
+class _Member:
+    """Per-member analysis shared by both phases."""
+
+    member: MergeMember
+    predicate: str
+    candidates: list[int]
+    multivalued: bool
+    value: object  # Var or Term
+    tmp: str | None = None  # phase-A temp column for deferred resolution
+    fresh_var: str | None = None  # variable this member produces
+
+
+class Db2RdfEmitter(TripleEmitter):
+    """Emits DPH/RPH accesses (with DS/RS resolution) for the DB2RDF schema."""
+
+    supports_merge = True
+
+    def __init__(self, info: StorageInfo) -> None:
+        self.info = info
+
+    # ------------------------------------------------------------- helpers
+
+    def _side(self, method: str) -> tuple[str, str, PredicateMapper, set[str], int]:
+        """(primary, secondary, mapper, multivalued set, width) per method."""
+        if method == ACO:
+            return (
+                self.info.schema.rph,
+                self.info.schema.rs,
+                self.info.reverse_mapper,
+                self.info.multivalued_reverse,
+                self.info.schema.reverse_columns,
+            )
+        return (
+            self.info.schema.dph,
+            self.info.schema.ds,
+            self.info.direct_mapper,
+            self.info.multivalued_direct,
+            self.info.schema.direct_columns,
+        )
+
+    @staticmethod
+    def _entity_of(triple: TriplePattern, method: str):
+        return triple.object if method == ACO else triple.subject
+
+    @staticmethod
+    def _value_of(triple: TriplePattern, method: str):
+        return triple.subject if method == ACO else triple.object
+
+    @staticmethod
+    def _presence(candidates: list[int], predicate: str) -> sql.Expr:
+        conditions = [
+            sql.BinOp("=", sql.Column("T", pred_col(c)), sql.Const(predicate))
+            for c in candidates
+        ]
+        result = conditions[0]
+        for condition in conditions[1:]:
+            result = sql.BinOp("OR", result, condition)
+        return result
+
+    @staticmethod
+    def _value_expr(candidates: list[int], predicate: str, guarded: bool) -> sql.Expr:
+        """The member's raw value. ``guarded`` forces a CASE even for a
+        single candidate column (needed when predicate presence is not
+        enforced by the WHERE clause — optional and OR members)."""
+        if len(candidates) == 1 and not guarded:
+            return sql.Column("T", val_col(candidates[0]))
+        return sql.Case(
+            whens=tuple(
+                (
+                    sql.BinOp(
+                        "=", sql.Column("T", pred_col(c)), sql.Const(predicate)
+                    ),
+                    sql.Column("T", val_col(c)),
+                )
+                for c in candidates
+            )
+        )
+
+    # ---------------------------------------------------------------- emit
+
+    def emit_access(
+        self, builder: SqlBuilder, node: AccessNode | MergedNode, ctx: Ctx
+    ) -> Ctx:
+        if isinstance(node, AccessNode):
+            members = [MergeMember(node.triple)]
+            kind = "AND"
+            method = node.method
+            entity = self._entity_of(node.triple, method)
+        else:
+            members = node.members
+            kind = node.kind
+            method = node.method
+            entity = node.entity
+
+        if len(members) == 1 and isinstance(members[0].triple.predicate, Var):
+            return self._emit_variable_predicate(builder, members[0], method, ctx)
+
+        primary, secondary, mapper, mv_set, width = self._side(method)
+        analyses: list[_Member] = []
+        for member in members:
+            predicate_term = member.triple.predicate
+            if not isinstance(predicate_term, URI):
+                raise UnsupportedQueryError(
+                    "variable predicates cannot participate in merged accesses"
+                )
+            predicate = predicate_term.value
+            candidates = [c for c in mapper.columns_for(predicate) if c < width]
+            if not candidates:
+                # predicate cannot exist in this store: no rows can match
+                candidates = [0]
+            analyses.append(
+                _Member(
+                    member,
+                    predicate,
+                    candidates,
+                    predicate in mv_set,
+                    self._value_of(member.triple, method),
+                )
+            )
+
+        # ---------------- phase A --------------------------------------
+        overrides: dict[str, sql.Expr] = {}
+        where: list[sql.Expr] = []
+        extra_items: list[sql.SelectItem] = []
+        out_vars: list[str] = []
+        now_definite: set[str] = set()
+        now_maybe: set[str] = set()
+
+        entity_source: sql.Expr
+        if isinstance(entity, Var):
+            if ctx.has(entity.name):
+                bound_col = sql.Column("I", ctx.col(entity.name))
+                maybe = ctx.is_maybe(entity.name)
+                where.append(
+                    compat_condition(sql.Column("T", ENTRY), bound_col, maybe)
+                )
+                replacement = compat_projection(
+                    sql.Column("T", ENTRY), bound_col, maybe
+                )
+                if replacement is not None:
+                    overrides[entity.name] = replacement
+                    entity_source = replacement
+                else:
+                    entity_source = bound_col
+                now_definite.add(entity.name)
+            else:
+                extra_items.append(
+                    sql.SelectItem(sql.Column("T", ENTRY), var_col(entity.name))
+                )
+                out_vars.append(entity.name)
+                now_definite.add(entity.name)
+                entity_source = sql.Column("T", ENTRY)
+        else:
+            where.append(
+                sql.BinOp("=", sql.Column("T", ENTRY), sql.Const(term_key(entity)))
+            )
+            entity_source = sql.Const(term_key(entity))
+
+        tmp_counter = 0
+        deferred: list[_Member] = []
+        or_presences: list[sql.Expr] = []
+
+        for analysis in analyses:
+            optional = analysis.member.optional
+            presence = self._presence(analysis.candidates, analysis.predicate)
+            guarded = optional or kind == "OR"
+            value_expr = self._value_expr(
+                analysis.candidates, analysis.predicate, guarded
+            )
+            if kind == "OR":
+                or_presences.append(presence)
+                analysis.tmp = f"tmp{tmp_counter}"
+                tmp_counter += 1
+                extra_items.append(sql.SelectItem(value_expr, analysis.tmp))
+                deferred.append(analysis)
+                continue
+            if not optional:
+                where.append(presence)
+
+            value = analysis.value
+            if isinstance(value, Var):
+                if isinstance(entity, Var) and value.name == entity.name:
+                    # value equals the entity of this very access
+                    if optional:
+                        # an optional member whose variables are all already
+                        # bound extends nothing and never filters: a no-op
+                        continue
+                    if analysis.multivalued:
+                        analysis.tmp = f"tmp{tmp_counter}"
+                        tmp_counter += 1
+                        extra_items.append(sql.SelectItem(value_expr, analysis.tmp))
+                        deferred.append(analysis)
+                    else:
+                        where.append(sql.BinOp("=", value_expr, entity_source))
+                elif ctx.has(value.name):
+                    if optional:
+                        continue  # no fresh bindings: a no-op (see above)
+                    if analysis.multivalued:
+                        analysis.tmp = f"tmp{tmp_counter}"
+                        tmp_counter += 1
+                        extra_items.append(sql.SelectItem(value_expr, analysis.tmp))
+                        deferred.append(analysis)
+                    else:
+                        bound_col = sql.Column("I", ctx.col(value.name))
+                        maybe = ctx.is_maybe(value.name)
+                        where.append(
+                            compat_condition(value_expr, bound_col, maybe)
+                        )
+                        replacement = compat_projection(
+                            value_expr, bound_col, maybe
+                        )
+                        if replacement is not None:
+                            overrides[value.name] = replacement
+                        now_definite.add(value.name)
+                else:
+                    # fresh variable
+                    if analysis.multivalued:
+                        analysis.tmp = f"tmp{tmp_counter}"
+                        tmp_counter += 1
+                        analysis.fresh_var = value.name
+                        extra_items.append(sql.SelectItem(value_expr, analysis.tmp))
+                        deferred.append(analysis)
+                    else:
+                        extra_items.append(
+                            sql.SelectItem(value_expr, var_col(value.name))
+                        )
+                        out_vars.append(value.name)
+                        if optional:
+                            now_maybe.add(value.name)
+                        else:
+                            now_definite.add(value.name)
+            else:
+                key = term_key(value)
+                if optional:
+                    # an optional member binding nothing observable is a
+                    # no-op: it never filters and produces no variables
+                    continue
+                if analysis.multivalued:
+                    analysis.tmp = f"tmp{tmp_counter}"
+                    tmp_counter += 1
+                    extra_items.append(sql.SelectItem(value_expr, analysis.tmp))
+                    deferred.append(analysis)
+                else:
+                    where.append(sql.BinOp("=", value_expr, sql.Const(key)))
+
+        if kind == "OR" and or_presences:
+            combined = or_presences[0]
+            for presence in or_presences[1:]:
+                combined = sql.BinOp("OR", combined, presence)
+            where.append(combined)
+
+        items = passthrough_items(ctx, overrides=overrides) + extra_items
+        from_: sql.FromItem = sql.TableRef(primary, "T")
+        if ctx.cte is not None:
+            from_ = sql.Join(sql.TableRef(ctx.cte, "I"), from_, "INNER", None)
+        phase_a = sql.Select(
+            items=tuple(items), from_=from_, where=sql.conjoin(where)
+        )
+        a_name = builder.add_cte(phase_a)
+        a_ctx = ctx.with_vars(a_name, out_vars, now_definite, now_maybe)
+
+        if not deferred:
+            return a_ctx
+
+        if kind == "OR":
+            return self._emit_or_flip(builder, a_ctx, deferred, secondary, ctx)
+        return self._emit_phase_b(builder, a_ctx, deferred, secondary, ctx, entity)
+
+    # ------------------------------------------------------------- phase B
+
+    def _emit_phase_b(
+        self,
+        builder: SqlBuilder,
+        a_ctx: Ctx,
+        deferred: list[_Member],
+        secondary: str,
+        input_ctx: Ctx,
+        entity,
+    ) -> Ctx:
+        """Resolve multi-valued lids for conjunctive (AND/OPT) members."""
+        overrides: dict[str, sql.Expr] = {}
+        where: list[sql.Expr] = []
+        extra_items: list[sql.SelectItem] = []
+        out_vars: list[str] = []
+        now_definite: set[str] = set()
+        now_maybe: set[str] = set()
+        from_: sql.FromItem = sql.TableRef(a_ctx.cte, "P")
+        for index, analysis in enumerate(deferred):
+            alias = f"S{index}"
+            from_ = sql.Join(
+                from_,
+                sql.TableRef(secondary, alias),
+                "LEFT",
+                sql.BinOp(
+                    "=", sql.Column("P", analysis.tmp), sql.Column(alias, "l_id")
+                ),
+            )
+            resolved = sql.FuncCall(
+                "COALESCE",
+                (sql.Column(alias, "elm"), sql.Column("P", analysis.tmp)),
+            )
+            value = analysis.value
+            if isinstance(value, Var):
+                if analysis.fresh_var is not None:
+                    extra_items.append(sql.SelectItem(resolved, var_col(value.name)))
+                    out_vars.append(value.name)
+                    if analysis.member.optional:
+                        now_maybe.add(value.name)
+                    else:
+                        now_definite.add(value.name)
+                elif a_ctx.has(value.name):
+                    bound_col = sql.Column("P", a_ctx.col(value.name))
+                    maybe = a_ctx.is_maybe(value.name)
+                    where.append(compat_condition(resolved, bound_col, maybe))
+                    replacement = compat_projection(resolved, bound_col, maybe)
+                    if replacement is not None:
+                        overrides[value.name] = replacement
+                    now_definite.add(value.name)
+                else:
+                    raise UnsupportedQueryError(
+                        f"cannot locate bound variable ?{value.name} in phase B"
+                    )
+            else:
+                where.append(
+                    sql.BinOp("=", resolved, sql.Const(term_key(value)))
+                )
+        items = [
+            item
+            for item in passthrough_items(a_ctx, table_alias="P", overrides=overrides)
+        ] + extra_items
+        select = sql.Select(
+            items=tuple(items), from_=from_, where=sql.conjoin(where)
+        )
+        name = builder.add_cte(select)
+        return a_ctx.with_vars(name, out_vars, now_definite, now_maybe)
+
+    def _emit_or_flip(
+        self,
+        builder: SqlBuilder,
+        a_ctx: Ctx,
+        deferred: list[_Member],
+        secondary: str,
+        input_ctx: Ctx,
+    ) -> Ctx:
+        """The Figure 13 flip: one UNION ALL branch per OR member."""
+        # Output variables: every fresh variable any member binds.
+        fresh_vars: list[str] = []
+        for analysis in deferred:
+            value = analysis.value
+            if isinstance(value, Var) and not a_ctx.has(value.name):
+                if value.name not in fresh_vars:
+                    fresh_vars.append(value.name)
+
+        selects: list[sql.Query] = []
+        touched_bound: set[str] = set()
+        for analysis in deferred:
+            where: list[sql.Expr] = [
+                sql.IsNull(sql.Column("P", analysis.tmp), negated=True)
+            ]
+            overrides: dict[str, sql.Expr] = {}
+            from_: sql.FromItem = sql.TableRef(a_ctx.cte, "P")
+            if analysis.multivalued:
+                from_ = sql.Join(
+                    from_,
+                    sql.TableRef(secondary, "S"),
+                    "LEFT",
+                    sql.BinOp(
+                        "=", sql.Column("P", analysis.tmp), sql.Column("S", "l_id")
+                    ),
+                )
+                resolved: sql.Expr = sql.FuncCall(
+                    "COALESCE", (sql.Column("S", "elm"), sql.Column("P", analysis.tmp))
+                )
+            else:
+                resolved = sql.Column("P", analysis.tmp)
+
+            value = analysis.value
+            member_fresh: str | None = None
+            if isinstance(value, Var):
+                if a_ctx.has(value.name):
+                    bound_col = sql.Column("P", a_ctx.col(value.name))
+                    maybe = a_ctx.is_maybe(value.name)
+                    where.append(compat_condition(resolved, bound_col, maybe))
+                    replacement = compat_projection(resolved, bound_col, maybe)
+                    if replacement is not None:
+                        overrides[value.name] = replacement
+                        touched_bound.add(value.name)
+                else:
+                    member_fresh = value.name
+            else:
+                where.append(sql.BinOp("=", resolved, sql.Const(term_key(value))))
+
+            items = passthrough_items(a_ctx, table_alias="P", overrides=overrides)
+            for variable in fresh_vars:
+                if variable == member_fresh:
+                    items.append(sql.SelectItem(resolved, var_col(variable)))
+                else:
+                    items.append(sql.SelectItem(sql.Const(None), var_col(variable)))
+            selects.append(
+                sql.Select(items=tuple(items), from_=from_, where=sql.conjoin(where))
+            )
+
+        union = sql.union_all(selects)
+        name = builder.add_cte(union)
+        # Fresh variables from a flip are bound only in their own branch;
+        # previously maybe-bound consumed variables stay maybe (only the
+        # matching branch re-projects them).
+        return a_ctx.with_vars(name, fresh_vars, set(), set(fresh_vars))
+
+    # ------------------------------------------- variable-predicate access
+
+    def _emit_variable_predicate(
+        self, builder: SqlBuilder, member: MergeMember, method: str, ctx: Ctx
+    ) -> Ctx:
+        """Unpivot the primary table: UNION ALL over all predicate columns,
+        then always resolve through the secondary table (any value might be
+        a lid when the predicate is unknown)."""
+        primary, secondary, _, _, width = self._side(method)
+        triple = member.triple
+        entity = self._entity_of(triple, method)
+        value = self._value_of(triple, method)
+        predicate = triple.predicate
+        assert isinstance(predicate, Var)
+
+        entity_is_fresh = isinstance(entity, Var) and not ctx.has(entity.name)
+        pred_is_bound = ctx.has(predicate.name)
+        pred_maybe = pred_is_bound and ctx.is_maybe(predicate.name)
+        pred_is_entity = isinstance(entity, Var) and predicate.name == entity.name
+
+        branch_selects: list[sql.Query] = []
+        a_out_vars: list[str] = []
+        a_definite: set[str] = set()
+        for i in range(width):
+            overrides: dict[str, sql.Expr] = {}
+            extra_items: list[sql.SelectItem] = []
+            where: list[sql.Expr] = [
+                sql.IsNull(sql.Column("T", pred_col(i)), negated=True)
+            ]
+            if isinstance(entity, Var):
+                if ctx.has(entity.name):
+                    bound_col = sql.Column("I", ctx.col(entity.name))
+                    maybe = ctx.is_maybe(entity.name)
+                    where.append(
+                        compat_condition(sql.Column("T", ENTRY), bound_col, maybe)
+                    )
+                    replacement = compat_projection(
+                        sql.Column("T", ENTRY), bound_col, maybe
+                    )
+                    if replacement is not None:
+                        overrides[entity.name] = replacement
+                else:
+                    extra_items.append(
+                        sql.SelectItem(sql.Column("T", ENTRY), var_col(entity.name))
+                    )
+            else:
+                where.append(
+                    sql.BinOp(
+                        "=", sql.Column("T", ENTRY), sql.Const(term_key(entity))
+                    )
+                )
+            if pred_is_bound:
+                bound_col = sql.Column("I", ctx.col(predicate.name))
+                where.append(
+                    compat_condition(sql.Column("T", pred_col(i)), bound_col, pred_maybe)
+                )
+                replacement = compat_projection(
+                    sql.Column("T", pred_col(i)), bound_col, pred_maybe
+                )
+                if replacement is not None:
+                    overrides[predicate.name] = replacement
+            elif pred_is_entity:
+                where.append(
+                    sql.BinOp(
+                        "=", sql.Column("T", pred_col(i)), sql.Column("T", ENTRY)
+                    )
+                )
+            else:
+                extra_items.append(
+                    sql.SelectItem(sql.Column("T", pred_col(i)), "ptmp")
+                )
+            extra_items.append(sql.SelectItem(sql.Column("T", val_col(i)), "vtmp"))
+            from_: sql.FromItem = sql.TableRef(primary, "T")
+            if ctx.cte is not None:
+                from_ = sql.Join(sql.TableRef(ctx.cte, "I"), from_, "INNER", None)
+            branch_selects.append(
+                sql.Select(
+                    items=tuple(passthrough_items(ctx, overrides=overrides) + extra_items),
+                    from_=from_,
+                    where=sql.conjoin(where),
+                )
+            )
+
+        union = sql.union_all(branch_selects)
+        a_name = builder.add_cte(union)
+
+        if entity_is_fresh:
+            a_out_vars.append(entity.name)
+            a_definite.add(entity.name)
+        if isinstance(entity, Var) and ctx.has(entity.name):
+            a_definite.add(entity.name)
+        if pred_is_bound:
+            a_definite.add(predicate.name)
+        a_ctx = ctx.with_vars(a_name, a_out_vars, a_definite)
+
+        # Phase B: resolve possible lids; bind predicate and value variables.
+        overrides = {}
+        extra_items = []
+        where = []
+        out_vars: list[str] = []
+        now_definite: set[str] = set()
+        from_ = sql.Join(
+            sql.TableRef(a_name, "P"),
+            sql.TableRef(secondary, "S"),
+            "LEFT",
+            sql.BinOp("=", sql.Column("P", "vtmp"), sql.Column("S", "l_id")),
+        )
+        resolved = sql.FuncCall(
+            "COALESCE", (sql.Column("S", "elm"), sql.Column("P", "vtmp"))
+        )
+        if not pred_is_bound and not pred_is_entity:
+            extra_items.append(
+                sql.SelectItem(sql.Column("P", "ptmp"), var_col(predicate.name))
+            )
+            out_vars.append(predicate.name)
+            now_definite.add(predicate.name)
+
+        if isinstance(value, Var):
+            if isinstance(entity, Var) and value.name == entity.name:
+                where.append(
+                    sql.BinOp(
+                        "=", resolved, sql.Column("P", a_ctx.col(entity.name))
+                    )
+                )
+            elif value.name == predicate.name and not pred_is_bound:
+                where.append(sql.BinOp("=", resolved, sql.Column("P", "ptmp")))
+            elif a_ctx.has(value.name):
+                bound_col = sql.Column("P", a_ctx.col(value.name))
+                maybe = a_ctx.is_maybe(value.name)
+                where.append(compat_condition(resolved, bound_col, maybe))
+                replacement = compat_projection(resolved, bound_col, maybe)
+                if replacement is not None:
+                    overrides[value.name] = replacement
+                now_definite.add(value.name)
+            else:
+                extra_items.append(sql.SelectItem(resolved, var_col(value.name)))
+                out_vars.append(value.name)
+                now_definite.add(value.name)
+        else:
+            where.append(sql.BinOp("=", resolved, sql.Const(term_key(value))))
+
+        items = passthrough_items(a_ctx, table_alias="P", overrides=overrides)
+        items += extra_items
+        select = sql.Select(items=tuple(items), from_=from_, where=sql.conjoin(where))
+        name = builder.add_cte(select)
+        return a_ctx.with_vars(name, out_vars, now_definite)

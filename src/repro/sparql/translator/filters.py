@@ -1,0 +1,260 @@
+"""FILTER expression translation to SQL.
+
+Column values are canonical term keys, so equality is key equality, while
+value-level operations (numeric comparison, string functions, regex) go
+through the RDF_* scalar functions registered on both backends. The
+translation mirrors the reference evaluator: numeric comparison when both
+sides are numeric, string comparison otherwise, SQL NULL propagation
+standing in for SPARQL expression errors.
+"""
+
+from __future__ import annotations
+
+from ...rdf.terms import Literal, term_key
+from ...relational import ast as sql
+from ..ast import (
+    FBinary,
+    FBound,
+    FCall,
+    FConst,
+    FilterExpr,
+    FRegex,
+    FUnary,
+    FVar,
+)
+
+
+class UntranslatableFilter(Exception):
+    """Raised when a FILTER cannot be expressed in the SQL subset."""
+
+
+class FilterTranslator:
+    """Translates filter expressions given a variable -> SQL column map."""
+
+    def __init__(self, column_of) -> None:
+        # column_of(var_name) -> sql.Expr for the variable's key column;
+        # raises KeyError when the variable is not in scope (treated as
+        # always-unbound: translated to NULL).
+        self._column_of = column_of
+
+    # ------------------------------------------------------------- helpers
+
+    def _var(self, name: str) -> sql.Expr:
+        try:
+            return self._column_of(name)
+        except KeyError:
+            return sql.Const(None)
+
+    def _key_operand(self, expr: FilterExpr) -> sql.Expr:
+        """An operand as a term key (for identity-level operations)."""
+        if isinstance(expr, FVar):
+            return self._var(expr.name)
+        if isinstance(expr, FConst):
+            return sql.Const(term_key(expr.term))
+        if isinstance(expr, FCall) and expr.name.upper() == "STR":
+            # STR(x) compared by key: compare lexical forms instead.
+            raise UntranslatableFilter("STR() needs value-level comparison")
+        raise UntranslatableFilter(f"not a term operand: {expr!r}")
+
+    def _num(self, expr: FilterExpr) -> sql.Expr:
+        """An operand as a number (RDF_NUM over keys, literal passthrough)."""
+        if isinstance(expr, FConst):
+            term = expr.term
+            if isinstance(term, Literal) and term.is_numeric:
+                return sql.Const(float(term.value))
+            return sql.FuncCall("RDF_NUM", (sql.Const(term_key(term)),))
+        if isinstance(expr, FVar):
+            return sql.FuncCall("RDF_NUM", (self._var(expr.name),))
+        if isinstance(expr, FBinary) and expr.op in ("+", "-", "*", "/"):
+            return sql.BinOp(expr.op, self._num(expr.left), self._num(expr.right))
+        if isinstance(expr, FUnary) and expr.op == "-":
+            return sql.UnaryOp("-", self._num(expr.operand))
+        raise UntranslatableFilter(f"not numeric-translatable: {expr!r}")
+
+    def _str(self, expr: FilterExpr) -> sql.Expr:
+        """An operand as its lexical form (RDF_STR over keys)."""
+        if isinstance(expr, FConst):
+            term = expr.term
+            if isinstance(term, Literal):
+                return sql.Const(term.value)
+            return sql.Const(term.value if hasattr(term, "value") else str(term))
+        if isinstance(expr, FVar):
+            return sql.FuncCall("RDF_STR", (self._var(expr.name),))
+        if isinstance(expr, FCall) and expr.name.upper() == "STR":
+            return self._str(expr.args[0])
+        if isinstance(expr, FCall) and expr.name.upper() == "LANG":
+            return sql.FuncCall("RDF_LANG", (self._key_operand(expr.args[0]),))
+        if isinstance(expr, FCall) and expr.name.upper() == "DATATYPE":
+            return sql.FuncCall("RDF_DATATYPE", (self._key_operand(expr.args[0]),))
+        raise UntranslatableFilter(f"not string-translatable: {expr!r}")
+
+    def _ord(self, expr: FilterExpr) -> sql.Expr:
+        """An operand as an ordering-comparable string (NULL when the term
+        is not orderable — URIs, typed non-string literals)."""
+        if isinstance(expr, FConst):
+            term = expr.term
+            if isinstance(term, Literal) and term.lang is None and (
+                term.datatype is None or term.datatype.endswith("#string")
+            ):
+                return sql.Const(term.value)
+            return sql.Const(None)
+        if isinstance(expr, FVar):
+            return sql.FuncCall("RDF_ORD", (self._var(expr.name),))
+        # Value-level string producers (STR, LANG, ...) are orderable.
+        return self._str(expr)
+
+    @staticmethod
+    def _is_numeric_const(expr: FilterExpr) -> bool:
+        return (
+            isinstance(expr, FConst)
+            and isinstance(expr.term, Literal)
+            and expr.term.is_numeric
+        )
+
+    # ----------------------------------------------------------- translate
+
+    def condition(self, expr: FilterExpr) -> sql.Expr:
+        """Translate to a SQL boolean condition (SQL TRUE keeps the row)."""
+        if isinstance(expr, FBinary):
+            return self._binary_condition(expr)
+        if isinstance(expr, FUnary):
+            if expr.op == "!":
+                return sql.UnaryOp("NOT", self.condition(expr.operand))
+            raise UntranslatableFilter(f"unary {expr.op!r} as condition")
+        if isinstance(expr, FBound):
+            return sql.IsNull(self._var(expr.var), negated=True)
+        if isinstance(expr, FRegex):
+            return sql.BinOp(
+                "=",
+                sql.FuncCall(
+                    "RDF_REGEX",
+                    (
+                        self._key_operand(expr.operand),
+                        sql.Const(expr.pattern),
+                        sql.Const(expr.flags),
+                    ),
+                ),
+                sql.Const(1),
+            )
+        if isinstance(expr, FCall):
+            return self._call_condition(expr)
+        if isinstance(expr, (FVar, FConst)):
+            return sql.BinOp(
+                "=", sql.FuncCall("RDF_EBV", (self._key_operand(expr),)), sql.Const(1)
+            )
+        raise UntranslatableFilter(f"cannot translate filter {expr!r}")
+
+    def _binary_condition(self, expr: FBinary) -> sql.Expr:
+        op = expr.op
+        if op == "&&":
+            return sql.BinOp(
+                "AND", self.condition(expr.left), self.condition(expr.right)
+            )
+        if op == "||":
+            return sql.BinOp(
+                "OR", self.condition(expr.left), self.condition(expr.right)
+            )
+        if op in ("=", "!="):
+            return self._equality(expr)
+        if op in ("<", "<=", ">", ">="):
+            return self._ordering(expr)
+        raise UntranslatableFilter(f"operator {op!r} as condition")
+
+    def _equality(self, expr: FBinary) -> sql.Expr:
+        sql_op = "=" if expr.op == "=" else "<>"
+        # Fast path: numeric constant on either side -> numeric equality.
+        if self._is_numeric_const(expr.left) or self._is_numeric_const(expr.right):
+            return sql.BinOp(sql_op, self._num(expr.left), self._num(expr.right))
+        try:
+            left_key = self._key_operand(expr.left)
+            right_key = self._key_operand(expr.right)
+        except UntranslatableFilter:
+            # Value-level equality (e.g. STR(?x) = "...", LANG(?x) = "en").
+            return sql.BinOp(sql_op, self._str(expr.left), self._str(expr.right))
+        # Both are terms: numeric equality when both numeric, else key
+        # equality — the reference evaluator's rule, as one CASE expression
+        # reified to 1/0/NULL and compared against 1.
+        left_num = self._num_or_null(expr.left)
+        right_num = self._num_or_null(expr.right)
+        both_numeric = sql.BinOp(
+            "AND",
+            sql.IsNull(left_num, negated=True),
+            sql.IsNull(right_num, negated=True),
+        )
+        case = sql.Case(
+            whens=(
+                (both_numeric, _bool_expr(sql.BinOp(sql_op, left_num, right_num))),
+            ),
+            default=_bool_expr(sql.BinOp(sql_op, left_key, right_key)),
+        )
+        return sql.BinOp("=", case, sql.Const(1))
+
+    def _ordering(self, expr: FBinary) -> sql.Expr:
+        op = expr.op
+        if self._is_numeric_const(expr.left) or self._is_numeric_const(expr.right):
+            return sql.BinOp(op, self._num(expr.left), self._num(expr.right))
+        left_num = self._num_or_null(expr.left)
+        right_num = self._num_or_null(expr.right)
+        both_numeric = sql.BinOp(
+            "AND",
+            sql.IsNull(left_num, negated=True),
+            sql.IsNull(right_num, negated=True),
+        )
+        case = sql.Case(
+            whens=((both_numeric, _bool_expr(sql.BinOp(op, left_num, right_num))),),
+            default=_bool_expr(
+                sql.BinOp(op, self._ord(expr.left), self._ord(expr.right))
+            ),
+        )
+        return sql.BinOp("=", case, sql.Const(1))
+
+    def _num_or_null(self, expr: FilterExpr) -> sql.Expr:
+        try:
+            return self._num(expr)
+        except UntranslatableFilter:
+            return sql.Const(None)
+
+    def _call_condition(self, expr: FCall) -> sql.Expr:
+        name = expr.name.upper()
+        if name in ("ISURI", "ISIRI"):
+            fn = "RDF_ISURI"
+        elif name == "ISLITERAL":
+            fn = "RDF_ISLITERAL"
+        elif name == "ISBLANK":
+            fn = "RDF_ISBLANK"
+        elif name == "SAMETERM":
+            return sql.BinOp(
+                "=",
+                self._key_operand(expr.args[0]),
+                self._key_operand(expr.args[1]),
+            )
+        elif name == "LANGMATCHES":
+            return sql.BinOp(
+                "=",
+                sql.FuncCall(
+                    "RDF_LANGMATCHES",
+                    (self._str(expr.args[0]), self._str(expr.args[1])),
+                ),
+                sql.Const(1),
+            )
+        else:
+            raise UntranslatableFilter(f"builtin {expr.name!r}")
+        return sql.BinOp(
+            "=", sql.FuncCall(fn, (self._key_operand(expr.args[0]),)), sql.Const(1)
+        )
+
+
+def _bool_expr(condition: sql.Expr) -> sql.Expr:
+    """Wrap a boolean condition as a CASE value usable inside another CASE.
+
+    SQL conditions are not first-class values in the engine's expression
+    grammar, so the condition is reified to 1/0/NULL and the outer context
+    compares against 1 — except here callers use the CASE branch's value
+    directly as the condition result, so reify with CASE.
+    """
+    return sql.Case(
+        whens=((condition, sql.Const(1)),),
+        default=sql.Case(
+            whens=((sql.UnaryOp("NOT", condition), sql.Const(0)),), default=sql.Const(None)
+        ),
+    )

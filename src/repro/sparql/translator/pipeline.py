@@ -1,0 +1,412 @@
+"""The generic SPARQL-plan-to-SQL pipeline builder.
+
+Walks a query plan tree (AccessNode / MergedNode / AndNode / OrNode /
+OptNode / FilterNode) and emits a chain of CTEs in the style of the paper's
+Figure 13: each access consumes the previous CTE's bindings and produces a
+new CTE; UNION becomes UNION ALL over branch pipelines; OPTIONAL becomes a
+LEFT OUTER JOIN keyed by a synthetic row id (preserving bag semantics);
+FILTERs become WHERE-wrapped CTEs.
+
+The storage-specific part — how one triple or merged star becomes a table
+access — is delegated to a :class:`TripleEmitter`, so the same machinery
+translates for the DB2RDF schema, the triple-store baseline, and the
+predicate-oriented baseline.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ...core.errors import UnsupportedQueryError
+from ...relational import ast as sql
+from ..ast import SelectQuery
+from ..optimizer.merge import MergedNode, PlanNode
+from ..optimizer.planbuilder import (
+    AccessNode,
+    AndNode,
+    EmptyNode,
+    FilterNode,
+    OptNode,
+    OrNode,
+)
+from .filters import FilterTranslator, UntranslatableFilter
+
+ROW_ID = "__rid"
+
+
+def var_col(name: str) -> str:
+    return f"v_{name}"
+
+
+@dataclass(frozen=True)
+class Ctx:
+    """Current pipeline state: the CTE holding all bindings so far.
+
+    ``maybe`` lists variables whose column can be SQL NULL while the
+    variable is conceptually *unbound* (they came out of a UNION branch that
+    did not bind them, or out of an OPTIONAL). A later access consuming such
+    a variable must use compatibility semantics — ``col IS NULL OR col = x``
+    — and re-project the (now definitely bound) value with COALESCE.
+    Variables not in ``maybe`` are guaranteed non-NULL.
+    """
+
+    cte: str | None = None
+    columns: tuple[tuple[str, str], ...] = ()  # (var, column) pairs, ordered
+    maybe: frozenset[str] = frozenset()
+
+    def column_map(self) -> dict[str, str]:
+        return dict(self.columns)
+
+    def has(self, variable: str) -> bool:
+        return any(v == variable for v, _ in self.columns)
+
+    def col(self, variable: str) -> str:
+        for v, c in self.columns:
+            if v == variable:
+                return c
+        raise KeyError(variable)
+
+    def is_maybe(self, variable: str) -> bool:
+        return variable in self.maybe
+
+    def with_vars(
+        self,
+        cte: str,
+        new_vars: list[str],
+        now_definite: set[str] | frozenset[str] = frozenset(),
+        now_maybe: set[str] | frozenset[str] = frozenset(),
+    ) -> "Ctx":
+        columns = list(self.columns)
+        for variable in new_vars:
+            if not self.has(variable):
+                columns.append((variable, var_col(variable)))
+        maybe = (set(self.maybe) | set(now_maybe)) - set(now_definite)
+        return Ctx(cte, tuple(columns), frozenset(maybe))
+
+
+def compat_condition(
+    source: sql.Expr, bound_col: sql.Expr, maybe: bool
+) -> sql.Expr:
+    """Equality against a bound variable, compatibility-style when the
+    binding may be absent."""
+    equality = sql.BinOp("=", source, bound_col)
+    if maybe:
+        return sql.BinOp("OR", sql.IsNull(bound_col), equality)
+    return equality
+
+
+def compat_projection(
+    source: sql.Expr, bound_col: sql.Expr, maybe: bool
+) -> sql.Expr | None:
+    """Replacement projection for a consumed maybe-bound variable (the
+    access definitely binds it now); None when passthrough suffices."""
+    if maybe:
+        return sql.FuncCall("COALESCE", (bound_col, source))
+    return None
+
+
+class SqlBuilder:
+    """Accumulates CTEs and hands out fresh names."""
+
+    def __init__(self, prefix: str = "Q") -> None:
+        self.prefix = prefix
+        self.ctes: list[tuple[str, sql.Query]] = []
+        self._counter = 0
+
+    def fresh_name(self, hint: str = "") -> str:
+        self._counter += 1
+        return f"{self.prefix}{self._counter}{hint}"
+
+    def add_cte(self, query: sql.Query, hint: str = "") -> str:
+        name = self.fresh_name(hint)
+        self.ctes.append((name, _ensure_items(query)))
+        return name
+
+    def fresh_row_id(self) -> str:
+        """A unique row-id column name (nested OPTIONALs must not share)."""
+        self._counter += 1
+        return f"{ROW_ID}{self._counter}"
+
+    def finish(self, body: sql.Query) -> sql.Query:
+        if not self.ctes:
+            return body
+        return sql.With(tuple(self.ctes), body)
+
+
+def _ensure_items(query: sql.Query) -> sql.Query:
+    """Guarantee every SELECT projects at least one column (fully ground
+    patterns bind no variables; a constant marker keeps row counts)."""
+    if isinstance(query, sql.Select):
+        if query.items:
+            return query
+        return sql.Select(
+            items=(sql.SelectItem(sql.Const(1), "__match"),),
+            from_=query.from_,
+            where=query.where,
+            group_by=query.group_by,
+            having=query.having,
+            distinct=query.distinct,
+            order_by=query.order_by,
+            limit=query.limit,
+            offset=query.offset,
+        )
+    if isinstance(query, sql.SetOp):
+        return sql.SetOp(
+            query.op,
+            _ensure_items(query.left),
+            _ensure_items(query.right),
+            query.order_by,
+            query.limit,
+            query.offset,
+        )
+    return query
+
+
+class TripleEmitter(abc.ABC):
+    """Storage-specific access emission."""
+
+    #: whether MergedNode plans are supported (only entity-oriented storage)
+    supports_merge = False
+
+    @abc.abstractmethod
+    def emit_access(
+        self, builder: SqlBuilder, node: AccessNode | MergedNode, ctx: Ctx
+    ) -> Ctx:
+        """Emit CTE(s) evaluating ``node`` against ``ctx``; return new ctx."""
+
+
+def passthrough_items(
+    ctx: Ctx,
+    table_alias: str | None = "I",
+    overrides: dict[str, sql.Expr] | None = None,
+) -> list[sql.SelectItem]:
+    """SELECT items copying every binding column from the input CTE;
+    ``overrides`` substitutes expressions for specific variables (used to
+    re-project maybe-bound variables an access just bound)."""
+    items = []
+    for variable, column in ctx.columns:
+        if overrides and variable in overrides:
+            items.append(sql.SelectItem(overrides[variable], column))
+        else:
+            items.append(sql.SelectItem(sql.Column(table_alias, column), column))
+    return items
+
+
+class PipelineTranslator:
+    """Plan tree -> SQL query, generic over the storage emitter."""
+
+    def __init__(self, emitter: TripleEmitter) -> None:
+        self.emitter = emitter
+
+    # -------------------------------------------------------------- public
+
+    def translate(self, plan: PlanNode, query: SelectQuery) -> sql.Query:
+        builder = SqlBuilder()
+        ctx = self.process(builder, plan, Ctx())
+        body = self._final_select(ctx, query)
+        return builder.finish(body)
+
+    # ------------------------------------------------------------- walking
+
+    def process(self, builder: SqlBuilder, node: PlanNode, ctx: Ctx) -> Ctx:
+        if isinstance(node, (AccessNode, MergedNode)):
+            return self.emitter.emit_access(builder, node, ctx)
+        if isinstance(node, AndNode):
+            ctx = self.process(builder, node.left, ctx)
+            return self.process(builder, node.right, ctx)
+        if isinstance(node, EmptyNode):
+            return ctx
+        if isinstance(node, FilterNode):
+            ctx = self.process(builder, node.child, ctx)
+            return self._emit_filters(builder, node.filters, ctx)
+        if isinstance(node, OrNode):
+            return self._emit_union(builder, node, ctx)
+        if isinstance(node, OptNode):
+            return self._emit_optional(builder, node, ctx)
+        raise TypeError(f"unknown plan node {node!r}")
+
+    # ------------------------------------------------------------- filters
+
+    def _emit_filters(self, builder: SqlBuilder, filters, ctx: Ctx) -> Ctx:
+        if not filters:
+            return ctx
+        if ctx.cte is None:
+            # Filters over the unit solution: no variables can be bound, so
+            # the only sensible translations are constants; treat anything
+            # else as unsupported.
+            raise UnsupportedQueryError("FILTER over an empty group")
+        columns = ctx.column_map()
+
+        def column_of(variable: str) -> sql.Expr:
+            return sql.Column("I", columns[variable])
+
+        translator = FilterTranslator(column_of)
+        conditions = []
+        for condition in filters:
+            try:
+                conditions.append(translator.condition(condition))
+            except UntranslatableFilter as exc:
+                raise UnsupportedQueryError(f"FILTER not translatable: {exc}") from exc
+        select = sql.Select(
+            items=tuple(passthrough_items(ctx)),
+            from_=sql.TableRef(ctx.cte, "I"),
+            where=sql.conjoin(conditions),
+        )
+        name = builder.add_cte(select)
+        return Ctx(name, ctx.columns, ctx.maybe)
+
+    # --------------------------------------------------------------- union
+
+    def _emit_union(self, builder: SqlBuilder, node: OrNode, ctx: Ctx) -> Ctx:
+        branch_ctxs = [
+            self.process(builder, branch, ctx) for branch in node.branches
+        ]
+        # Output variables: every variable any branch (or the input) binds.
+        out_vars: list[str] = [v for v, _ in ctx.columns]
+        for branch_ctx in branch_ctxs:
+            for variable, _ in branch_ctx.columns:
+                if variable not in out_vars:
+                    out_vars.append(variable)
+
+        selects: list[sql.Query] = []
+        for branch_ctx in branch_ctxs:
+            items = []
+            for variable in out_vars:
+                if branch_ctx.has(variable):
+                    source: sql.Expr = sql.Column("I", branch_ctx.col(variable))
+                else:
+                    source = sql.Const(None)
+                items.append(sql.SelectItem(source, var_col(variable)))
+            if branch_ctx.cte is None:
+                select = sql.Select(items=tuple(items))
+            else:
+                select = sql.Select(
+                    items=tuple(items), from_=sql.TableRef(branch_ctx.cte, "I")
+                )
+            selects.append(select)
+        union = sql.union_all(selects)
+        name = builder.add_cte(union)
+        columns = tuple((variable, var_col(variable)) for variable in out_vars)
+        # A variable is definitely bound only if every branch binds it
+        # definitely; otherwise its column may be NULL-as-unbound.
+        maybe: set[str] = set()
+        for variable in out_vars:
+            for branch_ctx in branch_ctxs:
+                if not branch_ctx.has(variable) or branch_ctx.is_maybe(variable):
+                    maybe.add(variable)
+                    break
+        return Ctx(name, columns, frozenset(maybe))
+
+    # ------------------------------------------------------------ optional
+
+    def _emit_optional(self, builder: SqlBuilder, node: OptNode, ctx: Ctx) -> Ctx:
+        left_ctx = self.process(builder, node.left, ctx)
+
+        # Materialize the left side with a synthetic row id so the final
+        # left join preserves duplicate bindings (bag semantics). The id
+        # column gets a per-optional unique name: nested OPTIONALs each
+        # carry their own id, and sharing a name would misjoin them.
+        row_id = builder.fresh_row_id()
+        items = passthrough_items(left_ctx)
+        items.append(sql.SelectItem(sql.FuncCall("ROWNUM", ()), row_id))
+        if left_ctx.cte is None:
+            rid_select = sql.Select(items=tuple(items))
+        else:
+            rid_select = sql.Select(
+                items=tuple(items), from_=sql.TableRef(left_ctx.cte, "I")
+            )
+        rid_name = builder.add_cte(rid_select)
+        rid_columns = left_ctx.columns + ((f"?{row_id}", row_id),)
+        rid_ctx = Ctx(rid_name, rid_columns, left_ctx.maybe)
+
+        right_ctx = self.process(builder, node.right, rid_ctx)
+
+        left_vars = [v for v, _ in left_ctx.columns]
+        new_vars = [
+            variable
+            for variable, _ in right_ctx.columns
+            if variable not in left_vars and not variable.startswith("?")
+        ]
+
+        join_items: list[sql.SelectItem] = []
+        for variable, column in left_ctx.columns:
+            if left_ctx.is_maybe(variable) and right_ctx.has(variable):
+                # The optional side may have bound a previously unbound
+                # variable; matched rows carry the definite value.
+                join_items.append(
+                    sql.SelectItem(
+                        sql.FuncCall(
+                            "COALESCE",
+                            (
+                                sql.Column("R", right_ctx.col(variable)),
+                                sql.Column("L", column),
+                            ),
+                        ),
+                        column,
+                    )
+                )
+            else:
+                join_items.append(
+                    sql.SelectItem(sql.Column("L", column), column)
+                )
+        for variable in new_vars:
+            join_items.append(
+                sql.SelectItem(
+                    sql.Column("R", right_ctx.col(variable)), var_col(variable)
+                )
+            )
+        join = sql.Join(
+            sql.TableRef(rid_name, "L"),
+            sql.TableRef(right_ctx.cte, "R"),
+            "LEFT",
+            sql.BinOp("=", sql.Column("L", row_id), sql.Column("R", row_id)),
+        )
+        select = sql.Select(items=tuple(join_items), from_=join)
+        name = builder.add_cte(select)
+        columns = left_ctx.columns + tuple(
+            (variable, var_col(variable)) for variable in new_vars
+        )
+        maybe = set(left_ctx.maybe) | set(new_vars)
+        return Ctx(name, columns, frozenset(maybe))
+
+    # ------------------------------------------------------------ finalize
+
+    def _final_select(self, ctx: Ctx, query: SelectQuery) -> sql.Query:
+        variables = query.projected_variables()
+        items: list[sql.SelectItem] = []
+        for variable in variables:
+            if ctx.has(variable):
+                items.append(
+                    sql.SelectItem(sql.Column("I", ctx.col(variable)), variable)
+                )
+            else:
+                items.append(sql.SelectItem(sql.Const(None), variable))
+        if not items:
+            # A fully ground pattern (e.g. ASK over constants) projects a
+            # marker column so the row count carries the answer.
+            items.append(sql.SelectItem(sql.Const(1), "__match"))
+
+        order_by: list[sql.OrderItem] = []
+        for condition in query.order_by:
+            from ..ast import FVar
+
+            if not isinstance(condition.expr, FVar):
+                raise UnsupportedQueryError("ORDER BY supports plain variables only")
+            name = condition.expr.name
+            if ctx.has(name):
+                order_by.append(
+                    sql.OrderItem(sql.Column("I", ctx.col(name)), condition.ascending)
+                )
+
+        from_: sql.FromItem | None = (
+            sql.TableRef(ctx.cte, "I") if ctx.cte is not None else None
+        )
+        return sql.Select(
+            items=tuple(items),
+            from_=from_,
+            distinct=query.distinct or query.reduced,
+            order_by=tuple(order_by),
+            limit=query.limit,
+            offset=query.offset,
+        )

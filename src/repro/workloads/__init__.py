@@ -1,0 +1,37 @@
+"""Benchmark workloads: generators, query sets, and the Figure-15 harness."""
+
+from . import dbpedia, lubm, microbench, prbench, sp2bench
+from .runner import (
+    COMPLETE,
+    ERROR,
+    QueryOutcome,
+    SystemSummary,
+    TIMEOUT,
+    UNSUPPORTED,
+    expected_counts,
+    format_per_query_table,
+    format_summary_table,
+    run_benchmark,
+    run_system,
+    time_query,
+)
+
+__all__ = [
+    "COMPLETE",
+    "ERROR",
+    "QueryOutcome",
+    "SystemSummary",
+    "TIMEOUT",
+    "UNSUPPORTED",
+    "dbpedia",
+    "expected_counts",
+    "format_per_query_table",
+    "format_summary_table",
+    "lubm",
+    "microbench",
+    "prbench",
+    "run_benchmark",
+    "run_system",
+    "sp2bench",
+    "time_query",
+]

@@ -1,0 +1,168 @@
+"""A synthetic DBpedia-style workload (paper §4.1, DQ1–DQ20).
+
+The real DBpedia 3.7 has 333M triples, ~54k predicates, power-law in/out
+degrees (avg out-degree 14, avg in-degree 5). This generator reproduces
+those *structural* properties at laptop scale: a Zipf-distributed predicate
+vocabulary (so a few predicates are ubiquitous and a long tail is rare —
+the regime where graph coloring cannot cover everything and hash fallback
+plus spills kick in), type assertions, and template queries in the style of
+the DBpedia SPARQL benchmark (entity lookups, type + property selections,
+unions over alternative predicates, optional enrichments).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import Namespace
+from ..rdf.terms import Literal, Triple, URI, XSD_INTEGER
+
+RDF_TYPE = URI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+DBO = Namespace("http://dbpedia.org/ontology/")
+DBR = Namespace("http://dbpedia.org/resource/")
+RDFS_LABEL = URI("http://www.w3.org/2000/01/rdf-schema#label")
+FOAF_NAME = URI("http://xmlns.com/foaf/0.1/name")
+
+#: core infobox-ish predicates, most frequent first
+CORE_PREDICATES = [
+    "birthPlace", "birthDate", "deathPlace", "occupation", "country",
+    "location", "industry", "foundedBy", "keyPerson", "product",
+    "genre", "author", "starring", "director", "producer",
+    "populationTotal", "areaTotal", "capital", "language", "currency",
+]
+
+TYPES = [
+    "Person", "Company", "City", "Country", "Film", "Book",
+    "Software", "University", "Band", "Athlete",
+]
+
+
+@dataclass
+class DbpediaData:
+    graph: Graph
+    entities: int
+    predicates: int
+
+
+def generate(
+    target_triples: int = 60_000,
+    tail_predicates: int = 400,
+    seed: int = 42,
+) -> DbpediaData:
+    """Generate a deterministic power-law DBpedia-style graph."""
+    rng = random.Random(seed)
+    graph = Graph()
+
+    predicates = [DBO(name) for name in CORE_PREDICATES] + [
+        DBO(f"property{i}") for i in range(tail_predicates)
+    ]
+    # Zipf-ish weights over the whole vocabulary.
+    weights = [1.0 / (rank + 1) for rank in range(len(predicates))]
+
+    entities = max(10, target_triples // 8)
+    entity_uris = [DBR(f"Entity_{i}") for i in range(entities)]
+    values = [DBR(f"Value_{i}") for i in range(max(50, entities // 5))]
+
+    def add(s, p, o):
+        graph.add(Triple(s, p, o))
+
+    produced = 0
+    for index, entity in enumerate(entity_uris):
+        entity_type = DBO(TYPES[index % len(TYPES)])
+        add(entity, RDF_TYPE, entity_type)
+        add(entity, RDFS_LABEL, Literal(f"Entity {index}"))
+        produced += 2
+        # Power-law out-degree: most entities small, a few huge.
+        out_degree = 3 + min(int(rng.paretovariate(1.2)), 60)
+        chosen = rng.choices(predicates, weights=weights, k=out_degree)
+        for predicate in dict.fromkeys(chosen):
+            if rng.random() < 0.15:
+                add(
+                    entity,
+                    predicate,
+                    Literal(str(rng.randrange(1800, 2020)), datatype=XSD_INTEGER),
+                )
+            else:
+                # Preferential attachment on objects gives power-law
+                # in-degree: low indexes picked far more often.
+                target = values[
+                    min(int(rng.paretovariate(1.1)) - 1, len(values) - 1)
+                ]
+                add(entity, predicate, target)
+            produced += 1
+        if produced >= target_triples:
+            break
+
+    return DbpediaData(graph, entities, len(predicates))
+
+
+_PREFIX = (
+    f"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+    f"PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> "
+    f"PREFIX dbo: <{DBO.base}> PREFIX dbr: <{DBR.base}> "
+    f"PREFIX foaf: <http://xmlns.com/foaf/0.1/>"
+)
+
+
+def queries() -> dict[str, str]:
+    """DQ1–DQ20: DBpedia-SPARQL-benchmark style templates."""
+    qs = {
+        # entity description (the most common DBpedia log query)
+        "DQ1": f"{_PREFIX} SELECT ?p ?o WHERE {{ dbr:Entity_0 ?p ?o }}",
+        "DQ2": f"{_PREFIX} SELECT ?s ?p WHERE {{ ?s ?p dbr:Value_0 }} LIMIT 100",
+        # label lookups
+        "DQ3": f'{_PREFIX} SELECT ?s WHERE {{ ?s rdfs:label "Entity 7" }}',
+        "DQ4": f"{_PREFIX} SELECT ?label WHERE {{ dbr:Entity_42 rdfs:label ?label }}",
+        # type + property selections
+        "DQ5": f"""{_PREFIX} SELECT ?s ?place WHERE {{
+            ?s rdf:type dbo:Person . ?s dbo:birthPlace ?place }}""",
+        "DQ6": f"""{_PREFIX} SELECT ?s WHERE {{
+            ?s rdf:type dbo:Company . ?s dbo:industry ?i .
+            ?s dbo:keyPerson ?k }}""",
+        "DQ7": f"""{_PREFIX} SELECT ?s ?date WHERE {{
+            ?s rdf:type dbo:Person . ?s dbo:birthDate ?date
+            FILTER (?date > 1950) }}""",
+        # star on a specific entity
+        "DQ8": f"""{_PREFIX} SELECT ?bp ?bd WHERE {{
+            dbr:Entity_10 dbo:birthPlace ?bp .
+            dbr:Entity_10 dbo:birthDate ?bd }}""",
+        # union over alternative predicates
+        "DQ9": f"""{_PREFIX} SELECT ?s ?who WHERE {{
+            {{ ?s dbo:foundedBy ?who }} UNION {{ ?s dbo:keyPerson ?who }} }}""",
+        "DQ10": f"""{_PREFIX} SELECT ?s ?where WHERE {{
+            {{ ?s dbo:birthPlace ?where }} UNION {{ ?s dbo:deathPlace ?where }}
+            ?s rdf:type dbo:Person }}""",
+        # optional enrichment
+        "DQ11": f"""{_PREFIX} SELECT ?s ?label ?occ WHERE {{
+            ?s rdf:type dbo:Person . ?s rdfs:label ?label .
+            OPTIONAL {{ ?s dbo:occupation ?occ }} }}""",
+        "DQ12": f"""{_PREFIX} SELECT ?s ?cap ?lang WHERE {{
+            ?s rdf:type dbo:Country .
+            OPTIONAL {{ ?s dbo:capital ?cap }}
+            OPTIONAL {{ ?s dbo:language ?lang }} }}""",
+        # chains
+        "DQ13": f"""{_PREFIX} SELECT ?film ?studio WHERE {{
+            ?film rdf:type dbo:Film . ?film dbo:director ?d .
+            ?d dbo:location ?studio }}""",
+        "DQ14": f"""{_PREFIX} SELECT ?a ?b WHERE {{
+            ?a dbo:keyPerson ?p . ?b dbo:foundedBy ?p }}""",
+        # incoming edges of a hub value
+        "DQ15": f"""{_PREFIX} SELECT ?s WHERE {{
+            ?s dbo:birthPlace dbr:Value_1 }}""",
+        "DQ16": f"""{_PREFIX} SELECT DISTINCT ?type WHERE {{
+            ?s dbo:country dbr:Value_2 . ?s rdf:type ?type }}""",
+        # label + regex (log-derived text search)
+        "DQ17": f"""{_PREFIX} SELECT ?s ?label WHERE {{
+            ?s rdfs:label ?label FILTER regex(?label, "Entity 1[0-3]$") }}""",
+        # mixed star with union and optional
+        "DQ18": f"""{_PREFIX} SELECT ?s ?v ?g WHERE {{
+            {{ ?s dbo:genre ?v }} UNION {{ ?s dbo:product ?v }}
+            OPTIONAL {{ ?s rdfs:label ?g }} }}""",
+        "DQ19": f"""{_PREFIX} SELECT ?s WHERE {{
+            ?s rdf:type dbo:Software . ?s dbo:author ?a }} LIMIT 50""",
+        "DQ20": f"""{_PREFIX} SELECT ?s ?o WHERE {{
+            ?s dbo:property0 ?o }} LIMIT 100""",
+    }
+    return {name: " ".join(text.split()) for name, text in qs.items()}

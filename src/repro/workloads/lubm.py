@@ -1,0 +1,277 @@
+"""A LUBM-style university benchmark generator plus the 12 expanded queries.
+
+Follows the published LUBM schema (Guo, Pan & Heflin): universities contain
+departments; departments contain faculty (full/associate/assistant
+professors, lecturers), students (graduate/undergraduate), courses,
+research groups, and publications. Cardinalities are scaled-down but keep
+LUBM's shape (average out-degree ≈ 6, type-heavy object skew).
+
+The paper evaluates without OWL inference by *expanding* queries: a pattern
+over ``Student`` becomes a UNION over ``GraduateStudent`` and
+``UndergraduateStudent`` — exactly what :func:`queries` emits (12 of the 14
+originals survive expansion; LQ11/LQ12 need ontology axioms and are
+dropped, matching the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import Namespace
+from ..rdf.terms import Literal, Triple, URI
+
+UB = Namespace("http://swat.cse.lehigh.edu/onto/univ-bench.owl#")
+RDF_TYPE = URI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+
+@dataclass
+class LubmProfile:
+    """Entity counts per department (scaled-down LUBM defaults)."""
+
+    departments_per_university: int = 3
+    full_professors: int = 3
+    associate_professors: int = 4
+    assistant_professors: int = 5
+    lecturers: int = 3
+    undergraduate_students: int = 40
+    graduate_students: int = 12
+    courses: int = 10
+    graduate_courses: int = 5
+    research_groups: int = 4
+    publications_per_faculty: int = 3
+
+
+@dataclass
+class LubmData:
+    graph: Graph
+    universities: int
+    profile: LubmProfile = field(default_factory=LubmProfile)
+
+
+def generate(
+    universities: int = 2,
+    seed: int = 42,
+    profile: LubmProfile | None = None,
+) -> LubmData:
+    """Generate a deterministic LUBM-style university graph."""
+    rng = random.Random(seed)
+    profile = profile or LubmProfile()
+    graph = Graph()
+
+    def add(s, p, o):
+        graph.add(Triple(s, p, o))
+
+    def entity(kind: str, *path: int) -> URI:
+        suffix = "/".join(str(p) for p in path)
+        return URI(f"http://www.univ{path[0]}.edu/{kind}{suffix}")
+
+    all_departments: list[URI] = []
+    for u in range(universities):
+        university = URI(f"http://www.univ{u}.edu")
+        add(university, RDF_TYPE, UB.University)
+        add(university, UB.name, Literal(f"University{u}"))
+        for d in range(profile.departments_per_university):
+            department = URI(f"http://www.univ{u}.edu/dept{d}")
+            all_departments.append(department)
+            add(department, RDF_TYPE, UB.Department)
+            add(department, UB.name, Literal(f"Department{d}"))
+            add(department, UB.subOrganizationOf, university)
+
+            groups = []
+            for g in range(profile.research_groups):
+                group = URI(f"http://www.univ{u}.edu/dept{d}/group{g}")
+                groups.append(group)
+                add(group, RDF_TYPE, UB.ResearchGroup)
+                add(group, UB.subOrganizationOf, department)
+
+            courses = []
+            for c in range(profile.courses):
+                course = URI(f"http://www.univ{u}.edu/dept{d}/course{c}")
+                courses.append(course)
+                add(course, RDF_TYPE, UB.Course)
+                add(course, UB.name, Literal(f"Course{c}"))
+            graduate_courses = []
+            for c in range(profile.graduate_courses):
+                course = URI(f"http://www.univ{u}.edu/dept{d}/gradcourse{c}")
+                graduate_courses.append(course)
+                add(course, RDF_TYPE, UB.GraduateCourse)
+                add(course, UB.name, Literal(f"GraduateCourse{c}"))
+
+            faculty: list[tuple[URI, URI]] = []
+            roles = (
+                [(UB.FullProfessor, profile.full_professors)]
+                + [(UB.AssociateProfessor, profile.associate_professors)]
+                + [(UB.AssistantProfessor, profile.assistant_professors)]
+                + [(UB.Lecturer, profile.lecturers)]
+            )
+            person_id = 0
+            for role_type, count in roles:
+                for _ in range(count):
+                    member = URI(
+                        f"http://www.univ{u}.edu/dept{d}/faculty{person_id}"
+                    )
+                    person_id += 1
+                    faculty.append((member, role_type))
+                    add(member, RDF_TYPE, role_type)
+                    add(member, UB.name, Literal(f"Faculty{person_id}"))
+                    add(member, UB.worksFor, department)
+                    add(
+                        member,
+                        UB.emailAddress,
+                        Literal(f"faculty{person_id}@univ{u}.edu"),
+                    )
+                    add(member, UB.telephone, Literal(f"555-{person_id:04d}"))
+                    degree_univ = URI(f"http://www.univ{rng.randrange(universities)}.edu")
+                    add(member, UB.undergraduateDegreeFrom, degree_univ)
+                    add(member, UB.doctoralDegreeFrom, degree_univ)
+                    taught = rng.sample(courses, min(2, len(courses)))
+                    for course in taught:
+                        add(member, UB.teacherOf, course)
+                    if graduate_courses:
+                        add(member, UB.teacherOf, rng.choice(graduate_courses))
+                    for k in range(profile.publications_per_faculty):
+                        publication = URI(
+                            f"http://www.univ{u}.edu/dept{d}/pub{person_id}_{k}"
+                        )
+                        add(publication, RDF_TYPE, UB.Publication)
+                        add(
+                            publication,
+                            UB.name,
+                            Literal(f"Publication{person_id}_{k}"),
+                        )
+                        add(publication, UB.publicationAuthor, member)
+
+            head, head_type = faculty[0]
+            add(head, UB.headOf, department)
+
+            graduate_students = []
+            for s in range(profile.graduate_students):
+                student = URI(f"http://www.univ{u}.edu/dept{d}/grad{s}")
+                graduate_students.append(student)
+                add(student, RDF_TYPE, UB.GraduateStudent)
+                add(student, UB.name, Literal(f"GradStudent{s}"))
+                add(student, UB.memberOf, department)
+                add(
+                    student,
+                    UB.undergraduateDegreeFrom,
+                    URI(f"http://www.univ{rng.randrange(universities)}.edu"),
+                )
+                add(
+                    student,
+                    UB.emailAddress,
+                    Literal(f"grad{s}@dept{d}.univ{u}.edu"),
+                )
+                advisor, _ = rng.choice(faculty)
+                add(student, UB.advisor, advisor)
+                for course in rng.sample(
+                    graduate_courses, min(2, len(graduate_courses))
+                ):
+                    add(student, UB.takesCourse, course)
+                if rng.random() < 0.25:
+                    add(student, UB.teachingAssistantOf, rng.choice(courses))
+
+            for s in range(profile.undergraduate_students):
+                student = URI(f"http://www.univ{u}.edu/dept{d}/undergrad{s}")
+                add(student, RDF_TYPE, UB.UndergraduateStudent)
+                add(student, UB.name, Literal(f"UndergradStudent{s}"))
+                add(student, UB.memberOf, department)
+                add(
+                    student,
+                    UB.emailAddress,
+                    Literal(f"ug{s}@dept{d}.univ{u}.edu"),
+                )
+                if rng.random() < 0.2:
+                    advisor, _ = rng.choice(faculty)
+                    add(student, UB.advisor, advisor)
+                for course in rng.sample(courses, min(3, len(courses))):
+                    add(student, UB.takesCourse, course)
+
+    return LubmData(graph, universities)
+
+
+# ---------------------------------------------------------------------------
+# Queries (inference expanded by hand, as in the paper's §4.1)
+# ---------------------------------------------------------------------------
+
+_PREFIX = f"PREFIX ub: <{UB.base}> PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>"
+
+_STUDENT = "{{ {x} rdf:type ub:GraduateStudent }} UNION {{ {x} rdf:type ub:UndergraduateStudent }}"
+_PROFESSOR = (
+    "{{ {x} rdf:type ub:FullProfessor }} UNION {{ {x} rdf:type ub:AssociateProfessor }}"
+    " UNION {{ {x} rdf:type ub:AssistantProfessor }}"
+)
+_FACULTY = _PROFESSOR + " UNION {{ {x} rdf:type ub:Lecturer }}"
+
+
+def queries(universities: int = 2) -> dict[str, str]:
+    """The 12 expanded LUBM queries (LQ1–LQ10, LQ13, LQ14)."""
+    u0 = "http://www.univ0.edu"
+    dept0 = f"{u0}/dept0"
+    course0 = f"{dept0}/course0"
+
+    qs = {
+        # LQ1: graduate students taking a specific course
+        "LQ1": f"""{_PREFIX} SELECT ?x WHERE {{
+            ?x rdf:type ub:GraduateStudent .
+            ?x ub:takesCourse <{dept0}/gradcourse0> }}""",
+        # LQ2: grad students with same-university department membership and
+        # undergraduate degree (the classic triangle)
+        "LQ2": f"""{_PREFIX} SELECT ?x ?y ?z WHERE {{
+            ?x rdf:type ub:GraduateStudent .
+            ?y rdf:type ub:University .
+            ?z rdf:type ub:Department .
+            ?x ub:memberOf ?z .
+            ?z ub:subOrganizationOf ?y .
+            ?x ub:undergraduateDegreeFrom ?y }}""",
+        # LQ3: publications of a particular professor
+        "LQ3": f"""{_PREFIX} SELECT ?x WHERE {{
+            ?x rdf:type ub:Publication .
+            ?x ub:publicationAuthor <{dept0}/faculty0> }}""",
+        # LQ4: professors working for a department, with profile data
+        "LQ4": f"""{_PREFIX} SELECT ?x ?y1 ?y2 ?y3 WHERE {{
+            {_PROFESSOR.format(x="?x")} .
+            ?x ub:worksFor <{dept0}> .
+            ?x ub:name ?y1 .
+            ?x ub:emailAddress ?y2 .
+            ?x ub:telephone ?y3 }}""",
+        # LQ5: persons that are members of a department
+        "LQ5": f"""{_PREFIX} SELECT ?x WHERE {{
+            {{ ?x ub:memberOf <{dept0}> }} UNION {{ ?x ub:worksFor <{dept0}> }} }}""",
+        # LQ6: all students
+        "LQ6": f"""{_PREFIX} SELECT ?x WHERE {{ {_STUDENT.format(x="?x")} }}""",
+        # LQ7: students taking courses taught by a particular professor
+        "LQ7": f"""{_PREFIX} SELECT ?x ?y WHERE {{
+            {_STUDENT.format(x="?x")} .
+            ?y rdf:type ub:Course .
+            <{dept0}/faculty0> ub:teacherOf ?y .
+            ?x ub:takesCourse ?y }}""",
+        # LQ8: students member of any department of a university, with email
+        "LQ8": f"""{_PREFIX} SELECT ?x ?y ?z WHERE {{
+            {_STUDENT.format(x="?x")} .
+            ?y rdf:type ub:Department .
+            ?x ub:memberOf ?y .
+            ?y ub:subOrganizationOf <{u0}> .
+            ?x ub:emailAddress ?z }}""",
+        # LQ9: student/faculty/course triangle
+        "LQ9": f"""{_PREFIX} SELECT ?x ?y ?z WHERE {{
+            {_STUDENT.format(x="?x")} .
+            {_FACULTY.format(x="?y")} .
+            ?x ub:advisor ?y .
+            ?y ub:teacherOf ?z .
+            ?x ub:takesCourse ?z }}""",
+        # LQ10: students taking a specific graduate course
+        "LQ10": f"""{_PREFIX} SELECT ?x WHERE {{
+            {_STUDENT.format(x="?x")} .
+            ?x ub:takesCourse <{dept0}/gradcourse0> }}""",
+        # LQ13: alumni of a particular university
+        "LQ13": f"""{_PREFIX} SELECT ?x WHERE {{
+            {{ ?x ub:undergraduateDegreeFrom <{u0}> }}
+            UNION {{ ?x ub:mastersDegreeFrom <{u0}> }}
+            UNION {{ ?x ub:doctoralDegreeFrom <{u0}> }} }}""",
+        # LQ14: all undergraduate students (the scan-heavy closer)
+        "LQ14": f"""{_PREFIX} SELECT ?x WHERE {{
+            ?x rdf:type ub:UndergraduateStudent }}""",
+    }
+    return {name: " ".join(text.split()) for name, text in qs.items()}

@@ -1,0 +1,119 @@
+"""The schema micro-benchmark of paper §2.1 (Tables 1 and 2, Figure 3).
+
+Six entity groups with the paper's predicate sets and frequencies:
+
+====================================  =====
+predicate set                          freq
+====================================  =====
+SV1..SV4  + MV1..MV4                   .01
+SV1 SV2 SV3 + MV1 MV2 MV3              .24
+SV1 SV3 SV4 + MV1 MV3 MV4              .25
+SV2 SV3 SV4 + MV2 MV3 MV4              .25
+SV1 SV2 SV4 + MV1 MV2 MV4              .24
+SV5 SV6 SV7 SV8                        .01
+====================================  =====
+
+``SVi`` are single-valued, ``MVi`` multi-valued (three objects each). The
+single-valued star {SV1..SV4} and the multi-valued star {MV1..MV4} are each
+selective only when the *whole* star is queried; SV5..SV8 are individually
+selective. Queries Q1–Q10 follow Table 2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Triple, URI
+
+BASE = "http://example.org/micro/"
+MV_VALUES_PER_PREDICATE = 3
+
+#: (single-valued predicates, multi-valued predicates, frequency)
+GROUPS: list[tuple[list[str], list[str], float]] = [
+    (["SV1", "SV2", "SV3", "SV4"], ["MV1", "MV2", "MV3", "MV4"], 0.01),
+    (["SV1", "SV2", "SV3"], ["MV1", "MV2", "MV3"], 0.24),
+    (["SV1", "SV3", "SV4"], ["MV1", "MV3", "MV4"], 0.25),
+    (["SV2", "SV3", "SV4"], ["MV2", "MV3", "MV4"], 0.25),
+    (["SV1", "SV2", "SV4"], ["MV1", "MV2", "MV4"], 0.24),
+    (["SV5", "SV6", "SV7", "SV8"], [], 0.01),
+]
+
+#: Table 2: query name -> star predicate set
+QUERY_PREDICATES: dict[str, list[str]] = {
+    "Q1": ["SV1", "SV2", "SV3", "SV4"],
+    "Q2": ["MV1", "MV2", "MV3", "MV4"],
+    "Q3": ["SV1", "MV1", "MV2", "MV3", "MV4"],
+    "Q4": ["SV1", "SV2", "MV1", "MV2", "MV3", "MV4"],
+    "Q5": ["SV1", "SV2", "SV3", "MV1", "MV2", "MV3", "MV4"],
+    "Q6": ["SV1", "SV2", "SV3", "SV4", "MV1", "MV2", "MV3", "MV4"],
+    "Q7": ["SV5"],
+    "Q8": ["SV5", "SV6"],
+    "Q9": ["SV5", "SV6", "SV7"],
+    "Q10": ["SV5", "SV6", "SV7", "SV8"],
+}
+
+
+def uri(local: str) -> URI:
+    return URI(BASE + local)
+
+
+@dataclass
+class MicroBenchData:
+    graph: Graph
+    subjects_per_group: list[int]
+
+    @property
+    def triples(self) -> int:
+        return len(self.graph)
+
+
+def triples_per_subject(group: int) -> int:
+    singles, multis, _ = GROUPS[group]
+    return len(singles) + len(multis) * MV_VALUES_PER_PREDICATE
+
+
+def generate(target_triples: int = 100_000, seed: int = 42) -> MicroBenchData:
+    """Generate the micro-bench dataset scaled to roughly ``target_triples``."""
+    rng = random.Random(seed)
+    weights = [frequency for _, _, frequency in GROUPS]
+    average_row = sum(
+        weight * triples_per_subject(index) for index, weight in enumerate(weights)
+    )
+    total_subjects = max(1, int(target_triples / average_row))
+
+    graph = Graph()
+    subjects_per_group = []
+    subject_id = 0
+    for group_index, (singles, multis, frequency) in enumerate(GROUPS):
+        count = max(1, round(total_subjects * frequency))
+        subjects_per_group.append(count)
+        for _ in range(count):
+            subject = uri(f"e{subject_id}")
+            subject_id += 1
+            for predicate in singles:
+                # Non-selective individual values: drawn from a small pool.
+                value = uri(f"{predicate.lower()}_val{rng.randrange(50)}")
+                graph.add(Triple(subject, uri(predicate), value))
+            for predicate in multis:
+                for k in range(MV_VALUES_PER_PREDICATE):
+                    value = uri(
+                        f"{predicate.lower()}_val{rng.randrange(50)}_{k}"
+                    )
+                    graph.add(Triple(subject, uri(predicate), value))
+    return MicroBenchData(graph, subjects_per_group)
+
+
+def star_query(predicates: list[str]) -> str:
+    """The Figure 2(a) SPARQL star query for a predicate set."""
+    body = " ".join(
+        f"?s <{BASE}{predicate}> ?o{index} ."
+        for index, predicate in enumerate(predicates)
+    )
+    return f"SELECT ?s WHERE {{ {body} }}"
+
+
+def queries() -> dict[str, str]:
+    """Q1–Q10 of Table 2."""
+    return {name: star_query(preds) for name, preds in QUERY_PREDICATES.items()}

@@ -1,0 +1,199 @@
+"""A PRBench-style tool-integration workload (paper §4.1, PQ1–PQ29).
+
+The paper's private benchmark holds 60M triples about software artifacts
+(bug reports, requirements, test cases, change sets) produced by different
+tools and integrated through RDF. This synthetic equivalent models that
+scenario: several "tools" each emit artifacts with tool-specific vocabulary
+plus shared Dublin-Core-ish metadata, artifacts cross-reference each other
+(implements / validates / blocks / relatesTo), and the query mix mirrors
+the paper's description — many lookup/star queries, medium traversals
+(PQ14–PQ17, PQ24, PQ29), heavy analytic joins (PQ10, PQ26–PQ28), and one
+very wide UNION of conjunctive branches (the paper mentions a 100-branch
+union; PQ5 scales with the tool count).
+
+The original is a quad store (1M+ named graphs); we flatten graphs into a
+``pr:graph`` provenance triple per artifact, which preserves the workload's
+join structure (substitution documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import Namespace
+from ..rdf.terms import Literal, Triple, URI, XSD_INTEGER
+
+RDF_TYPE = URI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+PR = Namespace("http://example.org/pr/")
+DC = Namespace("http://purl.org/dc/elements/1.1/")
+
+ARTIFACT_KINDS = ["BugReport", "Requirement", "TestCase", "ChangeSet", "Build"]
+STATES = ["open", "inprogress", "resolved", "verified", "closed"]
+SEVERITIES = ["blocker", "critical", "major", "minor", "trivial"]
+TOOLS = ["bugger", "reqman", "testify", "churn", "builder"]
+
+
+@dataclass
+class PrbenchData:
+    graph: Graph
+    artifacts: int
+
+
+def generate(target_triples: int = 60_000, seed: int = 42) -> PrbenchData:
+    """Generate a deterministic tool-integration graph of roughly
+    ``target_triples``."""
+    rng = random.Random(seed)
+    graph = Graph()
+
+    def add(s, p, o):
+        graph.add(Triple(s, p, o))
+
+    artifacts = max(20, target_triples // 11)
+    users = [PR(f"user{i}") for i in range(max(5, artifacts // 50))]
+    artifact_uris: list[URI] = []
+
+    for i in range(artifacts):
+        kind = ARTIFACT_KINDS[i % len(ARTIFACT_KINDS)]
+        tool = TOOLS[i % len(TOOLS)]
+        artifact = PR(f"{tool}/art{i}")
+        artifact_uris.append(artifact)
+        add(artifact, RDF_TYPE, PR(kind))
+        add(artifact, PR.graph, PR(f"graphs/g{i}"))
+        add(artifact, PR.tool, PR(tool))
+        add(artifact, DC.identifier, Literal(f"{tool.upper()}-{i}"))
+        add(artifact, DC.title, Literal(f"{kind} number {i}"))
+        add(artifact, DC.creator, rng.choice(users))
+        add(artifact, PR.created, Literal(str(2000 + i % 20), datatype=XSD_INTEGER))
+        add(artifact, PR.state, Literal(rng.choice(STATES)))
+        if kind == "BugReport":
+            add(artifact, PR.severity, Literal(rng.choice(SEVERITIES)))
+            if rng.random() < 0.4 and artifact_uris[:-1]:
+                add(artifact, PR.blockedBy, rng.choice(artifact_uris[:-1]))
+        if kind == "TestCase" and artifact_uris[:-1]:
+            add(artifact, PR.validates, rng.choice(artifact_uris[:-1]))
+        if kind == "ChangeSet" and artifact_uris[:-1]:
+            add(artifact, PR.implements, rng.choice(artifact_uris[:-1]))
+            add(artifact, PR.touches, Literal(f"src/module{i % 40}.py"))
+        if rng.random() < 0.5 and artifact_uris[:-1]:
+            add(artifact, PR.relatesTo, rng.choice(artifact_uris[:-1]))
+
+    return PrbenchData(graph, artifacts)
+
+
+_PREFIX = (
+    f"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+    f"PREFIX pr: <{PR.base}> PREFIX dc: <{DC.base}> "
+    f"PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>"
+)
+
+
+def _wide_union(branches: int) -> str:
+    """The paper's 'union of 100 conjunctive queries': artifacts from any
+    tool in any state, one conjunctive branch per (tool, state) pair."""
+    parts = []
+    count = 0
+    while count < branches:
+        tool = TOOLS[count % len(TOOLS)]
+        state = STATES[(count // len(TOOLS)) % len(STATES)]
+        parts.append(
+            f'{{ ?a pr:tool pr:{tool} . ?a pr:state "{state}" . '
+            f"?a dc:creator ?who }}"
+        )
+        count += 1
+    return " UNION ".join(parts)
+
+
+def queries(wide_union_branches: int = 25) -> dict[str, str]:
+    """PQ1–PQ29."""
+    qs = {
+        # -- lookups and small stars ------------------------------------
+        "PQ1": f"""{_PREFIX} SELECT ?t WHERE {{
+            ?a dc:identifier "BUGGER-0" . ?a dc:title ?t }}""",
+        "PQ2": f"""{_PREFIX} SELECT ?a WHERE {{ ?a rdf:type pr:BugReport .
+            ?a pr:severity "blocker" }}""",
+        "PQ3": f"""{_PREFIX} SELECT ?a ?t ?s WHERE {{
+            ?a rdf:type pr:Requirement . ?a dc:title ?t . ?a pr:state ?s }}""",
+        "PQ4": f"""{_PREFIX} SELECT ?id ?who WHERE {{
+            ?a pr:tool pr:bugger . ?a dc:identifier ?id . ?a dc:creator ?who }}""",
+        "PQ5": f"""{_PREFIX} SELECT ?a ?who WHERE {{ {_wide_union(wide_union_branches)} }}""",
+        "PQ6": f"""{_PREFIX} SELECT ?a WHERE {{ ?a pr:state "open" }} LIMIT 50""",
+        "PQ7": f"""{_PREFIX} SELECT ?g WHERE {{ <{PR.base}bugger/art0> pr:graph ?g }}""",
+        "PQ8": f"""{_PREFIX} SELECT ?p ?o WHERE {{ <{PR.base}bugger/art0> ?p ?o }}""",
+        "PQ9": f"""{_PREFIX} SELECT ?a WHERE {{
+            ?a dc:creator <{PR.base}user0> . ?a pr:state "resolved" }}""",
+        # -- heavy analytic joins (the paper's long-running set) ---------
+        "PQ10": f"""{_PREFIX} SELECT ?bug ?test ?change WHERE {{
+            ?bug rdf:type pr:BugReport .
+            ?test rdf:type pr:TestCase .
+            ?change rdf:type pr:ChangeSet .
+            ?test pr:validates ?bug .
+            ?change pr:implements ?bug }}""",
+        "PQ11": f"""{_PREFIX} SELECT ?a ?b WHERE {{
+            ?a pr:relatesTo ?b . ?b pr:relatesTo ?c }}""",
+        "PQ12": f"""{_PREFIX} SELECT ?bug ?blocker WHERE {{
+            ?bug pr:blockedBy ?blocker . ?blocker pr:state "open" }}""",
+        "PQ13": f"""{_PREFIX} SELECT ?req ?change ?file WHERE {{
+            ?change pr:implements ?req . ?change pr:touches ?file }}""",
+        # -- medium traversals (the Figure 18 set) ------------------------
+        "PQ14": f"""{_PREFIX} SELECT ?a ?t WHERE {{
+            ?a rdf:type pr:BugReport . ?a pr:state "open" .
+            ?a pr:severity "critical" . ?a dc:title ?t }}""",
+        "PQ15": f"""{_PREFIX} SELECT ?req ?test WHERE {{
+            ?req rdf:type pr:Requirement .
+            ?test pr:validates ?req .
+            ?test pr:state "verified" }}""",
+        "PQ16": f"""{_PREFIX} SELECT ?who ?a WHERE {{
+            ?a dc:creator ?who . ?a rdf:type pr:ChangeSet .
+            ?a pr:created ?yr FILTER (?yr >= 2010) }}""",
+        "PQ17": f"""{_PREFIX} SELECT ?a ?rel ?t WHERE {{
+            ?a pr:relatesTo ?rel . ?rel dc:title ?t .
+            OPTIONAL {{ ?rel pr:severity ?sev }} }}""",
+        "PQ18": f"""{_PREFIX} SELECT ?a WHERE {{
+            {{ ?a pr:state "open" }} UNION {{ ?a pr:state "inprogress" }}
+            ?a rdf:type pr:BugReport }}""",
+        "PQ19": f"""{_PREFIX} SELECT ?tool ?a WHERE {{
+            ?a pr:tool ?tool . ?a pr:state "closed" }}""",
+        "PQ20": f"""{_PREFIX} SELECT ?a ?id WHERE {{
+            ?a dc:identifier ?id . ?a pr:created "2005"^^xsd:integer }}""",
+        "PQ21": f"""{_PREFIX} SELECT ?a ?b WHERE {{
+            ?a pr:blockedBy ?b . ?b pr:blockedBy ?c }}""",
+        "PQ22": f"""{_PREFIX} SELECT DISTINCT ?who WHERE {{
+            ?a dc:creator ?who . ?a rdf:type pr:BugReport .
+            ?a pr:severity "blocker" }}""",
+        "PQ23": f"""{_PREFIX} SELECT ?a ?g ?id WHERE {{
+            ?a pr:graph ?g . ?a dc:identifier ?id .
+            ?a pr:tool pr:testify }}""",
+        "PQ24": f"""{_PREFIX} SELECT ?bug ?title ?who ?sev WHERE {{
+            ?bug rdf:type pr:BugReport .
+            ?bug dc:title ?title .
+            ?bug dc:creator ?who .
+            OPTIONAL {{ ?bug pr:severity ?sev }}
+            ?bug pr:state "open" }}""",
+        "PQ25": f"""{_PREFIX} SELECT ?a WHERE {{
+            ?a rdf:type pr:Build }} ORDER BY ?a LIMIT 20""",
+        # -- long-running (Figure 17 set, with PQ10 above) ----------------
+        "PQ26": f"""{_PREFIX} SELECT ?who ?bug ?test WHERE {{
+            ?bug dc:creator ?who .
+            ?test dc:creator ?who .
+            ?bug rdf:type pr:BugReport .
+            ?test rdf:type pr:TestCase .
+            ?test pr:validates ?bug }}""",
+        "PQ27": f"""{_PREFIX} SELECT ?a ?b ?c WHERE {{
+            ?a pr:relatesTo ?b .
+            ?b pr:relatesTo ?c .
+            ?c pr:relatesTo ?d }}""",
+        "PQ28": f"""{_PREFIX} SELECT ?req ?bug ?change WHERE {{
+            ?bug pr:relatesTo ?req .
+            ?req rdf:type pr:Requirement .
+            ?change pr:implements ?req .
+            ?bug rdf:type pr:BugReport .
+            OPTIONAL {{ ?change pr:touches ?file }} }}""",
+        "PQ29": f"""{_PREFIX} SELECT ?a ?state ?sev WHERE {{
+            ?a rdf:type pr:BugReport .
+            ?a pr:state ?state .
+            OPTIONAL {{ ?a pr:severity ?sev }}
+            FILTER (?state != "closed") }}""",
+    }
+    return {name: " ".join(text.split()) for name, text in qs.items()}

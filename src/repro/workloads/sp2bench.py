@@ -1,0 +1,224 @@
+"""An SP2Bench-style DBLP workload: generator plus the 17 queries SQ1–SQ17.
+
+Follows the SP2Bench schema (Schmidt et al.): journals, articles,
+proceedings, inproceedings, persons (authors/editors), with DC / DCTERMS /
+SWRC / FOAF vocabulary. The queries keep each original's *shape* — SQ2's
+wide optional star, SQ4's quadratic same-journal author pairs, SQ5's
+name-equality join, SQ6/SQ7's negation via OPTIONAL + !bound, SQ8's union
+star — restricted to the SPARQL 1.0 subset the stores support.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import Namespace
+from ..rdf.terms import Literal, Triple, URI, XSD_INTEGER
+
+RDF_TYPE = URI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+DC = Namespace("http://purl.org/dc/elements/1.1/")
+DCTERMS = Namespace("http://purl.org/dc/terms/")
+BENCH = Namespace("http://localhost/vocabulary/bench/")
+SWRC = Namespace("http://swrc.ontoware.org/ontology#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+
+FIRST_YEAR = 1990
+
+
+@dataclass
+class Sp2bData:
+    graph: Graph
+    years: int
+    persons: int
+
+
+def _year_literal(year: int) -> Literal:
+    return Literal(str(year), datatype=XSD_INTEGER)
+
+
+def generate(target_triples: int = 50_000, seed: int = 42) -> Sp2bData:
+    """Generate a DBLP-shaped graph of roughly ``target_triples``."""
+    rng = random.Random(seed)
+    graph = Graph()
+
+    def add(s, p, o):
+        graph.add(Triple(s, p, o))
+
+    # ~14 triples per article/inproceedings incl. authorship; scale counts.
+    documents = max(10, target_triples // 16)
+    persons = max(10, documents // 2)
+    years = max(3, min(20, documents // 40))
+
+    person_uris = []
+    for i in range(persons):
+        person = URI(f"http://localhost/persons/p{i}")
+        person_uris.append(person)
+        add(person, RDF_TYPE, FOAF.Person)
+        add(person, FOAF.name, Literal(f"Person {i}"))
+
+    journals_by_year: dict[int, URI] = {}
+    proceedings_by_year: dict[int, URI] = {}
+    for offset in range(years):
+        year = FIRST_YEAR + offset
+        journal = URI(f"http://localhost/journals/Journal{offset}")
+        journals_by_year[year] = journal
+        add(journal, RDF_TYPE, BENCH.Journal)
+        add(journal, DC.title, Literal(f"Journal {offset} ({year})"))
+        add(journal, DCTERMS.issued, _year_literal(year))
+        proceeding = URI(f"http://localhost/proceedings/Proc{offset}")
+        proceedings_by_year[year] = proceeding
+        add(proceeding, RDF_TYPE, BENCH.Proceedings)
+        add(proceeding, DC.title, Literal(f"Proceedings {offset} ({year})"))
+        add(proceeding, DCTERMS.issued, _year_literal(year))
+        editor = rng.choice(person_uris)
+        add(proceeding, SWRC.editor, editor)
+
+    for i in range(documents):
+        year = FIRST_YEAR + rng.randrange(years)
+        is_article = rng.random() < 0.6
+        if is_article:
+            doc = URI(f"http://localhost/articles/a{i}")
+            add(doc, RDF_TYPE, BENCH.Article)
+            add(doc, SWRC.journal, journals_by_year[year])
+            add(doc, SWRC.pages, Literal(str(rng.randrange(1, 400))))
+        else:
+            doc = URI(f"http://localhost/inproc/i{i}")
+            add(doc, RDF_TYPE, BENCH.Inproceedings)
+            add(doc, BENCH.booktitle, Literal(f"Booktitle {year}"))
+            add(doc, DCTERMS.partOf, proceedings_by_year[year])
+        add(doc, DC.title, Literal(f"Title of document {i}"))
+        add(doc, DCTERMS.issued, _year_literal(year))
+        author_count = 1 + min(3, int(rng.expovariate(1.0)))
+        for author in rng.sample(person_uris, min(author_count, len(person_uris))):
+            add(doc, DC.creator, author)
+        if rng.random() < 0.5:
+            add(doc, BENCH.abstract, Literal(f"Abstract text for {i}"))
+        if rng.random() < 0.3:
+            add(doc, RDFS.seeAlso, URI(f"http://ftp.example.org/doc{i}.html"))
+        if rng.random() < 0.4:
+            other = rng.randrange(documents)
+            add(doc, DCTERMS.references, URI(f"http://localhost/articles/a{other}"))
+
+    return Sp2bData(graph, years, persons)
+
+
+_PREFIX = (
+    f"PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+    f"PREFIX dc: <{DC.base}> PREFIX dcterms: <{DCTERMS.base}> "
+    f"PREFIX bench: <{BENCH.base}> PREFIX swrc: <{SWRC.base}> "
+    f"PREFIX foaf: <{FOAF.base}> PREFIX rdfs: <{RDFS.base}> "
+    f"PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>"
+)
+
+
+def queries() -> dict[str, str]:
+    """SQ1–SQ17 (SP2Bench shapes on the supported subset)."""
+    qs = {
+        # SQ1: the year of a specific journal
+        "SQ1": f"""{_PREFIX} SELECT ?yr WHERE {{
+            ?journal rdf:type bench:Journal .
+            ?journal dc:title "Journal 0 (1990)" .
+            ?journal dcterms:issued ?yr }}""",
+        # SQ2: wide star over inproceedings with an OPTIONAL abstract,
+        # ordered by year
+        "SQ2": f"""{_PREFIX} SELECT ?inproc ?booktitle ?title ?proc ?yr ?abstract WHERE {{
+            ?inproc rdf:type bench:Inproceedings .
+            ?inproc bench:booktitle ?booktitle .
+            ?inproc dc:title ?title .
+            ?inproc dcterms:partOf ?proc .
+            ?inproc dcterms:issued ?yr .
+            OPTIONAL {{ ?inproc bench:abstract ?abstract }}
+        }} ORDER BY ?yr""",
+        # SQ3a/b/c: articles with a given property (selectivity sweep)
+        "SQ3a": f"""{_PREFIX} SELECT ?article WHERE {{
+            ?article rdf:type bench:Article .
+            ?article swrc:pages ?value }}""",
+        "SQ3b": f"""{_PREFIX} SELECT ?article WHERE {{
+            ?article rdf:type bench:Article .
+            ?article bench:abstract ?value }}""",
+        "SQ3c": f"""{_PREFIX} SELECT ?article WHERE {{
+            ?article rdf:type bench:Article .
+            ?article rdfs:seeAlso ?value }}""",
+        # SQ4: same-journal author pairs (the quadratic blow-up)
+        "SQ4": f"""{_PREFIX} SELECT DISTINCT ?name1 ?name2 WHERE {{
+            ?article1 rdf:type bench:Article .
+            ?article2 rdf:type bench:Article .
+            ?article1 dc:creator ?author1 .
+            ?author1 foaf:name ?name1 .
+            ?article2 dc:creator ?author2 .
+            ?author2 foaf:name ?name2 .
+            ?article1 swrc:journal ?journal .
+            ?article2 swrc:journal ?journal
+            FILTER (?name1 < ?name2) }}""",
+        # SQ5a: authors of articles and inproceedings (implicit person join)
+        "SQ5a": f"""{_PREFIX} SELECT DISTINCT ?person ?name WHERE {{
+            ?article rdf:type bench:Article .
+            ?article dc:creator ?person .
+            ?inproc rdf:type bench:Inproceedings .
+            ?inproc dc:creator ?person .
+            ?person foaf:name ?name }}""",
+        # SQ5b: the same join expressed through name-equality FILTER
+        "SQ5b": f"""{_PREFIX} SELECT DISTINCT ?person ?name WHERE {{
+            ?article rdf:type bench:Article .
+            ?article dc:creator ?person2 .
+            ?person2 foaf:name ?name2 .
+            ?inproc rdf:type bench:Inproceedings .
+            ?inproc dc:creator ?person .
+            ?person foaf:name ?name
+            FILTER (?name = ?name2) }}""",
+        # SQ6: documents with no reference to them (negation via !bound)
+        "SQ6": f"""{_PREFIX} SELECT ?yr ?name ?document WHERE {{
+            ?document dcterms:issued ?yr .
+            ?document dc:creator ?author .
+            ?author foaf:name ?name .
+            OPTIONAL {{ ?other dcterms:references ?document }}
+            FILTER (!bound(?other)) }}""",
+        # SQ7: documents cited but without pages recorded
+        "SQ7": f"""{_PREFIX} SELECT DISTINCT ?title WHERE {{
+            ?doc dc:title ?title .
+            ?doc2 dcterms:references ?doc .
+            OPTIONAL {{ ?doc swrc:pages ?pages }}
+            FILTER (!bound(?pages)) }}""",
+        # SQ8: persons publishing in either form in a given year (union star)
+        "SQ8": f"""{_PREFIX} SELECT DISTINCT ?name WHERE {{
+            {{ ?article rdf:type bench:Article .
+               ?article dc:creator ?person .
+               ?article dcterms:issued "1990"^^xsd:integer }}
+            UNION
+            {{ ?inproc rdf:type bench:Inproceedings .
+               ?inproc dc:creator ?person .
+               ?inproc dcterms:issued "1990"^^xsd:integer }}
+            ?person foaf:name ?name }}""",
+        # SQ9: all predicates on persons, both directions (variable preds)
+        "SQ9": f"""{_PREFIX} SELECT DISTINCT ?predicate WHERE {{
+            {{ ?person rdf:type foaf:Person . ?subject ?predicate ?person }}
+            UNION
+            {{ ?person rdf:type foaf:Person . ?person ?predicate ?object }} }}""",
+        # SQ10: everything pointing at a specific person
+        "SQ10": f"""{_PREFIX} SELECT ?subject ?predicate WHERE {{
+            ?subject ?predicate <http://localhost/persons/p0> }}""",
+        # SQ11: seeAlso page with ORDER/LIMIT/OFFSET
+        "SQ11": f"""{_PREFIX} SELECT ?ee WHERE {{
+            ?publication rdfs:seeAlso ?ee
+        }} ORDER BY ?ee LIMIT 10 OFFSET 5""",
+        # SQ12a (ASK form of SQ5), SQ12b (ASK form of SQ8), SQ12c (ASK miss)
+        "SQ12a": f"""{_PREFIX} ASK {{
+            ?article rdf:type bench:Article .
+            ?article dc:creator ?person .
+            ?inproc rdf:type bench:Inproceedings .
+            ?inproc dc:creator ?person }}""",
+        "SQ12b": f"""{_PREFIX} ASK {{
+            {{ ?article rdf:type bench:Article .
+               ?article dc:creator ?person .
+               ?article dcterms:issued "1990"^^xsd:integer }}
+            UNION
+            {{ ?inproc rdf:type bench:Inproceedings .
+               ?inproc dc:creator ?person .
+               ?inproc dcterms:issued "1990"^^xsd:integer }} }}""",
+        "SQ12c": f"""{_PREFIX} ASK {{
+            ?unknown rdf:type bench:NoSuchClass }}""",
+    }
+    return {name: " ".join(text.split()) for name, text in qs.items()}

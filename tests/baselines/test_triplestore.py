@@ -1,0 +1,55 @@
+"""Triple-store baseline: layout and translation."""
+
+import pytest
+
+from repro import Triple, URI
+from repro.baselines import TripleStore
+from repro.sparql import query_graph
+
+from ..conftest import FIGURE6_QUERY
+
+
+@pytest.fixture
+def store(fig1_graph):
+    return TripleStore.from_graph(fig1_graph)
+
+
+class TestLayout:
+    def test_one_row_per_triple(self, store, fig1_graph):
+        assert store.backend.row_count(store.table) == len(fig1_graph)
+
+    def test_add(self, store):
+        store.add(Triple(URI("IBM"), URI("founded"), URI("1911")))
+        result = store.query("SELECT ?y WHERE { <IBM> <founded> ?y }")
+        assert result.key_rows() == [("1911",)]
+
+
+class TestTranslation:
+    def test_star_query_self_joins(self, store):
+        """Figure 2(c): the triple-store needs one TRIPLES access per
+        pattern — a self-join chain."""
+        sql = store.explain(
+            "SELECT ?s WHERE { ?s <industry> <Software> . ?s <HQ> <Armonk> }"
+        )
+        assert sql.count('"TRIPLES"') == 2
+
+    def test_figure6_matches_reference(self, store, fig1_graph):
+        reference = query_graph(fig1_graph, FIGURE6_QUERY)
+        assert store.query(FIGURE6_QUERY).matches(reference)
+
+    def test_no_merge_ever(self, store):
+        sql = store.explain(
+            "SELECT ?a ?b ?c WHERE { ?s <p> ?a . ?s <q> ?b . ?s <r> ?c }"
+        )
+        assert sql.count('"TRIPLES"') == 3
+
+    def test_variable_predicate(self, store, fig1_graph):
+        result = store.query("SELECT ?p WHERE { <Android> ?p ?o }")
+        assert len(result) == 5
+
+
+class TestIndexOptions:
+    def test_subject_only_index(self, fig1_graph):
+        store = TripleStore.from_graph(fig1_graph, index_objects=False)
+        result = store.query("SELECT ?s WHERE { ?s <industry> <Software> }")
+        assert len(result) == 2

@@ -1,0 +1,54 @@
+"""Predicate-oriented baseline: per-predicate tables and translation."""
+
+import pytest
+
+from repro import Triple, URI
+from repro.baselines import VerticalStore
+from repro.sparql import query_graph
+
+from ..conftest import FIGURE6_QUERY
+
+
+@pytest.fixture
+def store(fig1_graph):
+    return VerticalStore.from_graph(fig1_graph)
+
+
+class TestLayout:
+    def test_one_table_per_predicate(self, store, fig1_graph):
+        predicates = {t.predicate.value for t in fig1_graph}
+        assert set(store.tables) == predicates
+
+    def test_new_predicate_creates_table(self, store):
+        before = len(store.tables)
+        store.add(Triple(URI("IBM"), URI("stock"), URI("NYSE")))
+        assert len(store.tables) == before + 1
+        result = store.query("SELECT ?s WHERE { ?s <stock> ?o }")
+        assert result.key_rows() == [("IBM",)]
+
+
+class TestTranslation:
+    def test_star_joins_per_predicate_table(self, store):
+        sql = store.explain(
+            "SELECT ?s WHERE { ?s <industry> <Software> . ?s <HQ> <Armonk> }"
+        )
+        assert sql.count(store.tables["industry"]) == 1
+        assert sql.count(store.tables["HQ"]) == 1
+
+    def test_figure6_matches_reference(self, store, fig1_graph):
+        reference = query_graph(fig1_graph, FIGURE6_QUERY)
+        assert store.query(FIGURE6_QUERY).matches(reference)
+
+    def test_variable_predicate_unions_all_tables(self, store):
+        sql = store.explain("SELECT ?p ?o WHERE { <IBM> ?p ?o }")
+        assert sql.count("UNION ALL") == len(store.tables) - 1
+
+    def test_unknown_predicate_is_empty(self, store):
+        result = store.query("SELECT ?s WHERE { ?s <no-such-predicate> ?o }")
+        assert len(result) == 0
+
+    def test_unknown_predicate_inside_optional(self, store):
+        result = store.query(
+            "SELECT ?hq ?x WHERE { <IBM> <HQ> ?hq OPTIONAL { <IBM> <nope> ?x } }"
+        )
+        assert result.key_rows() == [("Armonk", None)]

@@ -1,0 +1,117 @@
+"""Interference-graph coloring (§2.2–2.3, Figure 4, Table 4)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.coloring import (
+    InterferenceGraph,
+    build_interference_graph,
+    coloring_report,
+    direct_interference_graph,
+    greedy_color,
+    reverse_interference_graph,
+)
+
+
+class TestInterferenceGraph:
+    def test_co_occurring_predicates_interfere(self):
+        graph = build_interference_graph([["a", "b", "c"], ["c", "d"]])
+        assert "b" in graph.adjacency["a"]
+        assert "d" in graph.adjacency["c"]
+        assert "d" not in graph.adjacency["a"]
+
+    def test_frequency_counts_entities(self):
+        graph = build_interference_graph([["a", "b"], ["a"], ["a"]])
+        assert graph.frequency["a"] == 3
+        assert graph.frequency["b"] == 1
+
+    def test_duplicates_within_entity_collapse(self):
+        graph = InterferenceGraph()
+        graph.add_predicate_set(["a", "a", "b"])
+        assert graph.frequency["a"] == 1
+        assert "a" not in graph.adjacency["a"]
+
+
+class TestFigure4Example:
+    """The paper's Figure 4: 13 predicates of the Figure 1 data need only
+    5 colors; board and died share a color (they never co-occur)."""
+
+    def test_figure1_coloring(self, fig1_graph):
+        graph = direct_interference_graph(fig1_graph)
+        assert len(graph) == 13
+        result = greedy_color(graph)
+        assert result.colors_used <= 5
+        assert result.covered_triple_fraction == 1.0
+        # board (Larry Page) and died (Charles Flint) never co-occur, so
+        # a correct coloring is *allowed* to share their color; what is
+        # *required* is that co-occurring pairs differ:
+        for left, neighbors in graph.adjacency.items():
+            for right in neighbors:
+                assert result.assignment[left] != result.assignment[right]
+
+    def test_reverse_direction_smaller(self, fig1_graph):
+        reverse = reverse_interference_graph(fig1_graph)
+        result = greedy_color(reverse)
+        assert result.colors_used <= greedy_color(
+            direct_interference_graph(fig1_graph)
+        ).colors_used + 2  # sanity: same order of magnitude
+
+
+class TestGreedyColoring:
+    def test_valid_coloring_is_proper(self):
+        sets = [["a", "b"], ["b", "c"], ["c", "a"], ["d"]]
+        graph = build_interference_graph(sets)
+        result = greedy_color(graph)
+        assert result.colors_used == 3  # triangle needs 3
+        assert result.assignment["d"] in (0, 1, 2)
+
+    def test_max_colors_leaves_rare_predicates_uncovered(self):
+        # A 4-clique with one very frequent predicate.
+        sets = [["hot", "b", "c", "d"]] * 10 + [["hot"]] * 90
+        graph = build_interference_graph(sets)
+        result = greedy_color(graph, max_colors=2)
+        assert "hot" in result.assignment  # frequent predicate kept
+        assert len(result.uncovered) == 2
+        assert 0 < result.covered_triple_fraction < 1
+
+    def test_disconnected_predicates_share_color_zero(self):
+        graph = build_interference_graph([["a"], ["b"], ["c"]])
+        result = greedy_color(graph)
+        assert result.colors_used == 1
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=5),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_property_coloring_always_proper(self, sets):
+        graph = build_interference_graph(sets)
+        result = greedy_color(graph)
+        for left, neighbors in graph.adjacency.items():
+            for right in neighbors:
+                assert result.assignment[left] != result.assignment[right]
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=6),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(1, 4),
+    )
+    def test_property_max_colors_respected(self, sets, max_colors):
+        graph = build_interference_graph(sets)
+        result = greedy_color(graph, max_colors=max_colors)
+        assert result.colors_used <= max_colors
+        for predicate, color in result.assignment.items():
+            assert color < max_colors
+
+
+class TestReport:
+    def test_report_shape(self, fig1_graph):
+        result = greedy_color(direct_interference_graph(fig1_graph))
+        row = coloring_report("fig1", result)
+        assert row["dataset"] == "fig1"
+        assert row["predicates"] == 13
+        assert row["percent_covered"] == 100.0

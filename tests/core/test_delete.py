@@ -1,0 +1,96 @@
+"""Triple deletion: single values, multi-value shrink/demote, row cleanup."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Graph, RdfStore, Triple, URI
+from repro.sparql import query_graph
+
+
+def t(s, p, o):
+    return Triple(URI(s), URI(p), URI(o))
+
+
+@pytest.fixture
+def store(fig1_graph):
+    return RdfStore.from_graph(fig1_graph)
+
+
+class TestRemove:
+    def test_remove_single_valued(self, store):
+        assert store.remove(t("IBM", "HQ", "Armonk"))
+        assert len(store.query("SELECT ?o WHERE { <IBM> <HQ> ?o }")) == 0
+        # the rest of IBM's row is intact
+        assert len(store.query("SELECT ?o WHERE { <IBM> <employees> ?o }")) == 1
+
+    def test_remove_absent_triple_is_false(self, store):
+        assert not store.remove(t("IBM", "HQ", "Mars"))
+        assert not store.remove(t("IBM", "nope", "x"))
+        assert not store.remove(t("Nobody", "HQ", "x"))
+
+    def test_remove_one_of_multivalue(self, store):
+        assert store.remove(t("IBM", "industry", "Hardware"))
+        result = store.query("SELECT ?i WHERE { <IBM> <industry> ?i }")
+        assert sorted(result.key_rows()) == [("Services",), ("Software",)]
+
+    def test_multivalue_demotes_to_single(self, store):
+        store.remove(t("IBM", "industry", "Hardware"))
+        store.remove(t("IBM", "industry", "Services"))
+        result = store.query("SELECT ?i WHERE { <IBM> <industry> ?i }")
+        assert result.key_rows() == [("Software",)]
+        # the secondary table no longer holds IBM's lid rows
+        assert store.backend.row_count(store.schema.ds) == 2  # Google's pair
+
+    def test_remove_reverse_side_too(self, store):
+        store.remove(t("Larry_Page", "founder", "Google"))
+        result = store.query("SELECT ?who WHERE { ?who <founder> <Google> }")
+        assert len(result) == 0
+        # board edge still present in reverse
+        result = store.query("SELECT ?who WHERE { ?who <board> <Google> }")
+        assert result.key_rows() == [("Larry_Page",)]
+
+    def test_remove_last_predicate_drops_row(self, store):
+        for p, o in (("born", "1850"), ("died", "1934"), ("founder", "IBM")):
+            assert store.remove(t("Charles_Flint", p, o))
+        result = store.query("SELECT ?p ?o WHERE { <Charles_Flint> ?p ?o }")
+        assert len(result) == 0
+        _, rows = store.backend.execute(
+            f"SELECT * FROM {store.schema.dph} WHERE entry = 'Charles_Flint'"
+        )
+        assert rows == []
+
+    def test_readd_after_remove(self, store):
+        store.remove(t("IBM", "HQ", "Armonk"))
+        store.add(t("IBM", "HQ", "Poughkeepsie"))
+        result = store.query("SELECT ?o WHERE { <IBM> <HQ> ?o }")
+        assert result.key_rows() == [("Poughkeepsie",)]
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 10_000))
+def test_property_random_add_remove(seed):
+    """Random interleaving of adds and removes keeps the store's content
+    multiset-equal to a plain set of triples."""
+    rng = random.Random(seed)
+    pool = [
+        t(f"s{rng.randrange(4)}", f"p{rng.randrange(3)}", f"o{rng.randrange(4)}")
+        for _ in range(20)
+    ]
+    store = RdfStore()
+    mirror = Graph()
+    for _ in range(30):
+        triple = rng.choice(pool)
+        if rng.random() < 0.6:
+            store.add(triple)
+            mirror.add(triple)
+        else:
+            assert store.remove(triple) == mirror.discard(triple)
+    got = store.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+    expected = query_graph(mirror, "SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+    assert got.matches(expected)

@@ -1,0 +1,126 @@
+"""Predicate-to-column mappings (Definitions 2.1–2.2, Table 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.mapping import (
+    ColoringMapper,
+    CompositeMapper,
+    ExplicitMapper,
+    HashMapper,
+    columns_required,
+    composed_hashes,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("founder", 0) == stable_hash("founder", 0)
+
+    def test_seed_changes_hash(self):
+        assert stable_hash("founder", 0) != stable_hash("founder", 1)
+
+    @given(st.text(max_size=50), st.integers(0, 10))
+    def test_never_raises(self, text, seed):
+        assert isinstance(stable_hash(text, seed), int)
+
+
+class TestHashMapper:
+    def test_in_range(self):
+        mapper = HashMapper(8)
+        for predicate in ("a", "b", "c", "founder"):
+            (column,) = mapper.columns_for(predicate)
+            assert 0 <= column < 8
+
+    def test_single_candidate(self):
+        assert len(HashMapper(8).columns_for("x")) == 1
+
+    def test_rejects_zero_columns(self):
+        with pytest.raises(ValueError):
+            HashMapper(0)
+
+
+class TestCompositeMapper:
+    def test_candidates_ordered_and_deduplicated(self):
+        mapper = composed_hashes(4, n=3)
+        for predicate in ("p", "q", "r"):
+            candidates = mapper.columns_for(predicate)
+            assert len(candidates) == len(set(candidates))
+            assert all(0 <= c < 4 for c in candidates)
+
+    def test_first_candidate_is_first_mapper(self):
+        first = HashMapper(16, seed=0)
+        mapper = CompositeMapper([first, HashMapper(16, seed=1)])
+        assert mapper.columns_for("p")[0] == first.columns_for("p")[0]
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeMapper([])
+
+
+class TestTable3Example:
+    """The paper's Table 3: two hash functions over the Android predicates."""
+
+    HASHES = {
+        # predicate -> (h1, h2), columns renumbered to 0-based with k=4
+        "developer": (0, 2),
+        "version": (1, 0),
+        "kernel": (0, 2),
+        "preceded": (3, 0),
+        "graphics": (2, 1),
+    }
+
+    def mapper(self):
+        k = 4
+        h1 = ExplicitMapper({p: h[0] for p, h in self.HASHES.items()}, k)
+        h2 = ExplicitMapper({p: h[1] for p, h in self.HASHES.items()}, k)
+        return CompositeMapper([h1, h2])
+
+    def test_candidate_sequences(self):
+        mapper = self.mapper()
+        assert mapper.columns_for("developer") == (0, 2)
+        assert mapper.columns_for("kernel") == (0, 2)
+        assert mapper.columns_for("graphics") == (2, 1)
+
+    def test_insertion_walkthrough(self):
+        """§2.2's insertion order produces exactly the Figure 1(b) layout:
+        developer->0, version->1, kernel->2 (spilled over by h2),
+        preceded->3, graphics spills to a second row."""
+        from repro.core.loader import pack_entity
+
+        mapper = self.mapper()
+        pred_values = {
+            "developer": "Google",
+            "version": "4.1",
+            "kernel": "Linux",
+            "preceded": "4.0",
+            "graphics": "OpenGL",
+        }
+        rows, spilled = pack_entity("Android", pred_values, mapper, width=4)
+        assert len(rows) == 2
+        assert spilled == {"graphics"}
+        first, second = rows
+        assert first[0] == "Android" and first[1] == 1  # spill flag set
+        # first row layout: (entry, spill, p0, v0, p1, v1, p2, v2, p3, v3)
+        assert first[2:] == [
+            "developer", "Google", "version", "4.1",
+            "kernel", "Linux", "preceded", "4.0",
+        ]
+        assert second[2 + 2 * 2] == "graphics"  # column 2 via h1
+
+
+class TestColoringMapper:
+    def test_covered_predicate_single_column(self):
+        mapper = ColoringMapper({"a": 0, "b": 1}, num_columns=4)
+        assert mapper.columns_for("a") == (0,)
+        assert mapper.colors_used() == 2
+
+    def test_uncovered_falls_back_to_hash(self):
+        fallback = composed_hashes(4)
+        mapper = ColoringMapper({"a": 0}, num_columns=4, fallback=fallback)
+        assert mapper.columns_for("zzz") == fallback.columns_for("zzz")
+
+    def test_columns_required(self):
+        mapper = ColoringMapper({"a": 0, "b": 0, "c": 1}, num_columns=8)
+        assert columns_required(mapper, ["a", "b", "c"]) == 2

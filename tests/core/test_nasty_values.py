@@ -1,0 +1,100 @@
+"""Robustness against hostile term content: quotes, SQL metacharacters,
+unicode, huge strings — through storage, SQL generation, and both backends."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Graph, RdfStore, SqliteBackend, Triple, URI
+from repro.rdf.terms import Literal
+from repro.sparql import query_graph
+
+NASTY_STRINGS = [
+    "it's quoted",
+    'double "quotes" here',
+    "semi;colon, comma",
+    "drop table; --",
+    "percent % underscore _",
+    "tab\tnewline\n",
+    "ünïcødé ☃ 中文",
+    "back\\slash",
+    "",
+    "a" * 500,
+]
+
+
+@pytest.fixture(params=["minirel", "sqlite"])
+def backend_name(request):
+    return request.param
+
+
+def make_store(graph, backend_name):
+    backend = SqliteBackend() if backend_name == "sqlite" else None
+    return RdfStore.from_graph(graph, backend=backend)
+
+
+class TestNastyLiterals:
+    def test_round_trip_all(self, backend_name):
+        graph = Graph(
+            Triple(URI(f"s{i}"), URI("p"), Literal(value))
+            for i, value in enumerate(NASTY_STRINGS)
+        )
+        store = make_store(graph, backend_name)
+        result = store.query("SELECT ?s ?o WHERE { ?s <p> ?o }")
+        expected = query_graph(graph, "SELECT ?s ?o WHERE { ?s <p> ?o }")
+        assert result.matches(expected)
+        values = {v.value for _, v in result}
+        assert values == set(NASTY_STRINGS)
+
+    @pytest.mark.parametrize("value", NASTY_STRINGS)
+    def test_constant_lookup(self, value, backend_name):
+        graph = Graph(
+            [
+                Triple(URI("hit"), URI("p"), Literal(value)),
+                Triple(URI("miss"), URI("p"), Literal(value + "x")),
+            ]
+        )
+        store = make_store(graph, backend_name)
+        # build the query via the parsed AST to avoid embedding the value
+        # in SPARQL text (escaping is the parser's concern, tested there)
+        from repro.sparql.ast import GroupPattern, SelectQuery, TriplePattern, Var
+
+        query = SelectQuery(
+            variables=["s"],
+            where=GroupPattern(
+                [TriplePattern(Var("s"), URI("p"), Literal(value))]
+            ),
+        )
+        result = store.query(query)
+        assert result.key_rows() == [("hit",)]
+
+    def test_nasty_uri_characters(self, backend_name):
+        uri = URI("http://e/path?query=1&other='x'")
+        graph = Graph([Triple(uri, URI("p"), URI("o"))])
+        store = make_store(graph, backend_name)
+        result = store.query("SELECT ?s WHERE { ?s <p> <o> }")
+        assert result.key_rows() == [(uri.value,)]
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    values=st.lists(
+        st.text(
+            alphabet=st.characters(blacklist_categories=("Cs",)), max_size=30
+        ),
+        min_size=1,
+        max_size=8,
+        unique=True,
+    )
+)
+def test_property_arbitrary_text_round_trips(values):
+    graph = Graph(
+        Triple(URI(f"s{i}"), URI("p"), Literal(value))
+        for i, value in enumerate(values)
+    )
+    store = RdfStore.from_graph(graph)
+    result = store.query("SELECT ?o WHERE { ?s <p> ?o }")
+    assert {term.value for (term,) in result} == set(values)

@@ -1,0 +1,116 @@
+"""Stress the spill machinery: tiny column budgets force spill rows, and
+every query path (single access, merge veto, scans) must stay correct."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import EngineConfig, Graph, RdfStore, Triple, URI
+from repro.core.mapping import HashMapper
+from repro.sparql import query_graph
+
+
+def star_graph(predicates: int, subjects: int, seed: int = 3) -> Graph:
+    rng = random.Random(seed)
+    graph = Graph()
+    for i in range(subjects):
+        subject = URI(f"s{i}")
+        for p in range(predicates):
+            if rng.random() < 0.8:
+                graph.add(
+                    Triple(subject, URI(f"p{p}"), URI(f"o{rng.randrange(5)}"))
+                )
+    return graph
+
+
+def tiny_store(graph: Graph, columns: int = 2) -> RdfStore:
+    """A store with a deliberately starved column budget (single hash, no
+    composition): nearly every entity spills."""
+    store = RdfStore(
+        direct_columns=columns,
+        reverse_columns=columns,
+        direct_mapper=HashMapper(columns),
+        reverse_mapper=HashMapper(columns),
+    )
+    store.load_graph(graph)
+    return store
+
+
+class TestSpilledStore:
+    def setup_method(self):
+        self.graph = star_graph(predicates=6, subjects=30)
+        self.store = tiny_store(self.graph)
+
+    def test_spills_actually_happened(self):
+        assert self.store.direct_meta.spill_rows > 0
+        assert self.store.direct_meta.spill_predicates
+
+    def test_full_scan_complete(self):
+        result = self.store.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+        assert len(result) == len(self.graph)
+
+    def test_single_triple_lookup_across_spill_rows(self):
+        expected = query_graph(self.graph, "SELECT ?o WHERE { <s0> <p3> ?o }")
+        result = self.store.query("SELECT ?o WHERE { <s0> <p3> ?o }")
+        assert result.matches(expected)
+
+    def test_star_query_with_spilled_predicates(self):
+        """The merger must refuse to merge spilled predicates; the cascaded
+        accesses must still find entities whose star spans spill rows."""
+        query = (
+            "SELECT ?s WHERE { ?s <p0> ?a . ?s <p1> ?b . ?s <p2> ?c . "
+            "?s <p3> ?d }"
+        )
+        expected = query_graph(self.graph, query)
+        result = self.store.query(query)
+        assert result.matches(expected)
+        assert len(result) > 0
+
+    def test_merge_vetoed_for_spilled_predicates(self):
+        spilled = sorted(self.store.direct_meta.spill_predicates)[0]
+        other = next(
+            p
+            for p in ("p0", "p1", "p2", "p3", "p4", "p5")
+            if p != spilled
+        )
+        sql = self.store.explain(
+            f"SELECT ?s WHERE {{ ?s <{spilled}> ?a . ?s <{other}> ?b }}"
+        )
+        assert sql.count('"DPH"') == 2  # cascaded, not merged
+
+    def test_reverse_lookups_with_spills(self):
+        query = "SELECT ?s WHERE { ?s <p1> <o2> }"
+        expected = query_graph(self.graph, query)
+        assert self.store.query(query).matches(expected)
+
+    def test_union_and_optional_over_spills(self):
+        query = (
+            "SELECT ?s ?x WHERE { { ?s <p0> ?x } UNION { ?s <p5> ?x } "
+            "OPTIONAL { ?s <p2> ?y } }"
+        )
+        expected = query_graph(self.graph, query)
+        assert self.store.query(query).matches(expected)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 1000),
+    columns=st.integers(1, 3),
+)
+def test_property_spilled_stores_match_reference(seed, columns):
+    graph = star_graph(predicates=5, subjects=12, seed=seed)
+    store = tiny_store(graph, columns=columns)
+    queries = [
+        "SELECT ?s ?p ?o WHERE { ?s ?p ?o }",
+        "SELECT ?s WHERE { ?s <p0> ?a . ?s <p1> ?b }",
+        "SELECT ?o WHERE { <s1> <p2> ?o }",
+        "SELECT ?s WHERE { ?s <p3> <o1> }",
+    ]
+    for sparql in queries:
+        expected = query_graph(graph, sparql)
+        assert store.query(sparql).matches(expected), sparql

@@ -1,0 +1,128 @@
+"""RDF-aware SQL scalar functions: NULL discipline and value semantics."""
+
+import pytest
+
+from repro.core import sqlfunctions as fn
+from repro.rdf.terms import Literal, URI, XSD_INTEGER, XSD_STRING, term_key
+
+
+def key(term):
+    return term_key(term)
+
+
+class TestRdfNum:
+    def test_typed_integer(self):
+        assert fn.rdf_num(key(Literal("42", datatype=XSD_INTEGER))) == 42.0
+
+    def test_plain_literal_not_numeric(self):
+        assert fn.rdf_num(key(Literal("42"))) is None
+
+    def test_uri_not_numeric(self):
+        assert fn.rdf_num("http://x/42") is None
+
+    def test_malformed_numeric_literal(self):
+        assert fn.rdf_num(key(Literal("not-a-number", datatype=XSD_INTEGER))) is None
+
+    def test_null_in_null_out(self):
+        assert fn.rdf_num(None) is None
+
+
+class TestRdfOrd:
+    def test_plain_literal_orderable(self):
+        assert fn.rdf_ord(key(Literal("abc"))) == "abc"
+
+    def test_xsd_string_orderable(self):
+        assert fn.rdf_ord(key(Literal("abc", datatype=XSD_STRING))) == "abc"
+
+    def test_typed_literal_not_orderable(self):
+        assert fn.rdf_ord(key(Literal("5", datatype=XSD_INTEGER))) is None
+
+    def test_lang_literal_not_orderable(self):
+        assert fn.rdf_ord(key(Literal("x", lang="en"))) is None
+
+    def test_uri_not_orderable(self):
+        assert fn.rdf_ord("http://x/a") is None
+
+
+class TestRdfStr:
+    def test_literal_lexical(self):
+        assert fn.rdf_str(key(Literal("abc", lang="en"))) == "abc"
+
+    def test_uri_text(self):
+        assert fn.rdf_str("http://x/a") == "http://x/a"
+
+    def test_blank_node(self):
+        assert fn.rdf_str("_:b1") == "_:b1"
+
+
+class TestKindPredicates:
+    def test_is_uri(self):
+        assert fn.rdf_is_uri("http://x/a") == 1
+        assert fn.rdf_is_uri(key(Literal("x"))) == 0
+        assert fn.rdf_is_uri("_:b") == 0
+
+    def test_is_literal(self):
+        assert fn.rdf_is_literal(key(Literal("x"))) == 1
+        assert fn.rdf_is_literal("http://x") == 0
+
+    def test_is_blank(self):
+        assert fn.rdf_is_blank("_:b") == 1
+        assert fn.rdf_is_blank("http://x") == 0
+
+
+class TestLangAndDatatype:
+    def test_lang(self):
+        assert fn.rdf_lang(key(Literal("x", lang="en"))) == "en"
+        assert fn.rdf_lang(key(Literal("x"))) == ""
+        assert fn.rdf_lang("http://x") is None
+
+    def test_datatype(self):
+        assert fn.rdf_datatype(key(Literal("5", datatype=XSD_INTEGER))) == XSD_INTEGER
+        assert fn.rdf_datatype(key(Literal("x"))) == XSD_STRING
+
+    def test_lang_matches(self):
+        assert fn.rdf_lang_matches("en-US", "en") == 1
+        assert fn.rdf_lang_matches("en", "EN") == 1
+        assert fn.rdf_lang_matches("fr", "en") == 0
+        assert fn.rdf_lang_matches("en", "*") == 1
+        assert fn.rdf_lang_matches("", "*") == 0
+
+
+class TestRegexAndEbv:
+    def test_regex_on_literal(self):
+        assert fn.rdf_regex(key(Literal("hello world")), "wor", "") == 1
+        assert fn.rdf_regex(key(Literal("hello")), "^h.z", "") == 0
+
+    def test_regex_case_flag(self):
+        assert fn.rdf_regex(key(Literal("HELLO")), "hello", "i") == 1
+        assert fn.rdf_regex(key(Literal("HELLO")), "hello", "") == 0
+
+    def test_regex_on_uri_uses_text(self):
+        assert fn.rdf_regex("http://dbpedia.org/IBM", "IBM$", "") == 1
+
+    def test_ebv(self):
+        from repro.rdf.terms import XSD_BOOLEAN
+
+        assert fn.rdf_ebv(key(Literal("true", datatype=XSD_BOOLEAN))) == 1
+        assert fn.rdf_ebv(key(Literal("0", datatype=XSD_INTEGER))) == 0
+        assert fn.rdf_ebv(key(Literal(""))) == 0
+        assert fn.rdf_ebv(key(Literal("x"))) == 1
+        assert fn.rdf_ebv("http://x") is None
+
+
+class TestRegistration:
+    def test_all_registered_in_engine(self):
+        from repro.relational.expressions import CUSTOM_FUNCTIONS
+
+        for name in fn.ALL_FUNCTIONS:
+            assert name in CUSTOM_FUNCTIONS
+
+    def test_usable_from_sql_on_both_backends(self):
+        from repro.backends import MiniRelBackend, SqliteBackend
+        from repro.relational.types import ColumnType
+
+        for backend in (MiniRelBackend(), SqliteBackend()):
+            backend.create_table("t", [("k", ColumnType.TEXT)])
+            backend.insert_many("t", [(key(Literal("7", datatype=XSD_INTEGER)),)])
+            _, rows = backend.execute("SELECT RDF_NUM(k) FROM t")
+            assert rows == [(7.0,)]

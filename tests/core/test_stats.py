@@ -1,0 +1,58 @@
+"""Dataset statistics for the optimizer (§3.1)."""
+
+from repro.core.stats import DatasetStatistics
+from repro.rdf.terms import URI
+
+
+class TestFromGraph:
+    def test_figure6_style_counts(self, fig1_graph):
+        stats = DatasetStatistics.from_graph(fig1_graph)
+        assert stats.total_triples == 21
+        assert stats.distinct_subjects == 5
+        # IBM appears as subject 5 times and object twice (founder, DBpedia
+        # sample has one founder edge + no others) -> top maps carry both.
+        assert stats.top_subjects["IBM"] == 5
+        assert stats.top_objects["Google"] == 3
+
+    def test_averages(self, fig1_graph):
+        stats = DatasetStatistics.from_graph(fig1_graph)
+        assert stats.avg_triples_per_subject == 21 / 5
+        assert stats.avg_triples_per_object == 21 / stats.distinct_objects
+
+    def test_top_k_truncation(self, fig1_graph):
+        stats = DatasetStatistics.from_graph(fig1_graph, top_k=2)
+        assert len(stats.top_subjects) == 2
+
+
+class TestCardinalities:
+    def test_known_constant_exact(self, fig1_graph):
+        stats = DatasetStatistics.from_graph(fig1_graph)
+        assert stats.subject_cardinality(URI("IBM")) == 5.0
+        assert stats.object_cardinality(URI("Software")) == 2.0
+
+    def test_unknown_constant_falls_back_to_average(self, fig1_graph):
+        stats = DatasetStatistics.from_graph(fig1_graph, top_k=1)
+        fallback = stats.subject_cardinality(URI("never-seen"))
+        assert fallback == stats.avg_triples_per_subject
+
+    def test_variable_uses_average(self, fig1_graph):
+        stats = DatasetStatistics.from_graph(fig1_graph)
+        assert stats.subject_cardinality(None) == stats.avg_triples_per_subject
+
+    def test_scan_is_total(self, fig1_graph):
+        stats = DatasetStatistics.from_graph(fig1_graph)
+        assert stats.scan_cardinality() == 21.0
+
+    def test_empty_statistics_safe(self):
+        stats = DatasetStatistics()
+        assert stats.avg_triples_per_subject == 1.0
+        assert stats.subject_cardinality(URI("x")) == 1.0
+
+
+class TestIncrementalMaintenance:
+    def test_record_triple(self, fig1_graph):
+        stats = DatasetStatistics.from_graph(fig1_graph)
+        stats.record_triple("IBM", "industry", "Software")
+        assert stats.total_triples == 22
+        assert stats.top_subjects["IBM"] == 6
+        assert stats.predicate_counts["industry"] == 6

@@ -1,0 +1,97 @@
+"""In-memory graph: indexes, matching, predicate sets."""
+
+from repro import Graph, Triple, URI
+from repro.rdf.terms import Literal
+
+
+def t(s, p, o):
+    return Triple(URI(s), URI(p), URI(o))
+
+
+class TestGraphBasics:
+    def test_add_and_len(self):
+        g = Graph()
+        assert g.add(t("a", "p", "b"))
+        assert not g.add(t("a", "p", "b"))  # duplicate
+        assert len(g) == 1
+
+    def test_discard(self):
+        g = Graph([t("a", "p", "b")])
+        assert g.discard(t("a", "p", "b"))
+        assert not g.discard(t("a", "p", "b"))
+        assert len(g) == 0
+        assert list(g.match(subject=URI("a"))) == []
+
+    def test_contains(self):
+        g = Graph([t("a", "p", "b")])
+        assert t("a", "p", "b") in g
+        assert t("a", "p", "c") not in g
+
+
+class TestMatch:
+    def setup_method(self):
+        self.g = Graph(
+            [
+                t("a", "p", "b"),
+                t("a", "q", "c"),
+                t("d", "p", "b"),
+                t("d", "p", "c"),
+            ]
+        )
+
+    def test_match_subject(self):
+        assert len(list(self.g.match(subject=URI("a")))) == 2
+
+    def test_match_object(self):
+        assert len(list(self.g.match(obj=URI("b")))) == 2
+
+    def test_match_predicate(self):
+        assert len(list(self.g.match(predicate=URI("p")))) == 3
+
+    def test_match_combined(self):
+        matches = list(self.g.match(subject=URI("d"), predicate=URI("p")))
+        assert len(matches) == 2
+
+    def test_match_exact(self):
+        assert len(list(self.g.match(URI("a"), URI("p"), URI("b")))) == 1
+        assert len(list(self.g.match(URI("a"), URI("p"), URI("c")))) == 0
+
+    def test_match_all(self):
+        assert len(list(self.g.match())) == 4
+
+
+class TestPredicateSets:
+    def test_by_subject(self, fig1_graph):
+        sets = fig1_graph.predicate_sets_by_subject()
+        flint = sets[URI("Charles_Flint")]
+        assert {p.value for p in flint} == {"born", "died", "founder"}
+
+    def test_by_object(self, fig1_graph):
+        sets = fig1_graph.predicate_sets_by_object()
+        google = sets[URI("Google")]
+        assert {p.value for p in google} == {"founder", "board", "developer"}
+
+    def test_literals_index_as_objects(self):
+        g = Graph([Triple(URI("a"), URI("p"), Literal("x"))])
+        assert len(list(g.match(obj=Literal("x")))) == 1
+
+
+class TestFileIO:
+    def test_ntriples_round_trip(self, tmp_path, fig1_graph):
+        path = tmp_path / "g.nt"
+        fig1_graph.to_file(path)
+        loaded = Graph.from_file(path)
+        assert {t.n3() for t in loaded} == {t.n3() for t in fig1_graph}
+
+    def test_turtle_round_trip(self, tmp_path, fig1_graph):
+        path = tmp_path / "g.ttl"
+        fig1_graph.to_file(path)
+        loaded = Graph.from_file(path)
+        assert {t.n3() for t in loaded} == {t.n3() for t in fig1_graph}
+
+    def test_turtle_with_prefixes(self, tmp_path):
+        g = Graph([Triple(URI("http://e/s"), URI("http://e/p"), URI("http://e/o"))])
+        path = tmp_path / "g.ttl"
+        g.to_file(path, prefixes={"ex": "http://e/"})
+        assert "ex:s" in path.read_text()
+        assert Graph.from_file(path).__len__() == 1

@@ -1,0 +1,82 @@
+"""N-Triples parsing and serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf import ntriples
+from repro.rdf.terms import BNode, Literal, Triple, URI, XSD_INTEGER
+
+
+class TestParseLine:
+    def test_simple_triple(self):
+        triple = ntriples.parse_line("<s> <p> <o> .")
+        assert triple == Triple(URI("s"), URI("p"), URI("o"))
+
+    def test_literal_object(self):
+        triple = ntriples.parse_line('<s> <p> "v" .')
+        assert triple.object == Literal("v")
+
+    def test_typed_literal(self):
+        triple = ntriples.parse_line(f'<s> <p> "5"^^<{XSD_INTEGER}> .')
+        assert triple.object == Literal("5", datatype=XSD_INTEGER)
+
+    def test_lang_literal(self):
+        triple = ntriples.parse_line('<s> <p> "chat"@fr .')
+        assert triple.object == Literal("chat", lang="fr")
+
+    def test_bnode_subject(self):
+        triple = ntriples.parse_line("_:b1 <p> <o> .")
+        assert triple.subject == BNode("b1")
+
+    def test_escapes(self):
+        triple = ntriples.parse_line('<s> <p> "a\\nb\\"c" .')
+        assert triple.object == Literal('a\nb"c')
+
+    def test_blank_and_comment_lines(self):
+        assert ntriples.parse_line("") is None
+        assert ntriples.parse_line("# a comment") is None
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(ntriples.NTriplesError):
+            ntriples.parse_line("<s> <p> <o>")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ntriples.NTriplesError):
+            ntriples.parse_line('"lit" <p> <o> .')
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(ntriples.NTriplesError):
+            ntriples.parse_line('<s> "p" <o> .')
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ntriples.NTriplesError, match="line 2"):
+            list(ntriples.parse("<s> <p> <o> .\ngarbage here\n"))
+
+
+_terms = st.one_of(
+    st.from_regex(r"[a-z][a-z0-9/._-]{0,20}", fullmatch=True).map(URI),
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=20
+    ).map(Literal),
+    st.from_regex(r"[A-Za-z0-9_]{1,10}", fullmatch=True).map(BNode),
+)
+
+
+class TestRoundTrip:
+    @given(
+        st.lists(
+            st.tuples(
+                st.one_of(
+                    st.from_regex(r"[a-z][a-z0-9]{0,10}", fullmatch=True).map(URI),
+                    st.from_regex(r"[A-Za-z0-9_]{1,10}", fullmatch=True).map(BNode),
+                ),
+                st.from_regex(r"[a-z][a-z0-9]{0,10}", fullmatch=True).map(URI),
+                _terms,
+            ),
+            max_size=20,
+        )
+    )
+    def test_serialize_parse_round_trip(self, raw):
+        triples = [Triple(s, p, o) for s, p, o in raw]
+        text = ntriples.serialize(triples)
+        assert list(ntriples.parse(text)) == triples

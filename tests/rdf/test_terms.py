@@ -1,0 +1,96 @@
+"""RDF term model: construction, N3 rendering, key round-trips."""
+
+import pytest
+
+from repro.rdf.terms import (
+    BNode,
+    Literal,
+    Triple,
+    URI,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_INTEGER,
+    XSD_STRING,
+    term_from_key,
+    term_key,
+)
+
+
+class TestUri:
+    def test_n3(self):
+        assert URI("http://x/a").n3() == "<http://x/a>"
+
+    def test_equality_and_hash(self):
+        assert URI("http://x/a") == URI("http://x/a")
+        assert hash(URI("http://x/a")) == hash(URI("http://x/a"))
+        assert URI("http://x/a") != URI("http://x/b")
+
+
+class TestLiteral:
+    def test_plain_n3(self):
+        assert Literal("hello").n3() == '"hello"'
+
+    def test_escaping(self):
+        assert Literal('he said "hi"\n').n3() == '"he said \\"hi\\"\\n"'
+
+    def test_lang_tag(self):
+        assert Literal("chat", lang="fr").n3() == '"chat"@fr'
+
+    def test_typed(self):
+        assert (
+            Literal("5", datatype=XSD_INTEGER).n3()
+            == f'"5"^^<{XSD_INTEGER}>'
+        )
+
+    def test_xsd_string_renders_plain(self):
+        assert Literal("x", datatype=XSD_STRING).n3() == '"x"'
+
+    def test_both_lang_and_datatype_rejected(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD_INTEGER, lang="en")
+
+    def test_to_python(self):
+        assert Literal("5", datatype=XSD_INTEGER).to_python() == 5
+        assert Literal("5.5", datatype=XSD_DECIMAL).to_python() == 5.5
+        assert Literal("true", datatype=XSD_BOOLEAN).to_python() is True
+        assert Literal("plain").to_python() == "plain"
+
+    def test_is_numeric(self):
+        assert Literal("5", datatype=XSD_INTEGER).is_numeric
+        assert not Literal("5").is_numeric
+
+
+class TestTripleAndKeys:
+    def test_triple_iteration(self):
+        t = Triple(URI("s"), URI("p"), URI("o"))
+        assert list(t) == [URI("s"), URI("p"), URI("o")]
+
+    def test_triple_n3(self):
+        t = Triple(URI("s"), URI("p"), Literal("v"))
+        assert t.n3() == '<s> <p> "v" .'
+
+    @pytest.mark.parametrize(
+        "term",
+        [
+            URI("http://example.org/x"),
+            BNode("b1"),
+            Literal("plain"),
+            Literal("5", datatype=XSD_INTEGER),
+            Literal("bonjour", lang="fr"),
+            Literal('tricky "quote" \\slash'),
+        ],
+    )
+    def test_key_round_trip(self, term):
+        assert term_from_key(term_key(term)) == term
+
+    def test_keys_distinguish_literal_kinds(self):
+        keys = {
+            term_key(Literal("5")),
+            term_key(Literal("5", datatype=XSD_INTEGER)),
+            term_key(Literal("5", lang="en")),
+            term_key(URI("5")),
+        }
+        assert len(keys) == 4
+
+    def test_uri_key_is_bare(self):
+        assert term_key(URI("http://x/a")) == "http://x/a"

@@ -1,0 +1,130 @@
+"""Turtle-subset parsing and serialization."""
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import (
+    BNode,
+    Literal,
+    Triple,
+    URI,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_INTEGER,
+)
+from repro.rdf.turtle import (
+    TurtleError,
+    load_turtle,
+    parse_turtle,
+    serialize_turtle,
+)
+
+
+class TestParsing:
+    def test_simple_statement(self):
+        triples = list(parse_turtle("<s> <p> <o> ."))
+        assert triples == [Triple(URI("s"), URI("p"), URI("o"))]
+
+    def test_prefixes(self):
+        text = "@prefix ex: <http://e/> . ex:s ex:p ex:o ."
+        (triple,) = parse_turtle(text)
+        assert triple.subject == URI("http://e/s")
+
+    def test_base(self):
+        text = "@base <http://b/> . <s> <p> <o> ."
+        (triple,) = parse_turtle(text)
+        assert triple.object == URI("http://b/o")
+
+    def test_predicate_and_object_lists(self):
+        text = "<s> <p> <a>, <b> ; <q> <c> ."
+        triples = list(parse_turtle(text))
+        assert len(triples) == 3
+        assert {t.predicate.value for t in triples} == {"p", "q"}
+
+    def test_a_keyword(self):
+        (triple,) = parse_turtle("<s> a <C> .")
+        assert triple.predicate.value.endswith("#type")
+
+    def test_literals(self):
+        text = (
+            '<s> <p> "plain" . <s> <q> "chat"@fr . '
+            '<s> <r> "5"^^<http://www.w3.org/2001/XMLSchema#integer> . '
+            "<s> <n> 42 . <s> <d> 4.5 . <s> <b> true ."
+        )
+        objects = [t.object for t in parse_turtle(text)]
+        assert objects[0] == Literal("plain")
+        assert objects[1] == Literal("chat", lang="fr")
+        assert objects[2] == Literal("5", datatype=XSD_INTEGER)
+        assert objects[3] == Literal("42", datatype=XSD_INTEGER)
+        assert objects[4] == Literal("4.5", datatype=XSD_DECIMAL)
+        assert objects[5] == Literal("true", datatype=XSD_BOOLEAN)
+
+    def test_long_string(self):
+        (triple,) = parse_turtle('<s> <p> """multi\nline "quoted"""" .')
+        assert triple.object == Literal('multi\nline "quoted"')
+
+    def test_escapes(self):
+        (triple,) = parse_turtle('<s> <p> "a\\tb\\"c" .')
+        assert triple.object == Literal('a\tb"c')
+
+    def test_blank_nodes(self):
+        (triple,) = parse_turtle("_:x <p> _:y .")
+        assert triple.subject == BNode("x")
+        assert triple.object == BNode("y")
+
+    def test_comments(self):
+        triples = list(parse_turtle("# header\n<s> <p> <o> . # trailing"))
+        assert len(triples) == 1
+
+    def test_trailing_semicolon(self):
+        (triple,) = parse_turtle("<s> <p> <o> ; .")
+        assert triple.predicate == URI("p")
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(TurtleError, match="undeclared prefix"):
+            list(parse_turtle("nope:s <p> <o> ."))
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(TurtleError):
+            list(parse_turtle("<s> <p> <o>"))
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        graph = Graph(
+            [
+                Triple(URI("http://e/s"), URI("http://e/p"), URI("http://e/o")),
+                Triple(URI("http://e/s"), URI("http://e/p"), Literal("x")),
+                Triple(URI("http://e/s"), URI("http://e/q"), Literal("5", datatype=XSD_INTEGER)),
+                Triple(URI("http://e/t"), URI("http://e/p"), Literal("hé", lang="fr")),
+            ]
+        )
+        text = serialize_turtle(graph, {"ex": "http://e/"})
+        assert "ex:s" in text and ";" in text
+        reparsed = load_turtle(text)
+        assert {t.n3() for t in reparsed} == {t.n3() for t in graph}
+
+    def test_type_abbreviated_as_a(self):
+        graph = Graph(
+            [
+                Triple(
+                    URI("http://e/s"),
+                    URI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+                    URI("http://e/C"),
+                )
+            ]
+        )
+        text = serialize_turtle(graph, {"ex": "http://e/"})
+        assert " a ex:C" in text
+
+    def test_store_loads_turtle(self):
+        from repro import RdfStore
+
+        graph = load_turtle(
+            "@prefix ex: <http://e/> . ex:IBM ex:industry ex:Software, ex:Services ."
+        )
+        store = RdfStore.from_graph(graph)
+        result = store.query(
+            "PREFIX ex: <http://e/> SELECT ?i WHERE { ex:IBM ex:industry ?i }"
+        )
+        assert len(result) == 2

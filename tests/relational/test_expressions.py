@@ -1,0 +1,136 @@
+"""Expression compilation: NULL propagation, CASE, functions, LIKE, IN."""
+
+import pytest
+
+from repro.relational import ast
+from repro.relational.errors import PlanError
+from repro.relational.expressions import Scope, compile_expr, expr_columns
+from repro.relational.parser import parse_expression
+
+
+def evaluate(sql_text: str, scope_cols=(), row=()):
+    scope = Scope(list(scope_cols))
+    return compile_expr(parse_expression(sql_text), scope)(row)
+
+
+class TestConstantsAndArithmetic:
+    def test_basic_arithmetic(self):
+        assert evaluate("1 + 2 * 3") == 7
+        assert evaluate("(1 + 2) * 3") == 9
+        assert evaluate("-5 + 2") == -3
+
+    def test_integer_division(self):
+        assert evaluate("7 / 2") == 3  # SQLite integer division
+
+    def test_float_division(self):
+        assert evaluate("7.0 / 2") == 3.5
+
+    def test_division_by_zero_is_null(self):
+        assert evaluate("1 / 0") is None
+
+    def test_null_propagates(self):
+        assert evaluate("NULL + 1") is None
+        assert evaluate("1 || NULL") is None
+
+    def test_concat(self):
+        assert evaluate("'a' || 'b'") == "ab"
+
+
+class TestComparisons:
+    def test_true_false(self):
+        assert evaluate("1 < 2") is True
+        assert evaluate("2 < 1") is False
+
+    def test_null_comparison_unknown(self):
+        assert evaluate("NULL = 1") is None
+        assert evaluate("NULL <> NULL") is None
+
+    def test_is_null(self):
+        assert evaluate("NULL IS NULL") is True
+        assert evaluate("1 IS NOT NULL") is True
+
+    def test_in_list(self):
+        assert evaluate("2 IN (1, 2, 3)") is True
+        assert evaluate("5 IN (1, 2, 3)") is False
+        assert evaluate("5 NOT IN (1, 2, 3)") is True
+
+    def test_in_with_null_semantics(self):
+        assert evaluate("5 IN (1, NULL)") is None  # unknown, not false
+        assert evaluate("1 IN (1, NULL)") is True
+
+    def test_between(self):
+        assert evaluate("2 BETWEEN 1 AND 3") is True
+        assert evaluate("4 NOT BETWEEN 1 AND 3") is True
+
+
+class TestLike:
+    def test_percent(self):
+        assert evaluate("'hello' LIKE 'he%'") is True
+        assert evaluate("'hello' LIKE '%z%'") is False
+
+    def test_underscore(self):
+        assert evaluate("'cat' LIKE 'c_t'") is True
+
+    def test_case_insensitive(self):
+        assert evaluate("'HELLO' LIKE 'hello'") is True
+
+    def test_null(self):
+        assert evaluate("NULL LIKE 'x'") is None
+
+
+class TestCase:
+    def test_searched_case(self):
+        assert evaluate("CASE WHEN 1 < 2 THEN 'y' ELSE 'n' END") == "y"
+        assert evaluate("CASE WHEN 1 > 2 THEN 'y' ELSE 'n' END") == "n"
+
+    def test_no_else_gives_null(self):
+        assert evaluate("CASE WHEN 1 > 2 THEN 'y' END") is None
+
+    def test_unknown_condition_skips_branch(self):
+        assert evaluate("CASE WHEN NULL = 1 THEN 'y' ELSE 'n' END") == "n"
+
+
+class TestFunctions:
+    def test_coalesce(self):
+        assert evaluate("COALESCE(NULL, NULL, 3)") == 3
+        assert evaluate("COALESCE(NULL, NULL)") is None
+
+    def test_string_functions(self):
+        assert evaluate("LOWER('AbC')") == "abc"
+        assert evaluate("UPPER('AbC')") == "ABC"
+        assert evaluate("LENGTH('abcd')") == 4
+        assert evaluate("SUBSTR('hello', 2, 3)") == "ell"
+        assert evaluate("SUBSTR('hello', 3)") == "llo"
+
+    def test_abs_nullif_ifnull(self):
+        assert evaluate("ABS(-4)") == 4
+        assert evaluate("NULLIF(1, 1)") is None
+        assert evaluate("NULLIF(1, 2)") == 1
+        assert evaluate("IFNULL(NULL, 9)") == 9
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PlanError):
+            evaluate("NO_SUCH_FN(1)")
+
+
+class TestColumns:
+    def test_qualified_resolution(self):
+        scope = [("t", "a"), ("t", "b"), ("u", "a")]
+        assert evaluate("t.b", scope, (1, 2, 3)) == 2
+        assert evaluate("u.a", scope, (1, 2, 3)) == 3
+
+    def test_unqualified_unique(self):
+        assert evaluate("b", [("t", "a"), ("t", "b")], (1, 2)) == 2
+
+    def test_ambiguous_rejected(self):
+        with pytest.raises(PlanError, match="ambiguous"):
+            evaluate("a", [("t", "a"), ("u", "a")], (1, 2))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(PlanError, match="unknown column"):
+            evaluate("zz", [("t", "a")], (1,))
+
+    def test_expr_columns(self):
+        expr = parse_expression("t.a + COALESCE(u.b, t.c)")
+        names = {(c.table, c.name) for c in expr_columns(expr)}
+        assert names == {("t", "a"), ("u", "b"), ("t", "c")}

@@ -1,0 +1,74 @@
+"""Planner access-path choices, observed through index probe counters."""
+
+import pytest
+
+from repro.relational import ColumnType, Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", [("k", ColumnType.TEXT), ("v", ColumnType.INTEGER)])
+    database.create_index("t_k", "t", ["k"])
+    database.insert("t", [(f"k{i % 100}", i) for i in range(1000)])
+    database.create_table("u", [("k", ColumnType.TEXT), ("w", ColumnType.INTEGER)])
+    database.insert("u", [(f"k{i}", i) for i in range(100)])
+    return database
+
+
+def probes(db):
+    return db.indexes["t_k"].probe_count
+
+
+class TestIndexSelection:
+    def test_constant_equality_uses_index(self, db):
+        before = probes(db)
+        result = db.execute("SELECT COUNT(*) FROM t WHERE k = 'k7'")
+        assert result.rows == [(10,)]
+        assert probes(db) == before + 1
+
+    def test_range_predicate_scans(self, db):
+        before = probes(db)
+        db.execute("SELECT COUNT(*) FROM t WHERE v > 500")
+        assert probes(db) == before
+
+    def test_null_equality_does_not_probe(self, db):
+        before = probes(db)
+        assert len(db.execute("SELECT * FROM t WHERE k = NULL")) == 0
+        assert probes(db) == before
+
+    def test_join_probes_index_per_outer_row(self, db):
+        """u ⨝ t on k: index-nested-loop, one probe per u row."""
+        before = probes(db)
+        result = db.execute(
+            "SELECT COUNT(*) FROM u, t WHERE u.k = t.k"
+        )
+        assert result.rows == [(1000,)]
+        assert probes(db) == before + 100
+
+    def test_join_order_matters_for_probing(self, db):
+        """With t first, the index on t.k is unusable for the join (the
+        probe side is u, which has no index) — hash join, zero probes."""
+        before = probes(db)
+        result = db.execute("SELECT COUNT(*) FROM t, u WHERE t.k = u.k")
+        assert result.rows == [(1000,)]
+        assert probes(db) == before
+
+    def test_rdf_store_uses_entry_index(self):
+        """The DB2RDF chain probe pattern: each pipeline stage probes the
+        DPH/RPH entry index instead of scanning."""
+        from repro import Graph, RdfStore, Triple, URI
+
+        graph = Graph(
+            [Triple(URI(f"s{i}"), URI("p"), URI(f"s{(i + 1) % 50}")) for i in range(50)]
+        )
+        store = RdfStore.from_graph(graph)
+        db = store.backend.db
+        dph_index = db.indexes[f"{store.schema.dph}_entry".lower()]
+        before = dph_index.probe_count
+        result = store.query(
+            "SELECT ?a ?c WHERE { <s0> <p> ?b . ?b <p> ?c . ?c <p> ?a }"
+        )
+        assert len(result) == 1
+        # the chain probes the entry index (never a full DPH scan)
+        assert dph_index.probe_count > before

@@ -1,0 +1,237 @@
+"""Query planning and execution: scans, joins, CTEs, set ops, aggregates."""
+
+import pytest
+
+from repro.relational import ColumnType, Database
+from repro.relational.errors import CatalogError, PlanError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "emp",
+        [("name", ColumnType.TEXT), ("dept", ColumnType.TEXT), ("salary", ColumnType.INTEGER)],
+    )
+    database.create_index("emp_dept", "emp", ["dept"])
+    database.insert(
+        "emp",
+        [
+            ("alice", "eng", 120),
+            ("bob", "eng", 100),
+            ("carol", "sales", 90),
+            ("dave", None, 80),
+        ],
+    )
+    database.create_table(
+        "dept", [("name", ColumnType.TEXT), ("city", ColumnType.TEXT)]
+    )
+    database.insert("dept", [("eng", "nyc"), ("sales", "sfo"), ("hr", "aus")])
+    return database
+
+
+class TestScansAndFilters:
+    def test_full_scan(self, db):
+        assert len(db.execute("SELECT * FROM emp")) == 4
+
+    def test_index_equality(self, db):
+        result = db.execute("SELECT name FROM emp WHERE dept = 'eng' ORDER BY name")
+        assert result.rows == [("alice",), ("bob",)]
+
+    def test_non_index_predicate(self, db):
+        result = db.execute("SELECT name FROM emp WHERE salary > 95 ORDER BY 1")
+        assert result.rows == [("alice",), ("bob",)]
+
+    def test_null_never_matches_equality(self, db):
+        assert len(db.execute("SELECT * FROM emp WHERE dept = NULL")) == 0
+
+    def test_is_null(self, db):
+        result = db.execute("SELECT name FROM emp WHERE dept IS NULL")
+        assert result.rows == [("dave",)]
+
+
+class TestJoins:
+    def test_comma_join_with_where(self, db):
+        result = db.execute(
+            "SELECT e.name, d.city FROM emp e, dept d "
+            "WHERE e.dept = d.name ORDER BY 1"
+        )
+        assert result.rows == [
+            ("alice", "nyc"), ("bob", "nyc"), ("carol", "sfo"),
+        ]
+
+    def test_explicit_inner_join(self, db):
+        result = db.execute(
+            "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.name ORDER BY 1"
+        )
+        assert [r[0] for r in result.rows] == ["alice", "bob", "carol"]
+
+    def test_left_join_preserves_unmatched(self, db):
+        result = db.execute(
+            "SELECT d.name, e.name FROM dept d "
+            "LEFT OUTER JOIN emp e ON d.name = e.dept ORDER BY 1, 2"
+        )
+        assert ("hr", None) in result.rows
+        assert len(result.rows) == 4
+
+    def test_left_join_with_on_filter(self, db):
+        result = db.execute(
+            "SELECT d.name, e.name FROM dept d "
+            "LEFT OUTER JOIN emp e ON d.name = e.dept AND e.salary > 110 "
+            "ORDER BY 1, 2"
+        )
+        assert ("eng", "alice") in result.rows
+        assert ("eng", "bob") not in result.rows
+        assert ("sales", None) in result.rows
+
+    def test_where_after_left_join_filters(self, db):
+        result = db.execute(
+            "SELECT d.name FROM dept d LEFT OUTER JOIN emp e ON d.name = e.dept "
+            "WHERE e.name IS NULL"
+        )
+        assert result.rows == [("hr",)]
+
+    def test_cross_join(self, db):
+        result = db.execute("SELECT COUNT(*) FROM emp, dept")
+        assert result.rows == [(12,)]
+
+    def test_non_equi_join(self, db):
+        result = db.execute(
+            "SELECT e1.name, e2.name FROM emp e1, emp e2 "
+            "WHERE e1.salary < e2.salary AND e2.name = 'alice' ORDER BY 1"
+        )
+        assert [r[0] for r in result.rows] == ["bob", "carol", "dave"]
+
+
+class TestCtesAndSetOps:
+    def test_with_chain(self, db):
+        result = db.execute(
+            "WITH rich AS (SELECT name, dept FROM emp WHERE salary >= 100), "
+            "cities AS (SELECT r.name, d.city FROM rich r, dept d WHERE r.dept = d.name) "
+            "SELECT * FROM cities ORDER BY name"
+        )
+        assert result.rows == [("alice", "nyc"), ("bob", "nyc")]
+
+    def test_union_dedups(self, db):
+        result = db.execute(
+            "SELECT dept FROM emp WHERE dept = 'eng' "
+            "UNION SELECT dept FROM emp WHERE salary > 90"
+        )
+        assert sorted(result.rows) == [("eng",)]
+
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.execute(
+            "SELECT dept FROM emp WHERE dept = 'eng' "
+            "UNION ALL SELECT dept FROM emp WHERE salary > 90"
+        )
+        assert len(result.rows) == 4
+
+    def test_intersect_and_except(self, db):
+        result = db.execute(
+            "SELECT name FROM emp INTERSECT SELECT name FROM emp WHERE dept = 'eng'"
+        )
+        assert sorted(result.rows) == [("alice",), ("bob",)]
+        result = db.execute(
+            "SELECT name FROM emp EXCEPT SELECT name FROM emp WHERE dept = 'eng'"
+        )
+        assert sorted(result.rows) == [("carol",), ("dave",)]
+
+    def test_subquery_in_from(self, db):
+        result = db.execute(
+            "SELECT s.name FROM (SELECT name FROM emp WHERE salary > 95) AS s ORDER BY 1"
+        )
+        assert result.rows == [("alice",), ("bob",)]
+
+
+class TestAggregates:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM emp").rows == [(4,)]
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("SELECT COUNT(dept) FROM emp").rows == [(3,)]
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT dept, COUNT(*) c, SUM(salary) s FROM emp GROUP BY dept ORDER BY dept"
+        )
+        assert result.rows == [
+            (None, 1, 80), ("eng", 2, 220), ("sales", 1, 90),
+        ]
+
+    def test_having(self, db):
+        result = db.execute(
+            "SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 1"
+        )
+        assert result.rows == [("eng",)]
+
+    def test_min_max_avg(self, db):
+        result = db.execute("SELECT MIN(salary), MAX(salary), AVG(salary) FROM emp")
+        assert result.rows == [(80, 120, 97.5)]
+
+    def test_count_distinct(self, db):
+        assert db.execute("SELECT COUNT(DISTINCT dept) FROM emp").rows == [(2,)]
+
+    def test_empty_input_aggregate(self, db):
+        result = db.execute("SELECT COUNT(*), SUM(salary) FROM emp WHERE salary > 999")
+        assert result.rows == [(0, None)]
+
+    def test_group_by_empty_input_yields_no_rows(self, db):
+        result = db.execute(
+            "SELECT dept, COUNT(*) FROM emp WHERE salary > 999 GROUP BY dept"
+        )
+        assert result.rows == []
+
+
+class TestModifiers:
+    def test_order_desc_and_limit(self, db):
+        result = db.execute("SELECT name FROM emp ORDER BY salary DESC LIMIT 2")
+        assert result.rows == [("alice",), ("bob",)]
+
+    def test_offset(self, db):
+        result = db.execute("SELECT name FROM emp ORDER BY name LIMIT 2 OFFSET 1")
+        assert result.rows == [("bob",), ("carol",)]
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT dept FROM emp WHERE dept IS NOT NULL")
+        assert sorted(result.rows) == [("eng",), ("sales",)]
+
+    def test_order_by_unprojected_column(self, db):
+        result = db.execute("SELECT name FROM emp ORDER BY salary")
+        assert result.rows == [("dave",), ("carol",), ("bob",), ("alice",)]
+
+
+class TestDml:
+    def test_update(self, db):
+        db.execute("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'")
+        result = db.execute("SELECT SUM(salary) FROM emp")
+        assert result.rows == [(410,)]
+
+    def test_update_maintains_index(self, db):
+        db.execute("UPDATE emp SET dept = 'ops' WHERE name = 'alice'")
+        assert db.execute("SELECT name FROM emp WHERE dept = 'ops'").rows == [("alice",)]
+        assert len(db.execute("SELECT * FROM emp WHERE dept = 'eng'")) == 1
+
+    def test_delete(self, db):
+        db.execute("DELETE FROM emp WHERE salary < 100")
+        assert len(db.execute("SELECT * FROM emp")) == 2
+
+    def test_insert_with_columns(self, db):
+        db.execute("INSERT INTO emp (name) VALUES ('eve')")
+        result = db.execute("SELECT dept, salary FROM emp WHERE name = 'eve'")
+        assert result.rows == [(None, None)]
+
+
+class TestErrors:
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM nothere")
+
+    def test_unknown_column_in_where(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT * FROM emp WHERE zz = 1")
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 1").rows == [(2,)]
+
+    def test_select_without_from_where_false(self, db):
+        assert db.execute("SELECT 1 WHERE 1 = 2").rows == []

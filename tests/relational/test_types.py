@@ -1,0 +1,103 @@
+"""SQL value semantics: 3VL, comparison, coercion, sort keys."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.types import (
+    ColumnType,
+    compare,
+    row_sort_key,
+    sort_key,
+    tv_and,
+    tv_not,
+    tv_or,
+)
+
+
+class TestThreeValuedLogic:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (True, True, True),
+            (True, False, False),
+            (False, None, False),
+            (True, None, None),
+            (None, None, None),
+        ],
+    )
+    def test_and(self, a, b, expected):
+        assert tv_and(a, b) is expected
+        assert tv_and(b, a) is expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (True, True, True),
+            (True, False, True),
+            (False, False, False),
+            (True, None, True),
+            (False, None, None),
+            (None, None, None),
+        ],
+    )
+    def test_or(self, a, b, expected):
+        assert tv_or(a, b) is expected
+        assert tv_or(b, a) is expected
+
+    def test_not(self):
+        assert tv_not(True) is False
+        assert tv_not(False) is True
+        assert tv_not(None) is None
+
+
+class TestCompare:
+    def test_null_is_unknown(self):
+        assert compare(None, 1) is None
+        assert compare("a", None) is None
+
+    def test_numeric(self):
+        assert compare(1, 2) == -1
+        assert compare(2.0, 2) == 0
+        assert compare(3, 2.5) == 1
+
+    def test_text(self):
+        assert compare("a", "b") == -1
+        assert compare("b", "b") == 0
+
+    def test_cross_class_numeric_below_text(self):
+        assert compare(99999, "1") == -1
+        assert compare("x", 5) == 1
+
+    @given(st.integers(), st.integers())
+    def test_antisymmetry(self, a, b):
+        assert compare(a, b) == -(compare(b, a) or 0)
+
+
+class TestSortKey:
+    def test_total_order(self):
+        values = ["b", None, 3, "a", 1.5, None]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[:2] == [None, None]
+        assert ordered[2:4] == [1.5, 3]
+        assert ordered[4:] == ["a", "b"]
+
+    def test_row_sort_key(self):
+        assert row_sort_key((None, 1, "a")) == (sort_key(None), sort_key(1), sort_key("a"))
+
+
+class TestCoercion:
+    def test_integer(self):
+        assert ColumnType.INTEGER.coerce("5") == 5
+        assert ColumnType.INTEGER.coerce(5.0) == 5
+        assert ColumnType.INTEGER.coerce(True) == 1
+        assert ColumnType.INTEGER.coerce("abc") == "abc"  # lax, SQLite-style
+        assert ColumnType.INTEGER.coerce(None) is None
+
+    def test_real(self):
+        assert ColumnType.REAL.coerce("2.5") == 2.5
+        assert ColumnType.REAL.coerce(2) == 2.0
+
+    def test_text(self):
+        assert ColumnType.TEXT.coerce(5) == "5"
+        assert ColumnType.TEXT.coerce("x") == "x"
+        assert ColumnType.TEXT.coerce(None) is None

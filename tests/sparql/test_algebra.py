@@ -1,0 +1,115 @@
+"""Pattern-tree machinery: normalization, LCA, the Defs 3.4–3.11 relations,
+checked against the paper's Figure 7 example."""
+
+import pytest
+
+from repro.sparql.algebra import PatternTree, normalize
+from repro.sparql.ast import (
+    GroupPattern,
+    OptionalPattern,
+    TriplePattern,
+    UnionPattern,
+)
+from repro.sparql.parser import parse_sparql
+
+# Figure 6(a) / Figure 7: the paper's running query.
+FIG7 = """
+SELECT * WHERE {
+  ?x <home> <Palo_Alto> .
+  { ?x <founder> ?y } UNION { ?x <member> ?y }
+  { ?y <industry> <Software> .
+    ?z <developer> ?y .
+    ?y <revenue> ?n .
+    OPTIONAL { ?y <employees> ?m } }
+}
+"""
+
+
+@pytest.fixture
+def fig7():
+    query = normalize(parse_sparql(FIG7))
+    tree = PatternTree.build(query.where)
+    triples = {}
+    for triple in query.where.triples():
+        triples[triple.predicate.value] = triple
+    return tree, triples
+
+
+class TestNormalize:
+    def test_nested_plain_group_flattens(self):
+        query = normalize(parse_sparql("SELECT * WHERE { { ?x <p> ?y } }"))
+        assert isinstance(query.where.elements[0], TriplePattern)
+
+    def test_nested_group_filters_lift(self):
+        query = normalize(
+            parse_sparql("SELECT * WHERE { { ?x <p> ?y FILTER (?y > 1) } }")
+        )
+        assert len(query.where.filters) == 1
+
+    def test_union_branches_stay_grouped(self):
+        query = normalize(
+            parse_sparql("SELECT * WHERE { { ?x <p> ?y } UNION { ?x <q> ?y } }")
+        )
+        assert isinstance(query.where.elements[0], UnionPattern)
+
+    def test_fig7_shape(self, fig7):
+        tree, triples = fig7
+        root = tree.root
+        kinds = [type(e).__name__ for e in root.elements]
+        # t1, the union, then the nested AND's elements flattened in
+        assert kinds[0] == "TriplePattern"
+        assert kinds[1] == "UnionPattern"
+
+
+class TestLcaAndConnections:
+    def test_or_connected(self, fig7):
+        tree, triples = fig7
+        assert tree.or_connected(triples["founder"], triples["member"])
+        assert not tree.or_connected(triples["founder"], triples["industry"])
+
+    def test_optional_connected(self, fig7):
+        tree, triples = fig7
+        # employees (t7) is optional with respect to revenue (t6)
+        assert tree.optional_connected(triples["revenue"], triples["employees"])
+        assert not tree.optional_connected(triples["employees"], triples["revenue"])
+
+    def test_lca_of_union_branches_is_union(self, fig7):
+        tree, triples = fig7
+        lca = tree.lca(triples["founder"], triples["member"])
+        assert isinstance(lca, UnionPattern)
+
+    def test_ancestors_to_lca(self, fig7):
+        tree, triples = fig7
+        chain = tree.ancestors_to_lca(triples["employees"], triples["revenue"])
+        assert any(isinstance(a, OptionalPattern) for a in chain)
+
+
+class TestMergeableDefinitions:
+    def test_and_mergeable(self, fig7):
+        tree, triples = fig7
+        assert tree.and_mergeable(triples["industry"], triples["revenue"])
+        assert not tree.and_mergeable(triples["founder"], triples["member"])
+
+    def test_or_mergeable_fig11(self, fig7):
+        """Figure 11: ORMergeable(t2, t3) holds, ORMergeable(t2, t5) fails."""
+        tree, triples = fig7
+        assert tree.or_mergeable(triples["founder"], triples["member"])
+        assert not tree.or_mergeable(triples["founder"], triples["developer"])
+
+    def test_opt_mergeable_fig11(self, fig7):
+        """Figure 11: OPTMergeable(t6, t7) holds."""
+        tree, triples = fig7
+        assert tree.opt_mergeable(triples["revenue"], triples["employees"])
+        # but not in the other direction, nor across the union
+        assert not tree.opt_mergeable(triples["employees"], triples["revenue"])
+        assert not tree.opt_mergeable(triples["founder"], triples["employees"])
+
+    def test_mergeable_through_nested_ands_only(self):
+        query = normalize(
+            parse_sparql(
+                "SELECT * WHERE { ?x <p> ?a { { ?x <q> ?b } UNION { ?x <r> ?c } } }"
+            )
+        )
+        tree = PatternTree.build(query.where)
+        by_pred = {t.predicate.value: t for t in query.where.triples()}
+        assert not tree.and_mergeable(by_pred["p"], by_pred["q"])

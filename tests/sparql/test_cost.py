@@ -1,0 +1,78 @@
+"""The TMC cost function, checked against the paper's §3.1 walkthrough."""
+
+import pytest
+
+from repro.core.stats import DatasetStatistics
+from repro.rdf.terms import URI
+from repro.sparql.ast import TriplePattern, Var
+from repro.sparql.optimizer.cost import (
+    ACO,
+    ACS,
+    SC,
+    produced_vars,
+    required_vars,
+    triple_method_cost,
+)
+
+
+@pytest.fixture
+def paper_stats():
+    """Figure 6(b): total 26 triples, avg 5 per subject, 1 per object,
+    Software appears in 2 triples."""
+    return DatasetStatistics(
+        total_triples=26,
+        distinct_subjects=5,
+        distinct_objects=26,
+        top_subjects={"IBM": 7},
+        top_objects={"Software": 2, "Google": 5},
+    )
+
+
+T4 = TriplePattern(Var("y"), URI("industry"), URI("Software"))
+T5 = TriplePattern(Var("z"), URI("developer"), Var("y"))
+
+
+class TestPaperWalkthrough:
+    def test_tmc_t4_aco_exact(self, paper_stats):
+        # "TMC(t4, aco, S) = 2 because the exact lookup cost using the
+        #  object Software is known"
+        assert triple_method_cost(T4, ACO, paper_stats) == 2.0
+
+    def test_tmc_t4_sc_total(self, paper_stats):
+        assert triple_method_cost(T4, SC, paper_stats) == 26.0
+
+    def test_tmc_t4_acs_average(self, paper_stats):
+        # avg triples per subject = 26/5; the paper rounds to 5
+        assert triple_method_cost(T4, ACS, paper_stats) == pytest.approx(26 / 5)
+
+
+class TestRequiredProduced:
+    def test_required_acs_var_subject(self):
+        assert required_vars(T5, ACS) == {"z"}
+
+    def test_required_aco_var_object(self):
+        assert required_vars(T5, ACO) == {"y"}
+
+    def test_required_empty_for_constant_position(self):
+        assert required_vars(T4, ACO) == frozenset()
+
+    def test_required_empty_for_scan(self):
+        assert required_vars(T5, SC) == frozenset()
+
+    def test_produced_is_all_variables(self):
+        assert produced_vars(T5, ACO) == {"z", "y"}
+        assert produced_vars(T4, ACO) == {"y"}
+
+    def test_variable_predicate_is_produced(self):
+        triple = TriplePattern(Var("s"), Var("p"), Var("o"))
+        assert produced_vars(triple, SC) == {"s", "p", "o"}
+
+
+class TestCostFallbacks:
+    def test_unknown_constant_uses_average(self, paper_stats):
+        triple = TriplePattern(Var("x"), URI("p"), URI("Rareville"))
+        assert triple_method_cost(triple, ACO, paper_stats) == pytest.approx(1.0)
+
+    def test_unknown_method_rejected(self, paper_stats):
+        with pytest.raises(ValueError):
+            triple_method_cost(T4, "warp", paper_stats)

@@ -1,0 +1,123 @@
+"""The Data Flow Builder, replaying the paper's §3.1.1 example (Figure 8)."""
+
+import pytest
+
+from repro.core.stats import DatasetStatistics
+from repro.sparql.algebra import PatternTree, normalize
+from repro.sparql.optimizer.cost import ACO, ACS, SC
+from repro.sparql.optimizer.dataflow import (
+    build_data_flow_graph,
+    optimal_flow_tree,
+)
+from repro.sparql.parser import parse_sparql
+
+from .test_algebra import FIG7
+
+
+@pytest.fixture
+def fig7_setup():
+    query = normalize(parse_sparql(FIG7))
+    tree = PatternTree.build(query.where)
+    triples = {t.predicate.value: t for t in query.where.triples()}
+    # Figure 6(b): Software is highly selective (2), everything else larger.
+    stats = DatasetStatistics(
+        total_triples=26,
+        distinct_subjects=5,
+        distinct_objects=26,
+        top_subjects={},
+        top_objects={"Software": 2, "Palo_Alto": 4},
+    )
+    graph = build_data_flow_graph(list(query.where.triples()), tree, stats)
+    return query, tree, triples, stats, graph
+
+
+def edges_between(graph, source_triple, target_triple):
+    found = []
+    for node, successors in graph.edges.items():
+        if node.triple is source_triple:
+            for successor, weight in successors:
+                if successor.triple is target_triple:
+                    found.append((node.method, successor.method, weight))
+    return found
+
+
+class TestDataFlowGraph:
+    def test_root_edges_cover_no_required_nodes(self, fig7_setup):
+        _, _, triples, _, graph = fig7_setup
+        root_triples = {(node.triple.predicate.value, node.method)
+                        for node, _ in graph.root_edges}
+        # t4 by constant object, t1 by constant object, and every scan
+        assert ("industry", ACO) in root_triples
+        assert ("home", ACO) in root_triples
+        assert all(
+            method in (SC, ACO, ACS) for _, method in root_triples
+        )
+        assert ("developer", ACO) not in root_triples  # needs ?y
+
+    def test_producer_feeds_consumer(self, fig7_setup):
+        """(t4, aco) -> (t2, aco): t4 produces y, t2-via-object needs y."""
+        _, _, triples, _, graph = fig7_setup
+        found = edges_between(graph, triples["industry"], triples["founder"])
+        assert (ACO, ACO) in {(a, b) for a, b, _ in found}
+
+    def test_no_edges_between_or_branches(self, fig7_setup):
+        _, _, triples, _, graph = fig7_setup
+        assert not edges_between(graph, triples["founder"], triples["member"])
+        assert not edges_between(graph, triples["member"], triples["founder"])
+
+    def test_optional_producer_excluded(self, fig7_setup):
+        """t7 (employees, optional) may not feed t6 (revenue)."""
+        _, _, triples, _, graph = fig7_setup
+        assert not edges_between(graph, triples["employees"], triples["revenue"])
+        # but the required t6 may feed the optional t7
+        assert edges_between(graph, triples["revenue"], triples["employees"])
+
+
+class TestOptimalFlowTree:
+    def test_covers_every_triple_once(self, fig7_setup):
+        query, _, _, _, graph = fig7_setup
+        flow = optimal_flow_tree(graph)
+        triples = list(query.where.triples())
+        assert len(flow.order) == len(triples)
+        assert {id(node.triple) for node in flow.order} == {id(t) for t in triples}
+
+    def test_starts_with_cheapest_root(self, fig7_setup):
+        """The paper: root -> (t4, aco) with weight 2 is chosen first."""
+        _, _, triples, _, graph = fig7_setup
+        flow = optimal_flow_tree(graph)
+        first = flow.order[0]
+        assert first.triple is triples["industry"]
+        assert first.method == ACO
+
+    def test_flow_respects_dependencies(self, fig7_setup):
+        """Every non-root node's parent precedes it in the order."""
+        _, _, _, _, graph = fig7_setup
+        flow = optimal_flow_tree(graph)
+        positions = {node: i for i, node in enumerate(flow.order)}
+        for node, parent in flow.parent.items():
+            if parent is not None:
+                assert positions[parent] < positions[node]
+
+    def test_rank_and_method_accessors(self, fig7_setup):
+        _, _, triples, _, graph = fig7_setup
+        flow = optimal_flow_tree(graph)
+        assert flow.rank_of(triples["industry"]) == 0
+        assert flow.method_of(triples["industry"]) == ACO
+
+    def test_selective_constant_beats_scan(self, fig7_setup):
+        """No scan should appear: every triple is reachable via lookups."""
+        _, _, _, _, graph = fig7_setup
+        flow = optimal_flow_tree(graph)
+        assert all(node.method != SC for node in flow.order)
+
+
+class TestRestrictedMethods:
+    def test_scan_fallback_for_disconnected(self, fig7_setup):
+        """With only acs available, object-constant triples can't start the
+        flow; the fallback still covers everything via scans."""
+        query, tree, _, stats, _ = fig7_setup
+        graph = build_data_flow_graph(
+            list(query.where.triples()), tree, stats, methods=(ACS, SC)
+        )
+        flow = optimal_flow_tree(graph)
+        assert len(flow.order) == len(list(query.where.triples()))

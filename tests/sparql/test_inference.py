@@ -1,0 +1,144 @@
+"""Query-expansion inference (automated §4.1 LUBM methodology)."""
+
+import pytest
+
+from repro import Graph, RdfStore, Triple, URI
+from repro.rdf.namespaces import RDFS
+from repro.rdf.terms import RDF_TYPE
+from repro.sparql.ast import TriplePattern, UnionPattern
+from repro.sparql.inference import Ontology, expand_sparql
+
+RDF_TYPE_URI = URI(RDF_TYPE)
+
+
+def t(s, p, o):
+    return Triple(URI(s), URI(p), URI(o))
+
+
+@pytest.fixture
+def ontology():
+    onto = Ontology()
+    onto.add_subclass("GradStudent", "Student")
+    onto.add_subclass("UndergradStudent", "Student")
+    onto.add_subclass("PhDStudent", "GradStudent")
+    onto.add_subproperty("doctoralDegreeFrom", "degreeFrom")
+    return onto
+
+
+@pytest.fixture
+def university(ontology):
+    graph = Graph(
+        [
+            Triple(URI("alice"), RDF_TYPE_URI, URI("GradStudent")),
+            Triple(URI("bob"), RDF_TYPE_URI, URI("UndergradStudent")),
+            Triple(URI("carol"), RDF_TYPE_URI, URI("PhDStudent")),
+            Triple(URI("dan"), RDF_TYPE_URI, URI("Professor")),
+            t("carol", "doctoralDegreeFrom", "MIT"),
+            t("dan", "degreeFrom", "CMU"),
+        ]
+    )
+    return graph
+
+
+class TestClosure:
+    def test_class_closure_transitive(self, ontology):
+        closure = set(ontology.class_closure("Student"))
+        assert closure == {"Student", "GradStudent", "UndergradStudent", "PhDStudent"}
+
+    def test_leaf_closure_is_self(self, ontology):
+        assert ontology.class_closure("PhDStudent") == ["PhDStudent"]
+
+    def test_property_closure(self, ontology):
+        assert set(ontology.property_closure("degreeFrom")) == {
+            "degreeFrom",
+            "doctoralDegreeFrom",
+        }
+
+    def test_from_graph(self):
+        schema = Graph(
+            [
+                Triple(URI("A"), RDFS.subClassOf, URI("B")),
+                Triple(URI("p"), RDFS.subPropertyOf, URI("q")),
+            ]
+        )
+        onto = Ontology.from_graph(schema)
+        assert set(onto.class_closure("B")) == {"A", "B"}
+        assert set(onto.property_closure("q")) == {"p", "q"}
+
+    def test_cycle_terminates(self):
+        onto = Ontology()
+        onto.add_subclass("A", "B")
+        onto.add_subclass("B", "A")
+        assert set(onto.class_closure("A")) == {"A", "B"}
+
+
+class TestExpansion:
+    def test_type_pattern_becomes_union(self, ontology):
+        query = expand_sparql(
+            "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+            "SELECT ?x WHERE { ?x rdf:type <Student> }",
+            ontology,
+        )
+        (element,) = query.where.elements
+        assert isinstance(element, UnionPattern)
+        assert len(element.branches) == 4
+
+    def test_leaf_type_untouched(self, ontology):
+        query = expand_sparql(
+            "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+            "SELECT ?x WHERE { ?x rdf:type <PhDStudent> }",
+            ontology,
+        )
+        (element,) = query.where.elements
+        assert isinstance(element, TriplePattern)
+
+    def test_property_expansion(self, ontology):
+        query = expand_sparql(
+            "SELECT ?x ?u WHERE { ?x <degreeFrom> ?u }", ontology
+        )
+        (element,) = query.where.elements
+        assert isinstance(element, UnionPattern)
+
+    def test_expansion_inside_optional_and_union(self, ontology):
+        query = expand_sparql(
+            "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+            "SELECT ?x WHERE { { ?x rdf:type <Student> } UNION { ?x <p> ?y } "
+            "OPTIONAL { ?x rdf:type <Student> } }",
+            ontology,
+        )
+        union = query.where.elements[0]
+        assert isinstance(union.branches[0].elements[0], UnionPattern)
+
+
+class TestEndToEnd:
+    def test_expanded_query_finds_all_students(self, ontology, university):
+        store = RdfStore.from_graph(university)
+        plain = (
+            "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+            "SELECT ?x WHERE { ?x rdf:type <Student> }"
+        )
+        assert len(store.query(plain)) == 0  # no direct Student assertions
+        expanded = expand_sparql(plain, ontology)
+        result = store.query(expanded)
+        assert sorted(result.key_rows()) == [("alice",), ("bob",), ("carol",)]
+
+    def test_expanded_property_query(self, ontology, university):
+        store = RdfStore.from_graph(university)
+        expanded = expand_sparql(
+            "SELECT ?x WHERE { ?x <degreeFrom> ?u }", ontology
+        )
+        result = store.query(expanded)
+        assert sorted(result.key_rows()) == [("carol",), ("dan",)]
+
+    def test_expansion_matches_reference(self, ontology, university):
+        from repro.sparql.reference import evaluate_select
+        from repro.sparql.algebra import normalize
+
+        expanded = expand_sparql(
+            "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+            "SELECT ?x WHERE { ?x rdf:type <Student> }",
+            ontology,
+        )
+        store = RdfStore.from_graph(university)
+        reference = evaluate_select(university, normalize(expanded))
+        assert store.query(expanded).matches(reference)

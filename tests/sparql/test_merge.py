@@ -1,0 +1,137 @@
+"""Node merging (§3.2.1), replaying the paper's Figure 11 outcome."""
+
+import pytest
+
+from repro.core.stats import DatasetStatistics
+from repro.sparql.algebra import PatternTree, normalize
+from repro.sparql.optimizer.dataflow import build_flow
+from repro.sparql.optimizer.merge import (
+    MergeContext,
+    MergedNode,
+    merge_execution_tree,
+)
+from repro.sparql.optimizer.planbuilder import (
+    AccessNode,
+    AndNode,
+    FilterNode,
+    OptNode,
+    OrNode,
+    build_execution_tree,
+)
+from repro.sparql.parser import parse_sparql
+
+from .test_algebra import FIG7
+
+
+def build_plan(text, spill_direct=frozenset(), spill_reverse=frozenset(),
+               stats=None):
+    query = normalize(parse_sparql(text))
+    tree = PatternTree.build(query.where)
+    triples = list(query.where.triples())
+    stats = stats or DatasetStatistics(
+        total_triples=26, distinct_subjects=5, distinct_objects=26,
+        top_objects={"Software": 2, "Palo_Alto": 4},
+    )
+    flow = build_flow(triples, tree, stats)
+    execution = build_execution_tree(query.where, flow)
+    ctx = MergeContext.build(tree, triples, spill_direct, spill_reverse)
+    return merge_execution_tree(execution, ctx)
+
+
+def collect_merged(node, out=None):
+    if out is None:
+        out = []
+    if isinstance(node, MergedNode):
+        out.append(node)
+    elif isinstance(node, AndNode) or isinstance(node, OptNode):
+        collect_merged(node.left, out)
+        collect_merged(node.right, out)
+    elif isinstance(node, OrNode):
+        for branch in node.branches:
+            collect_merged(branch, out)
+    elif isinstance(node, FilterNode):
+        collect_merged(node.child, out)
+    return out
+
+
+class TestFigure11:
+    def test_or_and_opt_merges_found(self):
+        plan = build_plan(FIG7)
+        merged = collect_merged(plan)
+        kinds = {}
+        for node in merged:
+            key = tuple(sorted(t.predicate.value for t in node.triples))
+            kinds[key] = node.kind
+        # {t2, t3} merge disjunctively...
+        assert kinds.get(("founder", "member")) == "OR"
+        # ...and {t6, t7} merge with the optional member
+        opt_merge = [
+            node for node in merged
+            if {t.predicate.value for t in node.triples} == {"revenue", "employees"}
+        ]
+        assert opt_merge and opt_merge[0].members[-1].optional
+
+    def test_t5_not_merged_with_union(self):
+        """The counter-example: (t5, aco) shares entity ?y and method with
+        the {t2,t3} node but mixing conjunction into a disjunction is
+        semantically invalid."""
+        plan = build_plan(FIG7)
+        for node in collect_merged(plan):
+            predicates = {t.predicate.value for t in node.triples}
+            assert not ({"developer", "founder"} & predicates == {"developer", "founder"})
+            if "developer" in predicates:
+                assert predicates == {"developer"} or "founder" not in predicates
+
+
+class TestStructuralConstraints:
+    def test_subject_star_merges(self):
+        plan = build_plan("SELECT * WHERE { <IBM> <HQ> ?h . <IBM> <employees> ?e }")
+        merged = collect_merged(plan)
+        assert len(merged) == 1 and len(merged[0].members) == 2
+
+    def test_variable_star_merges(self):
+        plan = build_plan(
+            "SELECT * WHERE { ?s <HQ> ?h . ?s <employees> ?e . ?s <industry> ?i }"
+        )
+        merged = collect_merged(plan)
+        assert any(len(node.members) == 3 for node in merged)
+
+    def test_different_entities_do_not_merge(self):
+        plan = build_plan("SELECT * WHERE { ?a <p> ?x . ?b <q> ?y }")
+        assert collect_merged(plan) == []
+
+    def test_spill_predicate_vetoes_merge(self):
+        text = "SELECT * WHERE { ?s <HQ> ?h . ?s <employees> ?e }"
+        merged_without = collect_merged(build_plan(text))
+        merged_with = collect_merged(
+            build_plan(text, spill_direct=frozenset({"employees"}))
+        )
+        assert merged_without and len(merged_without[0].members) == 2
+        assert all(len(node.members) == 1 for node in merged_with) or not merged_with
+
+    def test_variable_predicate_vetoes_merge(self):
+        plan = build_plan("SELECT * WHERE { ?s <HQ> ?h . ?s ?p ?v }")
+        for node in collect_merged(plan):
+            assert len(node.members) == 1 or all(
+                not isinstance(m.triple.predicate, type(None)) for m in node.members
+            )
+
+    def test_shared_value_variable_vetoes_and_merge(self):
+        """?s p ?v . ?s q ?v would need cross-member equality in a single
+        access; the merger declines (kept as separate accesses)."""
+        plan = build_plan("SELECT * WHERE { ?s <p> ?v . ?s <q> ?v }")
+        for node in collect_merged(plan):
+            values = [
+                m.triple.object.name
+                for m in node.members
+                if hasattr(m.triple.object, "name")
+            ]
+            assert len(values) == len(set(values)) <= 1
+
+    def test_optional_with_shared_variable_not_merged(self):
+        """The optional's object var appears elsewhere: cannot opt-merge."""
+        plan = build_plan(
+            "SELECT * WHERE { ?s <p> ?v . OPTIONAL { ?s <q> ?w } ?x <r> ?w }"
+        )
+        for node in collect_merged(plan):
+            assert not any(member.optional for member in node.members)

@@ -1,0 +1,165 @@
+"""SPARQL parsing: terms, pattern structure, filters, modifiers."""
+
+import pytest
+
+from repro.rdf.terms import BNode, Literal, URI, XSD_BOOLEAN, XSD_DECIMAL, XSD_INTEGER
+from repro.sparql.ast import (
+    AskQuery,
+    FBinary,
+    FBound,
+    FRegex,
+    FVar,
+    GroupPattern,
+    OptionalPattern,
+    TriplePattern,
+    UnionPattern,
+    Var,
+)
+from repro.sparql.parser import SparqlSyntaxError, parse_sparql
+
+
+class TestSelectClause:
+    def test_variables(self):
+        query = parse_sparql("SELECT ?a ?b WHERE { ?a <p> ?b }")
+        assert query.variables == ["a", "b"]
+
+    def test_star(self):
+        query = parse_sparql("SELECT * WHERE { ?a <p> ?b }")
+        assert query.variables is None
+        assert query.projected_variables() == ["a", "b"]
+
+    def test_distinct_and_reduced(self):
+        assert parse_sparql("SELECT DISTINCT ?a WHERE { ?a <p> ?b }").distinct
+        assert parse_sparql("SELECT REDUCED ?a WHERE { ?a <p> ?b }").reduced
+
+    def test_where_keyword_optional(self):
+        query = parse_sparql("SELECT ?a { ?a <p> ?b }")
+        assert len(query.where.elements) == 1
+
+
+class TestTerms:
+    def test_prefixed_names(self):
+        query = parse_sparql(
+            "PREFIX ex: <http://e/> SELECT ?x WHERE { ?x ex:p ex:o }"
+        )
+        triple = query.where.elements[0]
+        assert triple.predicate == URI("http://e/p")
+        assert triple.object == URI("http://e/o")
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(SparqlSyntaxError, match="undeclared prefix"):
+            parse_sparql("SELECT ?x WHERE { ?x nope:p ?y }")
+
+    def test_a_keyword(self):
+        query = parse_sparql("SELECT ?x WHERE { ?x a <C> }")
+        triple = query.where.elements[0]
+        assert triple.predicate.value.endswith("#type")
+
+    def test_literals(self):
+        query = parse_sparql(
+            'SELECT ?x WHERE { ?x <p> "plain" . ?x <q> "tagged"@en . '
+            '?x <r> "5"^^<http://www.w3.org/2001/XMLSchema#integer> . '
+            "?x <s> 7 . ?x <t> 2.5 . ?x <u> true }"
+        )
+        objects = [e.object for e in query.where.elements]
+        assert objects[0] == Literal("plain")
+        assert objects[1] == Literal("tagged", lang="en")
+        assert objects[2] == Literal("5", datatype=XSD_INTEGER)
+        assert objects[3] == Literal("7", datatype=XSD_INTEGER)
+        assert objects[4] == Literal("2.5", datatype=XSD_DECIMAL)
+        assert objects[5] == Literal("true", datatype=XSD_BOOLEAN)
+
+    def test_bnode(self):
+        query = parse_sparql("SELECT ?x WHERE { _:b <p> ?x }")
+        assert query.where.elements[0].subject == BNode("b")
+
+    def test_base_resolution(self):
+        query = parse_sparql("BASE <http://e/> SELECT ?x WHERE { ?x <p> <o> }")
+        assert query.where.elements[0].object == URI("http://e/o")
+
+
+class TestPatternStructure:
+    def test_predicate_object_lists(self):
+        query = parse_sparql("SELECT * WHERE { ?x <p> ?a ; <q> ?b , ?c . }")
+        triples = query.where.elements
+        assert len(triples) == 3
+        assert all(t.subject == Var("x") for t in triples)
+        assert [t.predicate.value for t in triples] == ["p", "q", "q"]
+
+    def test_union(self):
+        query = parse_sparql(
+            "SELECT * WHERE { { ?x <p> ?y } UNION { ?x <q> ?y } UNION { ?x <r> ?y } }"
+        )
+        union = query.where.elements[0]
+        assert isinstance(union, UnionPattern)
+        assert len(union.branches) == 3
+
+    def test_optional(self):
+        query = parse_sparql("SELECT * WHERE { ?x <p> ?y OPTIONAL { ?x <q> ?z } }")
+        assert isinstance(query.where.elements[1], OptionalPattern)
+
+    def test_nested_group(self):
+        query = parse_sparql("SELECT * WHERE { { ?x <p> ?y . ?y <q> ?z } }")
+        assert isinstance(query.where.elements[0], GroupPattern)
+
+    def test_ask(self):
+        query = parse_sparql("ASK { ?x <p> ?y }")
+        assert isinstance(query, AskQuery)
+
+
+class TestFilters:
+    def test_comparison(self):
+        query = parse_sparql("SELECT * WHERE { ?x <p> ?y FILTER (?y > 5) }")
+        (condition,) = query.where.filters
+        assert isinstance(condition, FBinary) and condition.op == ">"
+
+    def test_logical_precedence(self):
+        query = parse_sparql(
+            "SELECT * WHERE { ?x <p> ?y FILTER (?y > 1 || ?y < 0 && ?y != 9) }"
+        )
+        (condition,) = query.where.filters
+        assert condition.op == "||"
+        assert condition.right.op == "&&"
+
+    def test_bound(self):
+        query = parse_sparql("SELECT * WHERE { ?x <p> ?y FILTER (!bound(?y)) }")
+        (condition,) = query.where.filters
+        assert condition.op == "!"
+        assert isinstance(condition.operand, FBound)
+
+    def test_regex(self):
+        query = parse_sparql(
+            'SELECT * WHERE { ?x <p> ?y FILTER regex(?y, "^ab", "i") }'
+        )
+        (condition,) = query.where.filters
+        assert isinstance(condition, FRegex)
+        assert condition.pattern == "^ab" and condition.flags == "i"
+
+    def test_filter_scoped_to_group(self):
+        query = parse_sparql(
+            "SELECT * WHERE { ?x <p> ?y OPTIONAL { ?x <q> ?z FILTER (?z > 1) } }"
+        )
+        optional = query.where.elements[1]
+        assert len(optional.pattern.filters) == 1
+        assert not query.where.filters
+
+
+class TestModifiers:
+    def test_order_limit_offset(self):
+        query = parse_sparql(
+            "SELECT ?x WHERE { ?x <p> ?y } ORDER BY DESC(?y) ?x LIMIT 10 OFFSET 4"
+        )
+        assert not query.order_by[0].ascending
+        assert query.order_by[1].ascending
+        assert isinstance(query.order_by[1].expr, FVar)
+        assert (query.limit, query.offset) == (10, 4)
+
+    def test_comments_ignored(self):
+        query = parse_sparql(
+            "SELECT ?x WHERE { # star pattern\n ?x <p> ?y }"
+        )
+        assert len(query.where.elements) == 1
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql("SELECT ?x WHERE { ?x <p> ?y } garbage")

@@ -1,0 +1,173 @@
+"""The Query Plan Builder: execution-tree construction with late fusing,
+replaying the paper's Figure 10."""
+
+import pytest
+
+from repro.core.stats import DatasetStatistics
+from repro.sparql.algebra import PatternTree, normalize
+from repro.sparql.optimizer.dataflow import build_flow
+from repro.sparql.optimizer.planbuilder import (
+    AccessNode,
+    AndNode,
+    EmptyNode,
+    FilterNode,
+    OptNode,
+    OrNode,
+    build_execution_tree,
+    textual_execution_tree,
+)
+from repro.sparql.parser import parse_sparql
+
+from .test_algebra import FIG7
+
+
+def leftmost_access(node):
+    while isinstance(node, (AndNode, OptNode, FilterNode)):
+        node = node.left if not isinstance(node, FilterNode) else node.child
+    return node
+
+
+def fused_order(node, out=None):
+    """Triples in left-deep fuse order."""
+    if out is None:
+        out = []
+    if isinstance(node, AccessNode):
+        out.append(node.triple)
+    elif isinstance(node, AndNode):
+        fused_order(node.left, out)
+        fused_order(node.right, out)
+    elif isinstance(node, OptNode):
+        fused_order(node.left, out)
+        fused_order(node.right, out)
+    elif isinstance(node, OrNode):
+        for branch in node.branches:
+            fused_order(branch, out)
+    elif isinstance(node, FilterNode):
+        fused_order(node.child, out)
+    return out
+
+
+@pytest.fixture
+def fig10():
+    query = normalize(parse_sparql(FIG7))
+    tree = PatternTree.build(query.where)
+    stats = DatasetStatistics(
+        total_triples=26,
+        distinct_subjects=5,
+        distinct_objects=26,
+        top_objects={"Software": 2, "Palo_Alto": 4},
+    )
+    flow = build_flow(list(query.where.triples()), tree, stats)
+    return query, flow, build_execution_tree(query.where, flow)
+
+
+class TestFigure10Shape:
+    def test_t4_fused_first(self, fig10):
+        """The selective (t4, aco) anchors the plan."""
+        _, _, tree = fig10
+        anchor = leftmost_access(tree)
+        assert isinstance(anchor, AccessNode)
+        assert anchor.triple.predicate.value == "industry"
+
+    def test_optional_fused_last(self, fig10):
+        _, _, tree = fig10
+        assert isinstance(tree, OptNode)
+        optional_triples = fused_order(tree.right)
+        assert [t.predicate.value for t in optional_triples] == ["employees"]
+
+    def test_union_kept_as_or_node(self, fig10):
+        _, _, tree = fig10
+        def find_or(node):
+            if isinstance(node, OrNode):
+                return node
+            for child in getattr(node, "__dict__", {}).values():
+                if isinstance(child, (AccessNode, str, list)):
+                    continue
+                found = find_or(child)
+                if found is not None:
+                    return found
+            return None
+        or_node = find_or(tree)
+        assert or_node is not None
+        predicates = {t.predicate.value for b in or_node.branches for t in fused_order(b)}
+        assert predicates == {"founder", "member"}
+
+    def test_fuse_order_follows_flow_ranks(self, fig10):
+        _, flow, tree = fig10
+        order = fused_order(tree)
+        # Units fuse in nondecreasing rank of their anchor triples, except
+        # inside OR branches (whole unit placed at min rank).
+        assert order[0].predicate.value == "industry"
+        non_optional = [t for t in order if t.predicate.value != "employees"]
+        # t5/t6 (developer/revenue) must come after the union and t1 per the
+        # paper's walkthrough only if their ranks say so; at minimum the
+        # anchor is first and OPTIONAL last, verified elsewhere.
+        assert len(non_optional) == 6
+
+    def test_all_triples_present_exactly_once(self, fig10):
+        query, _, tree = fig10
+        order = fused_order(tree)
+        assert sorted(id(t) for t in order) == sorted(
+            id(t) for t in query.where.triples()
+        )
+
+
+class TestSmallShapes:
+    def make(self, text):
+        query = normalize(parse_sparql(text))
+        tree = PatternTree.build(query.where)
+        stats = DatasetStatistics(total_triples=10, distinct_subjects=5,
+                                  distinct_objects=5)
+        flow = build_flow(list(query.where.triples()), tree, stats)
+        return build_execution_tree(query.where, flow)
+
+    def test_single_triple(self):
+        tree = self.make("SELECT * WHERE { ?x <p> ?y }")
+        assert isinstance(tree, AccessNode)
+
+    def test_filters_wrap_group(self):
+        tree = self.make("SELECT * WHERE { ?x <p> ?y FILTER (?y > 1) }")
+        assert isinstance(tree, FilterNode)
+        assert isinstance(tree.child, AccessNode)
+
+    def test_empty_group_with_optional(self):
+        tree = self.make("SELECT * WHERE { OPTIONAL { ?x <p> ?y } }")
+        assert isinstance(tree, OptNode)
+        assert isinstance(tree.left, EmptyNode)
+
+    def test_two_optionals_in_textual_order(self):
+        tree = self.make(
+            "SELECT * WHERE { ?x <p> ?y OPTIONAL { ?x <q> ?a } OPTIONAL { ?x <r> ?b } }"
+        )
+        assert isinstance(tree, OptNode)
+        assert fused_order(tree.right)[0].predicate.value == "r"
+        assert isinstance(tree.left, OptNode)
+        assert fused_order(tree.left.right)[0].predicate.value == "q"
+
+
+class TestTextualTree:
+    def test_textual_order_preserved(self):
+        query = normalize(
+            parse_sparql("SELECT * WHERE { ?x <p> ?y . ?y <q> ?z . ?z <r> <End> }")
+        )
+
+        def chooser(triple, bound):
+            return "sc"
+
+        tree = textual_execution_tree(query.where, chooser)
+        order = [t.predicate.value for t in fused_order(tree)]
+        assert order == ["p", "q", "r"]
+
+    def test_chooser_sees_bound_variables(self):
+        query = normalize(
+            parse_sparql("SELECT * WHERE { ?x <p> ?y . ?y <q> ?z }")
+        )
+        seen = []
+
+        def chooser(triple, bound):
+            seen.append(set(bound))
+            return "sc"
+
+        textual_execution_tree(query.where, chooser)
+        assert seen[0] == set()
+        assert seen[1] == {"x", "y"}

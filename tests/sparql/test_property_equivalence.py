@@ -1,0 +1,183 @@
+"""Property-based cross-engine equivalence.
+
+Hypothesis generates random small graphs and random SPARQL queries (BGPs,
+UNIONs, OPTIONALs, simple FILTERs); every engine configuration must return
+the same multiset of rows as the naive reference evaluator. This is the
+repository's strongest correctness guarantee: the optimizer may pick any
+flow, any merge, any backend — answers must not change.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import EngineConfig, Graph, RdfStore, SqliteBackend, Triple, URI
+from repro.baselines import (
+    NativeMemoryStore,
+    TripleStore,
+    TypeOrientedStore,
+    VerticalStore,
+)
+from repro.rdf.terms import Literal, XSD_INTEGER
+from repro.sparql import query_graph
+
+PREDICATES = ["p0", "p1", "p2", "p3"]
+NODES = [f"n{i}" for i in range(8)]
+VARS = ["a", "b", "c"]
+
+
+@st.composite
+def graphs(draw):
+    size = draw(st.integers(3, 25))
+    rng = random.Random(draw(st.integers(0, 2**30)))
+    graph = Graph()
+    for _ in range(size):
+        s = URI(rng.choice(NODES))
+        p = URI(rng.choice(PREDICATES))
+        if rng.random() < 0.2:
+            o = Literal(str(rng.randrange(5)), datatype=XSD_INTEGER)
+        else:
+            o = URI(rng.choice(NODES))
+        graph.add(Triple(s, p, o))
+    return graph
+
+
+def _term(rng) -> str:
+    roll = rng.random()
+    if roll < 0.5:
+        return f"?{rng.choice(VARS)}"
+    return f"<{rng.choice(NODES)}>"
+
+
+def _triple(rng) -> str:
+    predicate = (
+        f"?{rng.choice(VARS)}" if rng.random() < 0.1 else f"<{rng.choice(PREDICATES)}>"
+    )
+    return f"{_term(rng)} {predicate} {_term(rng)}"
+
+
+@st.composite
+def queries(draw):
+    rng = random.Random(draw(st.integers(0, 2**30)))
+    parts: list[str] = [f"{_triple(rng)} ."]
+    if rng.random() < 0.5:
+        parts.append(f"{_triple(rng)} .")
+    if rng.random() < 0.4:
+        roll = rng.random()
+        if roll < 0.7:
+            parts.append(f"{{ {_triple(rng)} }} UNION {{ {_triple(rng)} }}")
+        else:
+            # optional inside a union branch
+            parts.append(
+                f"{{ {_triple(rng)} OPTIONAL {{ {_triple(rng)} }} }} "
+                f"UNION {{ {_triple(rng)} }}"
+            )
+    if rng.random() < 0.4:
+        roll = rng.random()
+        if roll < 0.6:
+            parts.append(f"OPTIONAL {{ {_triple(rng)} }}")
+        elif roll < 0.85:
+            # nested optional (the rid-collision regression shape)
+            parts.append(
+                f"OPTIONAL {{ {_triple(rng)} . "
+                f"OPTIONAL {{ {_triple(rng)} }} }}"
+            )
+        else:
+            # multi-triple optional
+            parts.append(
+                f"OPTIONAL {{ {_triple(rng)} . {_triple(rng)} }}"
+            )
+    if rng.random() < 0.3:
+        variable = rng.choice(VARS)
+        condition = rng.choice(
+            [
+                f"?{variable} = <{rng.choice(NODES)}>",
+                f"?{variable} != <{rng.choice(NODES)}>",
+                f"?{variable} > {rng.randrange(5)}",
+                f"bound(?{variable})",
+                f"!bound(?{variable})",
+                f"isURI(?{variable})",
+            ]
+        )
+        parts.append(f"FILTER ({condition})")
+    distinct = "DISTINCT " if rng.random() < 0.3 else ""
+    return f"SELECT {distinct}* WHERE {{ {' '.join(parts)} }}"
+
+
+CONFIGS = [
+    ("hybrid+merge", EngineConfig()),
+    ("hybrid-nomerge", EngineConfig(merge=False)),
+    ("hybrid-nostats", EngineConfig(use_statistics=False)),
+    ("naive", EngineConfig(optimizer="naive")),
+]
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(graph=graphs(), sparql=queries())
+def test_db2rdf_configs_match_reference(graph, sparql):
+    expected = query_graph(graph, sparql)
+    for label, config in CONFIGS:
+        store = RdfStore.from_graph(graph, config=config)
+        result = store.query(sparql)
+        assert result.matches(expected), (
+            f"{label} diverged on {sparql}\n"
+            f"expected {sorted(expected.key_rows())}\n"
+            f"got      {sorted(result.key_rows())}"
+        )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(graph=graphs(), sparql=queries())
+def test_sqlite_backend_matches_reference(graph, sparql):
+    expected = query_graph(graph, sparql)
+    store = RdfStore.from_graph(graph, backend=SqliteBackend())
+    assert store.query(sparql).matches(expected), sparql
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(graph=graphs(), sparql=queries())
+def test_baselines_match_reference(graph, sparql):
+    expected = query_graph(graph, sparql)
+    for factory in (
+        TripleStore.from_graph,
+        VerticalStore.from_graph,
+        TypeOrientedStore.from_graph,
+        NativeMemoryStore.from_graph,
+    ):
+        store = factory(graph)
+        result = store.query(sparql)
+        assert result.matches(expected), (
+            f"{type(store).__name__} diverged on {sparql}\n"
+            f"expected {sorted(expected.key_rows())}\n"
+            f"got      {sorted(result.key_rows())}"
+        )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(graph=graphs())
+def test_every_triple_retrievable(graph):
+    """Loader invariant: SELECT ?s ?p ?o returns exactly the loaded graph."""
+    store = RdfStore.from_graph(graph)
+    result = store.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+    expected = query_graph(graph, "SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+    assert result.matches(expected)
+    assert len(result) == len(graph)

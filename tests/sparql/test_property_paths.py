@@ -1,0 +1,107 @@
+"""SPARQL 1.1-lite property paths: /, |, ^ desugaring."""
+
+import pytest
+
+from repro import Graph, RdfStore, Triple, URI
+from repro.baselines import NativeMemoryStore, TripleStore
+from repro.sparql import query_graph
+from repro.sparql.ast import TriplePattern, UnionPattern
+from repro.sparql.parser import SparqlSyntaxError, parse_sparql
+
+
+def t(s, p, o):
+    return Triple(URI(s), URI(p), URI(o))
+
+
+@pytest.fixture
+def g():
+    return Graph(
+        [
+            t("alice", "knows", "bob"),
+            t("bob", "knows", "carol"),
+            t("carol", "worksFor", "acme"),
+            t("alice", "likes", "carol"),
+            t("acme", "locatedIn", "nyc"),
+        ]
+    )
+
+
+class TestDesugaring:
+    def test_sequence_introduces_fresh_variable(self):
+        query = parse_sparql("SELECT ?x ?z WHERE { ?x <p>/<q> ?z }")
+        triples = list(query.where.triples())
+        assert len(triples) == 2
+        middle = triples[0].object
+        assert middle == triples[1].subject
+        assert middle.name.startswith("__path")
+
+    def test_hidden_from_select_star(self):
+        query = parse_sparql("SELECT * WHERE { ?x <p>/<q> ?z }")
+        assert query.projected_variables() == ["x", "z"]
+
+    def test_alternation_becomes_union(self):
+        query = parse_sparql("SELECT ?x WHERE { ?x <p>|<q> ?o }")
+        (element,) = query.where.elements
+        assert isinstance(element, UnionPattern)
+        assert len(element.branches) == 2
+
+    def test_inverse_swaps_positions(self):
+        query = parse_sparql("SELECT ?x WHERE { ?x ^<p> ?o }")
+        (triple,) = query.where.elements
+        assert isinstance(triple, TriplePattern)
+        assert triple.subject.name == "o"
+        assert triple.object.name == "x"
+
+    def test_grouping_and_combination(self):
+        query = parse_sparql("SELECT ?x ?z WHERE { ?x (<p>|<q>)/<r> ?z }")
+        union, triple = query.where.elements
+        assert isinstance(union, UnionPattern)
+        assert isinstance(triple, TriplePattern)
+
+    def test_a_inside_path(self):
+        query = parse_sparql("SELECT ?x WHERE { ?x a/<sub> ?c }")
+        triples = list(query.where.triples())
+        assert triples[0].predicate.value.endswith("#type")
+
+    def test_star_plus_rejected(self):
+        with pytest.raises(SparqlSyntaxError, match="not supported"):
+            parse_sparql("SELECT ?x WHERE { ?x <p>+ ?o }")
+        with pytest.raises(SparqlSyntaxError, match="not supported"):
+            parse_sparql("SELECT ?x WHERE { ?x (<p>)* ?o }")
+
+
+class TestEvaluation:
+    def test_sequence(self, g):
+        result = query_graph(
+            g, "SELECT ?who ?org WHERE { ?who <knows>/<worksFor> ?org }"
+        )
+        assert result.key_rows() == [("bob", "acme")]
+
+    def test_two_hop_sequence(self, g):
+        result = query_graph(
+            g, "SELECT ?a ?where WHERE { ?a <knows>/<worksFor>/<locatedIn> ?where }"
+        )
+        assert result.key_rows() == [("bob", "nyc")]
+
+    def test_alternation(self, g):
+        result = query_graph(
+            g, "SELECT ?x WHERE { ?x <knows>|<likes> <carol> }"
+        )
+        assert sorted(result.key_rows()) == [("alice",), ("bob",)]
+
+    def test_inverse(self, g):
+        result = query_graph(g, "SELECT ?x WHERE { <bob> ^<knows> ?x }")
+        assert result.key_rows() == [("alice",)]
+
+    def test_all_engines_agree(self, g):
+        query = (
+            "SELECT ?who ?org WHERE { ?who (<knows>|<likes>)/<worksFor> ?org }"
+        )
+        expected = query_graph(g, query)
+        assert len(expected) == 2
+        for store in (
+            RdfStore.from_graph(g),
+            TripleStore.from_graph(g),
+            NativeMemoryStore.from_graph(g),
+        ):
+            assert store.query(query).matches(expected), type(store).__name__

@@ -1,0 +1,173 @@
+"""The reference evaluator: SPARQL algebra and FILTER semantics."""
+
+import pytest
+
+from repro import Graph, Triple, URI
+from repro.rdf.terms import Literal, XSD_INTEGER
+from repro.sparql.reference import query_graph
+
+
+def t(s, p, o):
+    obj = o if not isinstance(o, str) else URI(o)
+    return Triple(URI(s), URI(p), obj)
+
+
+@pytest.fixture
+def g():
+    return Graph(
+        [
+            t("a", "p", "b"),
+            t("a", "q", "c"),
+            t("b", "p", "c"),
+            t("d", "p", "b"),
+            t("a", "age", Literal("30", datatype=XSD_INTEGER)),
+            t("b", "age", Literal("40", datatype=XSD_INTEGER)),
+            t("a", "name", Literal("alice")),
+            t("b", "name", Literal("bob")),
+            t("c", "label", Literal("chat", lang="fr")),
+        ]
+    )
+
+
+class TestBgp:
+    def test_join_on_shared_variable(self, g):
+        result = query_graph(g, "SELECT ?x ?z WHERE { ?x <p> ?y . ?y <p> ?z }")
+        assert sorted(result.key_rows()) == [("a", "c"), ("d", "c")]
+
+    def test_same_variable_twice_in_triple(self, g):
+        g.add(t("e", "p", "e"))
+        result = query_graph(g, "SELECT ?x WHERE { ?x <p> ?x }")
+        assert result.key_rows() == [("e",)]
+
+    def test_bag_semantics_duplicates_kept(self, g):
+        result = query_graph(g, "SELECT ?x WHERE { ?x <p> ?y }")
+        assert len(result) == 3
+
+    def test_distinct(self, g):
+        result = query_graph(g, "SELECT DISTINCT ?p WHERE { <a> ?p ?o }")
+        assert len(result) == 4
+
+
+class TestOptionalSemantics:
+    def test_left_join_extends_or_keeps(self, g):
+        result = query_graph(
+            g, "SELECT ?x ?c WHERE { ?x <p> ?y OPTIONAL { ?x <q> ?c } }"
+        )
+        rows = dict(result.key_rows())
+        assert rows["a"] == "c"
+        assert rows["b"] is None
+
+    def test_optional_filter_inside_scope(self, g):
+        result = query_graph(
+            g,
+            "SELECT ?x ?v WHERE { ?x <name> ?n "
+            'OPTIONAL { ?x <age> ?v FILTER (?v > 35) } }',
+        )
+        by_x = {row[0]: row[1] for row in result.key_rows()}
+        assert by_x["a"] is None  # 30 fails the filter but row survives
+        assert by_x["b"] == '"40"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_negation_by_bound(self, g):
+        result = query_graph(
+            g,
+            "SELECT ?x WHERE { ?x <p> ?y OPTIONAL { ?x <q> ?c } "
+            "FILTER (!bound(?c)) }",
+        )
+        assert sorted(result.key_rows()) == [("b",), ("d",)]
+
+
+class TestFilterSemantics:
+    def test_numeric_comparison_typed(self, g):
+        result = query_graph(g, "SELECT ?x WHERE { ?x <age> ?a FILTER (?a >= 40) }")
+        assert result.key_rows() == [("b",)]
+
+    def test_string_ordering_plain_literals(self, g):
+        result = query_graph(
+            g, 'SELECT ?x WHERE { ?x <name> ?n FILTER (?n < "b") }'
+        )
+        assert result.key_rows() == [("a",)]
+
+    def test_uri_ordering_is_error_row_dropped(self, g):
+        result = query_graph(g, "SELECT ?x WHERE { ?x <p> ?y FILTER (?y > 1) }")
+        assert len(result) == 0
+
+    def test_equality_on_uris(self, g):
+        result = query_graph(g, "SELECT ?x WHERE { ?x <p> ?y FILTER (?y = <b>) }")
+        assert sorted(result.key_rows()) == [("a",), ("d",)]
+
+    def test_numeric_equality_across_lexical_forms(self, g):
+        g.add(t("e", "age", Literal("40.0", datatype="http://www.w3.org/2001/XMLSchema#decimal")))
+        result = query_graph(g, "SELECT ?x WHERE { ?x <age> ?a FILTER (?a = 40) }")
+        assert sorted(result.key_rows()) == [("b",), ("e",)]
+
+    def test_error_propagation_in_or(self, g):
+        # err || true = true: unbound ?c errors but the comparison saves it
+        result = query_graph(
+            g,
+            "SELECT ?x WHERE { ?x <age> ?a OPTIONAL { ?x <nosuch> ?c } "
+            "FILTER (?c > 1 || ?a > 35) }",
+        )
+        assert result.key_rows() == [("b",)]
+
+    def test_error_in_and_is_false(self, g):
+        result = query_graph(
+            g,
+            "SELECT ?x WHERE { ?x <age> ?a OPTIONAL { ?x <nosuch> ?c } "
+            "FILTER (?c > 1 && ?a > 35) }",
+        )
+        assert len(result) == 0
+
+    def test_regex_and_flags(self, g):
+        result = query_graph(
+            g, 'SELECT ?x WHERE { ?x <name> ?n FILTER regex(?n, "^AL", "i") }'
+        )
+        assert result.key_rows() == [("a",)]
+
+    def test_lang_and_langmatches(self, g):
+        result = query_graph(
+            g,
+            'SELECT ?x WHERE { ?x <label> ?l FILTER langMatches(lang(?l), "fr") }',
+        )
+        assert result.key_rows() == [("c",)]
+
+    def test_datatype(self, g):
+        result = query_graph(
+            g,
+            "SELECT ?x WHERE { ?x <age> ?a FILTER (datatype(?a) = "
+            "<http://www.w3.org/2001/XMLSchema#integer>) }",
+        )
+        assert len(result) == 2
+
+    def test_is_uri_is_literal(self, g):
+        assert len(query_graph(g, "SELECT ?o WHERE { <a> <name> ?o FILTER isLiteral(?o) }")) == 1
+        assert len(query_graph(g, "SELECT ?o WHERE { <a> <p> ?o FILTER isURI(?o) }")) == 1
+
+    def test_str_comparison(self, g):
+        result = query_graph(
+            g, 'SELECT ?x WHERE { ?x <p> ?y FILTER (str(?y) = "b") }'
+        )
+        assert sorted(result.key_rows()) == [("a",), ("d",)]
+
+    def test_arithmetic(self, g):
+        result = query_graph(
+            g, "SELECT ?x WHERE { ?x <age> ?a FILTER (?a * 2 = 60) }"
+        )
+        assert result.key_rows() == [("a",)]
+
+
+class TestSolutionModifiers:
+    def test_order_by(self, g):
+        result = query_graph(
+            g, "SELECT ?x WHERE { ?x <age> ?a } ORDER BY DESC(?a)"
+        )
+        assert [row[0] for row in result.key_rows()] == ["b", "a"]
+
+    def test_limit_offset(self, g):
+        result = query_graph(
+            g, "SELECT ?x WHERE { ?x <p> ?y } ORDER BY ?x LIMIT 1 OFFSET 1"
+        )
+        assert result.key_rows() == [("b",)]
+
+    def test_ask(self, g):
+        assert query_graph(g, "ASK { <a> <p> <b> }") is True
+        assert query_graph(g, "ASK { <a> <p> <zzz> }") is False

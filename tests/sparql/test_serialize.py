@@ -1,0 +1,115 @@
+"""SPARQL result serialization formats."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.rdf.terms import BNode, Literal, URI, XSD_INTEGER
+from repro.sparql.results import SelectResult
+from repro.sparql.serialize import to_ascii_table, to_csv, to_json, to_tsv
+
+
+@pytest.fixture
+def result():
+    return SelectResult(
+        variables=["s", "o"],
+        rows=[
+            (URI("http://e/a"), Literal("plain value")),
+            (URI("http://e/b"), Literal("5", datatype=XSD_INTEGER)),
+            (BNode("b0"), Literal("salut", lang="fr")),
+            (URI("http://e/c"), None),
+            (URI("http://e/d"), Literal('with,comma "and quotes"')),
+        ],
+    )
+
+
+class TestCsv:
+    def test_header_and_rows(self, result):
+        rows = list(csv.reader(io.StringIO(to_csv(result))))
+        assert rows[0] == ["s", "o"]
+        assert rows[1] == ["http://e/a", "plain value"]
+
+    def test_unbound_is_empty(self, result):
+        rows = list(csv.reader(io.StringIO(to_csv(result))))
+        assert rows[4] == ["http://e/c", ""]
+
+    def test_quoting_round_trips(self, result):
+        rows = list(csv.reader(io.StringIO(to_csv(result))))
+        assert rows[5][1] == 'with,comma "and quotes"'
+
+    def test_bnode_prefix(self, result):
+        assert "_:b0" in to_csv(result)
+
+
+class TestTsv:
+    def test_terms_in_n3(self, result):
+        lines = to_tsv(result).splitlines()
+        assert lines[0] == "?s\t?o"
+        assert lines[1] == '<http://e/a>\t"plain value"'
+        assert lines[2].endswith(f'"5"^^<{XSD_INTEGER}>')
+        assert lines[3].endswith('"salut"@fr')
+
+
+class TestJson:
+    def test_w3c_shape(self, result):
+        document = json.loads(to_json(result))
+        assert document["head"]["vars"] == ["s", "o"]
+        bindings = document["results"]["bindings"]
+        assert bindings[0]["s"] == {"type": "uri", "value": "http://e/a"}
+        assert bindings[1]["o"] == {
+            "type": "literal",
+            "value": "5",
+            "datatype": XSD_INTEGER,
+        }
+        assert bindings[2]["o"]["xml:lang"] == "fr"
+        assert bindings[2]["s"] == {"type": "bnode", "value": "b0"}
+
+    def test_unbound_omitted(self, result):
+        document = json.loads(to_json(result))
+        assert "o" not in document["results"]["bindings"][3]
+
+
+class TestAsciiTable:
+    def test_alignment_and_truncation(self, result):
+        table = to_ascii_table(result, max_width=10)
+        lines = table.splitlines()
+        assert lines[0].startswith("?s")
+        assert "…" in table  # long URI truncated
+        assert len(lines) == 2 + len(result.rows)
+
+    def test_empty_result(self):
+        table = to_ascii_table(SelectResult(["x"], []))
+        assert table.splitlines()[0] == "?x"
+
+
+class TestCliFormats:
+    def test_cli_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        data = tmp_path / "d.nt"
+        data.write_text("<http://e/a> <http://e/p> <http://e/b> .\n")
+        main(
+            [
+                "query", str(data),
+                "SELECT ?o WHERE { <http://e/a> <http://e/p> ?o }",
+                "--quiet", "--format", "json",
+            ]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["results"]["bindings"][0]["o"]["value"] == "http://e/b"
+
+    def test_cli_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        data = tmp_path / "d.nt"
+        data.write_text("<http://e/a> <http://e/p> <http://e/b> .\n")
+        main(
+            [
+                "query", str(data),
+                "SELECT ?o WHERE { ?s ?p ?o }",
+                "--quiet", "--format", "csv",
+            ]
+        )
+        assert capsys.readouterr().out.splitlines()[0] == "o"

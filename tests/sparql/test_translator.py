@@ -1,0 +1,188 @@
+"""SPARQL-to-SQL translation details: generated SQL structure and the
+DB2RDF-specific access shapes of §3.2.2 / Figures 12–13."""
+
+import pytest
+
+from repro import Graph, RdfStore, Triple, URI
+from repro.core.errors import UnsupportedQueryError
+from repro.rdf.terms import Literal
+from repro.sparql import EngineConfig, query_graph
+
+
+def t(s, p, o):
+    obj = o if not isinstance(o, str) else URI(o)
+    return Triple(URI(s), URI(p), obj)
+
+
+@pytest.fixture
+def store(fig1_graph):
+    return RdfStore.from_graph(fig1_graph)
+
+
+class TestGeneratedSqlShapes:
+    def test_cte_pipeline(self, store):
+        sql = store.explain(
+            "SELECT ?z WHERE { ?y <industry> <Software> . ?z <developer> ?y }"
+        )
+        assert sql.startswith("WITH")
+        assert sql.count('"RPH"') >= 2  # one access per entity
+
+    def test_multivalued_access_joins_secondary(self, store):
+        """industry is multi-valued: the access must LEFT JOIN the
+        secondary table and COALESCE (Figure 13's QT4DS)."""
+        sql = store.explain("SELECT ?i WHERE { <IBM> <industry> ?i }")
+        assert "LEFT OUTER JOIN" in sql and "COALESCE" in sql and '"DS"' in sql
+
+    def test_single_valued_access_skips_secondary(self, store):
+        """'the access to the secondary table is avoided' for single-valued
+        predicates."""
+        sql = store.explain("SELECT ?hq WHERE { <IBM> <HQ> ?hq }")
+        assert '"DS"' not in sql and "COALESCE" not in sql
+
+    def test_or_merge_emits_flip(self, store):
+        sql = store.explain(
+            "SELECT ?y WHERE { { <Larry_Page> <founder> ?y } UNION "
+            "{ <Larry_Page> <board> ?y } }"
+        )
+        assert "UNION ALL" in sql
+        assert sql.count('"DPH"') == 1  # single merged access
+
+    def test_optional_merge_uses_case(self, store):
+        sql = store.explain(
+            "SELECT ?n ?m WHERE { <Google> <employees> ?n "
+            "OPTIONAL { <Google> <HQ> ?m } }"
+        )
+        assert sql.count('"DPH"') == 1
+        assert "CASE" in sql
+
+    def test_unmerged_optional_uses_left_join_on_rowid(self, store):
+        sql = store.explain(
+            "SELECT ?x ?b WHERE { ?x <founder> ?y "
+            "OPTIONAL { ?z <developer> ?y . ?z <version> ?b } }"
+        )
+        assert "ROW_NUMBER() OVER ()" in sql
+        assert "LEFT OUTER JOIN" in sql
+
+    def test_variable_predicate_unpivots(self, store):
+        sql = store.explain("SELECT ?p ?o WHERE { <IBM> ?p ?o }")
+        # one UNION ALL branch per physical predicate column
+        assert sql.count("UNION ALL") == store.schema.direct_columns - 1
+
+    def test_filter_becomes_where_cte(self, store):
+        sql = store.explain(
+            "SELECT ?n WHERE { <IBM> <employees> ?n FILTER (?n != <x>) }"
+        )
+        assert "<>" in sql
+
+
+class TestFilterTranslation:
+    def make_store(self):
+        from repro.rdf.terms import XSD_INTEGER
+
+        graph = Graph(
+            [
+                t("a", "age", Literal("30", datatype=XSD_INTEGER)),
+                t("b", "age", Literal("40", datatype=XSD_INTEGER)),
+                t("a", "name", Literal("alice")),
+                t("b", "name", Literal("bob")),
+                t("c", "label", Literal("chat", lang="fr")),
+                t("a", "p", "b"),
+            ]
+        )
+        return graph, RdfStore.from_graph(graph)
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "SELECT ?x WHERE { ?x <age> ?a FILTER (?a > 35) }",
+            "SELECT ?x WHERE { ?x <age> ?a FILTER (?a = 40) }",
+            'SELECT ?x WHERE { ?x <name> ?n FILTER (?n < "b") }',
+            'SELECT ?x WHERE { ?x <name> ?n FILTER regex(?n, "^al", "i") }',
+            "SELECT ?x WHERE { ?x <age> ?a FILTER (?a > 25 && ?a < 35) }",
+            "SELECT ?x WHERE { ?x <age> ?a FILTER (!(?a > 35)) }",
+            'SELECT ?x WHERE { ?x <label> ?l FILTER langMatches(lang(?l), "fr") }',
+            'SELECT ?x WHERE { ?x <name> ?n FILTER (str(?n) = "bob") }',
+            "SELECT ?x WHERE { ?x <p> ?o FILTER isURI(?o) }",
+            "SELECT ?x WHERE { ?x <age> ?a FILTER (?a * 2 >= 80) }",
+            "SELECT ?x WHERE { ?x <age> ?a FILTER sameTerm(?x, <b>) }",
+        ],
+    )
+    def test_translated_filters_match_reference(self, query):
+        graph, store = self.make_store()
+        reference = query_graph(graph, query)
+        assert store.query(query).matches(reference), query
+
+
+class TestNaiveTranslator:
+    def test_naive_config_still_correct(self, fig1_graph):
+        from ..conftest import FIGURE6_QUERY
+
+        naive = RdfStore.from_graph(
+            fig1_graph, config=EngineConfig(optimizer="naive")
+        )
+        reference = query_graph(fig1_graph, FIGURE6_QUERY)
+        assert naive.query(FIGURE6_QUERY).matches(reference)
+
+    def test_merge_off_still_correct(self, fig1_graph):
+        from ..conftest import FIGURE6_QUERY
+
+        unmerged = RdfStore.from_graph(fig1_graph, config=EngineConfig(merge=False))
+        reference = query_graph(fig1_graph, FIGURE6_QUERY)
+        assert unmerged.query(FIGURE6_QUERY).matches(reference)
+
+    def test_merge_off_generates_more_accesses(self, fig1_graph):
+        query = "SELECT ?h ?e WHERE { <IBM> <HQ> ?h . <IBM> <employees> ?e }"
+        merged = RdfStore.from_graph(fig1_graph)
+        unmerged = RdfStore.from_graph(fig1_graph, config=EngineConfig(merge=False))
+        assert merged.explain(query).count('"DPH"') == 1
+        assert unmerged.explain(query).count('"DPH"') == 2
+
+
+class TestNestedOptionals:
+    """Regression: nested OPTIONALs must each use their own row-id (a shared
+    __rid column produced a cross product when the outer optional matched
+    multiple rows)."""
+
+    def make_graph(self):
+        g = Graph(
+            [
+                t("a", "p", "b"),
+                t("b", "q", "c1"),
+                t("b", "q", "c2"),
+                t("c1", "r", "d1"),
+                t("c2", "r", "d2"),
+            ]
+        )
+        return g
+
+    def test_nested_optional_multiplied_rows(self):
+        g = self.make_graph()
+        query = (
+            "SELECT * WHERE { ?s <p> ?o "
+            "OPTIONAL { ?o <q> ?v OPTIONAL { ?v <r> ?w } } }"
+        )
+        expected = query_graph(g, query)
+        assert len(expected) == 2
+        store = RdfStore.from_graph(g)
+        assert store.query(query).matches(expected)
+
+    def test_sibling_optionals_inside_optional(self):
+        g = self.make_graph()
+        g.add(t("c1", "s", "e1"))
+        query = (
+            "SELECT * WHERE { ?s <p> ?o OPTIONAL { ?o <q> ?v "
+            "OPTIONAL { ?v <r> ?w } OPTIONAL { ?v <s> ?u } } }"
+        )
+        expected = query_graph(g, query)
+        store = RdfStore.from_graph(g)
+        assert store.query(query).matches(expected)
+
+    def test_optional_inside_union_branch(self):
+        g = self.make_graph()
+        query = (
+            "SELECT * WHERE { { ?s <p> ?o OPTIONAL { ?o <q> ?v } } "
+            "UNION { ?s <q> ?o } }"
+        )
+        expected = query_graph(g, query)
+        store = RdfStore.from_graph(g)
+        assert store.query(query).matches(expected)

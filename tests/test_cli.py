@@ -1,0 +1,104 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    path = tmp_path / "data.ttl"
+    path.write_text(
+        "@prefix ex: <http://e/> .\n"
+        "ex:IBM ex:industry ex:Software, ex:Services ; ex:HQ ex:Armonk .\n"
+        "ex:Google ex:industry ex:Software .\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def nt_file(tmp_path):
+    path = tmp_path / "data.nt"
+    path.write_text("<http://e/a> <http://e/p> <http://e/b> .\n")
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_query_inline(self, data_file, capsys):
+        code = main(
+            [
+                "query",
+                data_file,
+                "PREFIX ex: <http://e/> SELECT ?who WHERE "
+                "{ ?who ex:industry ex:Software } ORDER BY ?who",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == ["?who", "http://e/Google", "http://e/IBM"]
+
+    def test_query_from_file(self, data_file, tmp_path, capsys):
+        query_file = tmp_path / "q.rq"
+        query_file.write_text(
+            "PREFIX ex: <http://e/> SELECT ?hq WHERE { ex:IBM ex:HQ ?hq }"
+        )
+        assert main(["query", data_file, str(query_file), "--quiet"]) == 0
+        assert "Armonk" in capsys.readouterr().out
+
+    def test_ntriples_input_and_sqlite_backend(self, nt_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    nt_file,
+                    "SELECT ?o WHERE { <http://e/a> <http://e/p> ?o }",
+                    "--backend",
+                    "sqlite",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        assert "http://e/b" in capsys.readouterr().out
+
+    def test_multiple_inputs(self, data_file, nt_file, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    data_file,
+                    nt_file,
+                    "SELECT ?s WHERE { ?s ?p ?o }",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "http://e/a" in out and "http://e/IBM" in out
+
+
+class TestOtherCommands:
+    def test_explain(self, data_file, capsys):
+        code = main(
+            [
+                "explain",
+                data_file,
+                "PREFIX ex: <http://e/> SELECT ?i WHERE { ex:IBM ex:industry ?i }",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WITH" in out and "DPH" in out
+
+    def test_info(self, data_file, capsys):
+        assert main(["info", data_file, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "triples:              4" in out
+        assert "top predicates:" in out
+
+    def test_no_coloring_flag(self, data_file, capsys):
+        assert main(["info", data_file, "--no-coloring", "--quiet"]) == 0
+        assert "DPH columns:          32" in capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""Workload generators: determinism, scale, and structural claims."""
+
+import pytest
+
+from repro.rdf.terms import URI
+from repro.workloads import dbpedia, lubm, microbench, prbench, sp2bench
+
+
+class TestMicrobench:
+    def test_deterministic(self):
+        a = microbench.generate(target_triples=2000, seed=1)
+        b = microbench.generate(target_triples=2000, seed=1)
+        assert sorted(t.n3() for t in a.graph) == sorted(t.n3() for t in b.graph)
+
+    def test_scale_roughly_honored(self):
+        data = microbench.generate(target_triples=10_000)
+        assert 8_000 <= data.triples <= 12_000
+
+    def test_group_frequencies(self):
+        data = microbench.generate(target_triples=20_000)
+        total = sum(data.subjects_per_group)
+        assert data.subjects_per_group[0] / total == pytest.approx(0.01, abs=0.01)
+        assert data.subjects_per_group[2] / total == pytest.approx(0.25, abs=0.02)
+
+    def test_multivalued_predicates_have_three_values(self):
+        data = microbench.generate(target_triples=2000)
+        subject = next(
+            s for s in data.graph.subjects()
+            if any(
+                t.predicate.value.endswith("MV1")
+                for t in data.graph.triples_for_subject(s)
+            )
+        )
+        values = [
+            t.object
+            for t in data.graph.triples_for_subject(subject)
+            if t.predicate.value.endswith("MV1")
+        ]
+        assert len(values) == microbench.MV_VALUES_PER_PREDICATE
+
+    def test_query_set(self):
+        qs = microbench.queries()
+        assert len(qs) == 10
+        assert "SV1" in qs["Q1"] and "MV4" in qs["Q2"]
+
+
+class TestLubm:
+    def test_deterministic(self):
+        a = lubm.generate(universities=1, seed=3)
+        b = lubm.generate(universities=1, seed=3)
+        assert len(a.graph) == len(b.graph)
+
+    def test_type_skew(self):
+        """rdf:type dominates object in-degree, as in real LUBM."""
+        data = lubm.generate(universities=1)
+        types = data.graph.triples_for_predicate(
+            URI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        )
+        assert len(types) > len(data.graph) / 10
+
+    def test_out_degree_around_six(self):
+        data = lubm.generate(universities=2)
+        sets = data.graph.predicate_sets_by_subject()
+        average = len(data.graph) / len(sets)
+        assert 4 <= average <= 9  # LUBM's reported avg out-degree is 6
+
+    def test_twelve_queries(self):
+        assert len(lubm.queries()) == 12
+
+
+class TestSp2bench:
+    def test_seventeen_queries(self):
+        assert len(sp2bench.queries()) == 17
+
+    def test_document_mix(self):
+        data = sp2bench.generate(target_triples=5000)
+        articles = data.graph.triples_for_object(sp2bench.BENCH.Article)
+        inproc = data.graph.triples_for_object(sp2bench.BENCH.Inproceedings)
+        assert len(articles) > len(inproc) > 0
+
+
+class TestDbpedia:
+    def test_twenty_queries(self):
+        assert len(dbpedia.queries()) == 20
+
+    def test_power_law_out_degree(self):
+        data = dbpedia.generate(target_triples=20_000)
+        sizes = sorted(
+            (len(data.graph.triples_for_subject(s)) for s in data.graph.subjects()),
+            reverse=True,
+        )
+        # heavy tail: the biggest entity is much larger than the median
+        assert sizes[0] >= 4 * sizes[len(sizes) // 2]
+
+    def test_many_predicates(self):
+        data = dbpedia.generate(target_triples=20_000, tail_predicates=300)
+        assert len(set(data.graph.predicates())) > 100
+
+
+class TestPrbench:
+    def test_twentynine_queries(self):
+        assert len(prbench.queries()) == 29
+
+    def test_wide_union_scales(self):
+        narrow = prbench.queries(wide_union_branches=5)["PQ5"]
+        wide = prbench.queries(wide_union_branches=50)["PQ5"]
+        assert wide.count("UNION") == 49
+        assert narrow.count("UNION") == 4
+
+    def test_cross_references_exist(self):
+        data = prbench.generate(target_triples=5000)
+        assert len(data.graph.triples_for_predicate(prbench.PR.validates)) > 0
+        assert len(data.graph.triples_for_predicate(prbench.PR.implements)) > 0
