@@ -1,0 +1,96 @@
+"""E12 — plan-cache warm/cold compile cost on the §2.1 micro-benchmark.
+
+The claim to demonstrate: a warm plan-cache hit (canonicalize + dict
+lookup) is at least 5× cheaper than a cold compile (parse → dataflow →
+planbuild → merge → translate) for every Q1–Q10 star query, so repeated
+workloads — exactly what the paper's Figure 15 harness runs — pay the
+translation pipeline once per distinct query instead of once per run.
+
+Also reported: end-to-end query latency cold vs warm, which bounds how
+much of a real run the compiler accounts for once results must actually
+be computed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.workloads import microbench
+from repro.workloads.runner import time_query
+
+from conftest import report
+
+QUERIES = microbench.queries()
+COLD_REPS = 5
+WARM_REPS = 500
+REQUIRED_SPEEDUP = 5.0
+
+
+def _mean_seconds(run, reps: int) -> float:
+    start = time.perf_counter()
+    for _ in range(reps):
+        run()
+    return (time.perf_counter() - start) / reps
+
+
+def test_warm_compile_speedup(micro_stores, micro_data, benchmark):
+    """Warm compile (cache hit) must beat cold compile by ≥ 5× overall."""
+    store = micro_stores["DB2RDF"]
+    engine = store.engine
+
+    def run():
+        rows = []
+        cold_total = warm_total = 0.0
+        for name, sparql in QUERIES.items():
+            cold = _mean_seconds(lambda: engine.compile(sparql), COLD_REPS)
+            engine.compile_cached(sparql)  # prime the cache
+            warm = _mean_seconds(
+                lambda: engine.compile_cached(sparql), WARM_REPS
+            )
+            cold_total += cold
+            warm_total += warm
+            rows.append(
+                f"{name:<5}{cold * 1e3:>11.3f}{warm * 1e6:>12.1f}"
+                f"{cold / warm:>10.0f}x"
+            )
+        return rows, cold_total / warm_total
+
+    rows, speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = f"{'':<5}{'cold (ms)':>11}{'warm (µs)':>12}{'speedup':>11}"
+    rows.append(f"{'all':<5}{'':>11}{'':>12}{speedup:>10.0f}x")
+    report(
+        f"E12 — compile cost, cold vs warm plan cache "
+        f"({micro_data.triples} triples)",
+        "\n".join([header] + rows),
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"warm compile only {speedup:.1f}x faster than cold; "
+        f"need ≥ {REQUIRED_SPEEDUP}x"
+    )
+
+
+def test_end_to_end_warm_vs_cold(micro_stores, micro_data, benchmark):
+    """Whole-query latency with the compiler amortized away by the cache."""
+    store = micro_stores["DB2RDF"]
+
+    def run():
+        rows = []
+        for name, sparql in QUERIES.items():
+            store._plan_cache.clear()
+            cold, result = time_query(store, sparql, None)
+            warm = _mean_seconds(lambda: store.query(sparql), 3)
+            rows.append(
+                f"{name:<5}{cold * 1e3:>11.1f}{warm * 1e3:>11.1f}"
+                f"{cold / warm:>9.1f}x   rows={len(result)}"
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = f"{'':<5}{'cold (ms)':>11}{'warm (ms)':>11}{'speedup':>10}"
+    report(
+        f"E12 — end-to-end latency, cold vs warm plan cache "
+        f"({micro_data.triples} triples)",
+        "\n".join([header] + rows),
+    )
+    info = store.cache_info()
+    assert info.hits > 0 and info.misses > 0

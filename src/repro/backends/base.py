@@ -9,10 +9,40 @@ execute the AST directly or render it to text first.
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from typing import Any, Iterable, Sequence
 
 from ..relational import ast
 from ..relational.types import ColumnType
+
+
+class RenderMemo:
+    """A small bounded memo from SQL AST instance to rendered text.
+
+    Cached query plans hand the *same* immutable AST object to the backend
+    on every execution, so re-rendering it to text is pure waste. Keyed by
+    object identity (the AST is also kept as the value, so an id can never
+    be reused while its entry is alive); bounded LRU to stay O(plans kept).
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        self.maxsize = maxsize
+        self._entries: OrderedDict[int, tuple[ast.Statement, str]] = OrderedDict()
+
+    def render(self, statement: ast.Statement) -> str:
+        key = id(statement)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is statement:
+            self._entries.move_to_end(key)
+            return entry[1]
+        from ..relational.render import render_statement
+
+        text = render_statement(statement)
+        self._entries[key] = (statement, text)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return text
 
 
 class Backend(abc.ABC):
@@ -59,7 +89,10 @@ class Backend(abc.ABC):
 
     def sql_text(self, statement: ast.Statement) -> str:
         """Render a statement to this backend's SQL dialect (for EXPLAIN-style
-        introspection; both backends share the SQLite-ish dialect)."""
-        from ..relational.render import render_statement
-
-        return render_statement(statement)
+        introspection; both backends share the SQLite-ish dialect). Renders
+        of one AST instance are memoized — cached plans re-use their AST."""
+        memo = getattr(self, "_render_memo", None)
+        if memo is None:
+            memo = RenderMemo()
+            self._render_memo = memo
+        return memo.render(statement)

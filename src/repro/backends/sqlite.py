@@ -77,7 +77,9 @@ class SqliteBackend(Backend):
         self, statement: ast.Statement | str, timeout: float | None = None
     ) -> tuple[list[str], list[tuple]]:
         self._register_functions()  # pick up late registrations
-        sql = statement if isinstance(statement, str) else render_statement(statement)
+        # sql_text memoizes rendering per AST instance: a warm plan-cache hit
+        # executes the same AST object repeatedly and skips re-rendering too.
+        sql = statement if isinstance(statement, str) else self.sql_text(statement)
         if timeout is not None:
             deadline = time.monotonic() + timeout
 

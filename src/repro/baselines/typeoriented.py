@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from ..backends import Backend, MiniRelBackend
 from ..core import sqlfunctions  # noqa: F401
 from ..core.errors import LoadError, UnsupportedQueryError
+from ..core.querycache import CacheInfo, QueryCache
 from ..core.stats import DatasetStatistics
 from ..rdf.graph import Graph
 from ..rdf.terms import RDF_TYPE, Triple, URI, term_key
@@ -256,6 +257,8 @@ class TypeOrientedStore:
         self.backend.create_index("TS_lid", self.secondary, ["l_id"])
         self.stats = DatasetStatistics()
         self.config = config or EngineConfig(merge=False)
+        # Survives engine rebuilds; stats-epoch keying invalidates stale plans.
+        self._plan_cache = QueryCache(self.config.cache_size)
         self._engine: SparqlEngine | None = None
         self._counter = 0
         self._lid_counter = 0
@@ -322,7 +325,9 @@ class TypeOrientedStore:
             if secondary_batch:
                 self.backend.insert_many(self.secondary, secondary_batch)
 
-        self.stats = DatasetStatistics.from_graph(graph, top_k=top_k_stats)
+        fresh = DatasetStatistics.from_graph(graph, top_k=top_k_stats)
+        fresh.epoch = self.stats.epoch + 1  # invalidates cached plans
+        self.stats = fresh
         self._engine = None
 
     def _table_for(self, type_key: str, predicates: list[str]) -> TypeTable:
@@ -356,11 +361,16 @@ class TypeOrientedStore:
                 emitter=TypeOrientedEmitter(self.tables, self.secondary),
                 stats=self.stats,
                 config=self.config,
+                cache=self._plan_cache,
             )
         return self._engine
 
     def query(self, sparql: str, timeout: float | None = None) -> SelectResult:
         return self.engine.query(sparql, timeout=timeout)
+
+    def cache_info(self) -> CacheInfo:
+        """Plan-cache counters for this store's persistent cache."""
+        return self._plan_cache.info()
 
     def explain(self, sparql: str) -> str:
         return self.engine.explain(sparql)

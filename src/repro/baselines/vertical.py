@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..backends import Backend, MiniRelBackend
 from ..core import sqlfunctions  # noqa: F401
 from ..core.errors import UnsupportedQueryError
+from ..core.querycache import CacheInfo, QueryCache
 from ..core.stats import DatasetStatistics
 from ..rdf.graph import Graph
 from ..rdf.terms import Triple, term_key
@@ -198,6 +199,8 @@ class VerticalStore:
         self.tables: dict[str, str] = {}
         self.stats = DatasetStatistics()
         self.config = config or EngineConfig(merge=False)
+        # Survives engine rebuilds; stats-epoch keying invalidates stale plans.
+        self._plan_cache = QueryCache(self.config.cache_size)
         self._engine: SparqlEngine | None = None
         self._counter = 0
 
@@ -230,7 +233,9 @@ class VerticalStore:
             )
         for predicate, rows in by_predicate.items():
             self.backend.insert_many(self._table_for(predicate), rows)
-        self.stats = DatasetStatistics.from_graph(graph, top_k=top_k_stats)
+        fresh = DatasetStatistics.from_graph(graph, top_k=top_k_stats)
+        fresh.epoch = self.stats.epoch + 1  # invalidates cached plans
+        self.stats = fresh
         self._engine = None
 
     def add(self, triple: Triple) -> None:
@@ -241,6 +246,7 @@ class VerticalStore:
         self.stats.record_triple(
             term_key(triple.subject), triple.predicate.value, term_key(triple.object)
         )
+        self.stats.bump_epoch()
         self._engine = None
 
     @property
@@ -251,11 +257,16 @@ class VerticalStore:
                 emitter=VerticalEmitter(self.tables),
                 stats=self.stats,
                 config=self.config,
+                cache=self._plan_cache,
             )
         return self._engine
 
     def query(self, sparql: str, timeout: float | None = None) -> SelectResult:
         return self.engine.query(sparql, timeout=timeout)
+
+    def cache_info(self) -> CacheInfo:
+        """Plan-cache counters for this store's persistent cache."""
+        return self._plan_cache.info()
 
     def explain(self, sparql: str) -> str:
         return self.engine.explain(sparql)

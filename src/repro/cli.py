@@ -18,6 +18,7 @@ from typing import Iterable
 
 from .backends import SqliteBackend
 from .core.store import RdfStore
+from .sparql.engine import EngineConfig
 from .rdf.graph import Graph
 from .rdf.ntriples import parse as parse_ntriples
 from .rdf.turtle import parse_turtle
@@ -44,12 +45,14 @@ def build_store(args: argparse.Namespace) -> RdfStore:
     """Load the data files and build a store per the CLI flags."""
     graph = load_graph(args.data)
     backend = SqliteBackend() if args.backend == "sqlite" else None
+    config = EngineConfig(cache_size=0) if getattr(args, "no_cache", False) else None
     started = time.perf_counter()
     store = RdfStore.from_graph(
         graph,
         backend=backend,
         use_coloring=not args.no_coloring,
         max_columns=args.max_columns,
+        config=config,
     )
     elapsed = time.perf_counter() - started
     if not args.quiet:
@@ -83,15 +86,31 @@ def print_result(result: SelectResult, fmt: str = "plain") -> None:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    """``repro query``: run a SPARQL query and print the results."""
+    """``repro query``: run a SPARQL query and print the results.
+
+    ``--repeat N`` re-runs the query N times (plan-cache warm after the
+    first run) and reports per-run timings plus the cache counters.
+    """
     store = build_store(args)
     sparql = _read_query(args.query)
-    started = time.perf_counter()
-    result = store.query(sparql, timeout=args.timeout)
-    elapsed = time.perf_counter() - started
+    repeats = max(1, getattr(args, "repeat", 1))
+    timings: list[float] = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = store.query(sparql, timeout=args.timeout)
+        timings.append(time.perf_counter() - started)
     print_result(result, args.format)
     if not args.quiet:
-        print(f"# {len(result)} rows in {elapsed * 1000:.1f} ms", file=sys.stderr)
+        if repeats > 1:
+            runs = ", ".join(f"{seconds * 1000:.1f}" for seconds in timings)
+            print(f"# {len(result)} rows; runs (ms): {runs}", file=sys.stderr)
+        else:
+            print(
+                f"# {len(result)} rows in {timings[0] * 1000:.1f} ms",
+                file=sys.stderr,
+            )
+        print(f"# {store.cache_info().summary()}", file=sys.stderr)
     return 0
 
 
@@ -129,7 +148,8 @@ def cmd_shell(args: argparse.Namespace) -> int:
     """``repro shell``: an interactive SPARQL read-eval-print loop."""
     store = build_store(args)
     print("# repro SPARQL shell — end queries with a blank line, "
-          "'\\q' quits, '\\e <query>' explains", file=sys.stderr)
+          "'\\q' quits, '\\e <query>' explains, '\\c' shows plan-cache stats",
+          file=sys.stderr)
     buffer: list[str] = []
     while True:
         try:
@@ -138,6 +158,9 @@ def cmd_shell(args: argparse.Namespace) -> int:
             return 0
         if line.strip() == "\\q":
             return 0
+        if line.strip() == "\\c":
+            print(store.cache_info().summary(), file=sys.stderr)
+            continue
         if line.startswith("\\e "):
             try:
                 print(store.explain(line[3:]))
@@ -182,6 +205,8 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-columns", type=int, default=100)
         p.add_argument("--timeout", type=float, default=None,
                        help="query timeout in seconds")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the query plan cache")
         p.add_argument("--quiet", action="store_true")
         p.add_argument(
             "--format",
@@ -192,6 +217,10 @@ def make_parser() -> argparse.ArgumentParser:
 
     query_parser = sub.add_parser("query", help="run a SPARQL query")
     common(query_parser)
+    query_parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the query N times (warm plan cache after the first)",
+    )
     query_parser.set_defaults(func=cmd_query)
 
     explain_parser = sub.add_parser("explain", help="show the generated SQL")

@@ -23,16 +23,25 @@ from .mapping import (
     composed_hashes,
     stable_hash,
 )
+from .querycache import (
+    CachedPlan,
+    CacheInfo,
+    QueryCache,
+    canonicalize_sparql,
+)
 from .schema import DB2RDFSchema
 from .stats import DatasetStatistics
 from .store import RdfStore, StoreReport
 
 __all__ = [
+    "CacheInfo",
+    "CachedPlan",
     "ColoringMapper",
     "ColoringResult",
     "CompositeMapper",
     "DB2RDFSchema",
     "DatasetStatistics",
+    "QueryCache",
     "ExplicitMapper",
     "HashMapper",
     "InterferenceGraph",
@@ -46,6 +55,7 @@ __all__ = [
     "StoreReport",
     "UnsupportedQueryError",
     "build_interference_graph",
+    "canonicalize_sparql",
     "color_graph_for_store",
     "coloring_report",
     "columns_required",

@@ -24,6 +24,16 @@ class DatasetStatistics:
     top_subjects: dict[str, int] = field(default_factory=dict)
     top_objects: dict[str, int] = field(default_factory=dict)
     predicate_counts: dict[str, int] = field(default_factory=dict)
+    #: Monotonically increasing data-change version. Store mutations bump it;
+    #: the plan cache records the epoch each plan was compiled under and
+    #: invalidates entries whose epoch no longer matches.
+    epoch: int = 0
+
+    def bump_epoch(self) -> int:
+        """Mark a data change that may shift cardinalities; returns the new
+        epoch. Cached query plans compiled under earlier epochs go stale."""
+        self.epoch += 1
+        return self.epoch
 
     @property
     def avg_triples_per_subject(self) -> float:

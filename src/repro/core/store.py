@@ -25,6 +25,7 @@ from ..sparql.translator.db2rdf import Db2RdfEmitter, StorageInfo
 from .coloring import color_graph_for_store
 from .loader import Loader, LoadReport, SideMetadata
 from .mapping import PredicateMapper, composed_hashes
+from .querycache import CacheInfo, QueryCache
 from .schema import DB2RDFSchema
 from .stats import DatasetStatistics
 
@@ -68,6 +69,10 @@ class RdfStore:
         self.reverse_meta = SideMetadata()
         self.stats = DatasetStatistics()
         self.config = config or EngineConfig()
+        # The plan cache outlives engine rebuilds (the engine is recreated
+        # whenever storage metadata changes); stats-epoch keying invalidates
+        # entries whose cost inputs went stale.
+        self._plan_cache = QueryCache(self.config.cache_size)
         self._engine: SparqlEngine | None = None
 
     # --------------------------------------------------------- construction
@@ -125,7 +130,9 @@ class RdfStore:
         report = self.loader.bulk_load(graph)
         self.direct_meta.merge(report.direct)
         self.reverse_meta.merge(report.reverse)
-        self.stats = DatasetStatistics.from_graph(graph, top_k=top_k_stats)
+        fresh = DatasetStatistics.from_graph(graph, top_k=top_k_stats)
+        fresh.epoch = self.stats.epoch + 1  # bulk load invalidates cached plans
+        self.stats = fresh
         self._engine = None
         return report
 
@@ -141,6 +148,7 @@ class RdfStore:
             triple.predicate.value,
             term_key(triple.object),
         )
+        self.stats.bump_epoch()
         self._engine = None
 
     def remove(self, triple: Triple) -> bool:
@@ -157,6 +165,7 @@ class RdfStore:
             object_key = term_key(triple.object)
             if object_key in self.stats.top_objects:
                 self.stats.top_objects[object_key] -= 1
+            self.stats.bump_epoch()
             self._engine = None
         return existed
 
@@ -179,6 +188,7 @@ class RdfStore:
                 spill_direct=frozenset(self.direct_meta.spill_predicates),
                 spill_reverse=frozenset(self.reverse_meta.spill_predicates),
                 config=self.config,
+                cache=self._plan_cache,
             )
         return self._engine
 
@@ -194,6 +204,11 @@ class RdfStore:
     def explain(self, sparql: str) -> str:
         """The SQL this store would run for a query."""
         return self.engine.explain(sparql)
+
+    def cache_info(self) -> CacheInfo:
+        """Plan-cache counters (hits / misses / invalidations / evictions)
+        and cumulative per-stage compile timings."""
+        return self._plan_cache.info()
 
     # ----------------------------------------------------------- reporting
 

@@ -16,6 +16,7 @@ from .engine import EngineConfig, SparqlEngine
 from .parser import SparqlSyntaxError, parse_sparql
 from .reference import evaluate_ask, evaluate_select, query_graph
 from .results import SelectResult
+from .serialize import query_to_sparql
 
 __all__ = [
     "AskQuery",
@@ -36,4 +37,5 @@ __all__ = [
     "normalize",
     "parse_sparql",
     "query_graph",
+    "query_to_sparql",
 ]

@@ -9,9 +9,17 @@ is the sub-optimal comparator of §3.3 / Figure 14.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..backends.base import Backend
+from ..core.querycache import (
+    DEFAULT_CACHE_SIZE,
+    CacheInfo,
+    CachedPlan,
+    QueryCache,
+    canonicalize_sparql,
+)
 from ..core.stats import DatasetStatistics
 from ..rdf.terms import Term, term_from_key
 from ..relational import ast as sql
@@ -30,14 +38,31 @@ from .results import SelectResult
 from .translator.pipeline import PipelineTranslator, TripleEmitter
 
 
-@dataclass
+@dataclass(frozen=True)
 class EngineConfig:
-    """Evaluation knobs (ablations flip these)."""
+    """Evaluation knobs (ablations flip these).
+
+    Frozen: compiled plans are cached under a fingerprint of these fields,
+    so a config must not drift after its plans are cached. Build a new
+    ``EngineConfig`` (e.g. via ``dataclasses.replace``) instead of mutating.
+    """
 
     optimizer: str = "hybrid"  # "hybrid" (flow-guided) or "naive" (textual)
     merge: bool = True  # star-query node merging on/off
     methods: tuple[str, ...] = ALL_METHODS
     use_statistics: bool = True  # False: cost-blind flow (heuristics only)
+    cache_size: int = DEFAULT_CACHE_SIZE  # plan-cache entries; <= 0 disables
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of methods but store a tuple: the fingerprint
+        # must be hashable and the menu immutable once plans are cached.
+        if not isinstance(self.methods, tuple):
+            object.__setattr__(self, "methods", tuple(self.methods))
+
+    def fingerprint(self) -> tuple:
+        """The plan-cache key component: every knob that changes compiled
+        SQL. Plans compiled under different knobs never cross-contaminate."""
+        return (self.optimizer, self.merge, self.methods, self.use_statistics)
 
 
 class SparqlEngine:
@@ -51,6 +76,7 @@ class SparqlEngine:
         spill_direct: frozenset[str] = frozenset(),
         spill_reverse: frozenset[str] = frozenset(),
         config: EngineConfig | None = None,
+        cache: QueryCache | None = None,
     ) -> None:
         self.backend = backend
         self.emitter = emitter
@@ -58,6 +84,10 @@ class SparqlEngine:
         self.spill_direct = spill_direct
         self.spill_reverse = spill_reverse
         self.config = config or EngineConfig()
+        # Stores pass a long-lived cache that survives engine rebuilds (the
+        # engine is reconstructed whenever storage metadata changes); a
+        # standalone engine owns a private one sized per the config.
+        self.cache = cache if cache is not None else QueryCache(self.config.cache_size)
 
     # ------------------------------------------------------------- compile
 
@@ -65,16 +95,65 @@ class SparqlEngine:
         self, sparql: "str | SelectQuery | AskQuery"
     ) -> tuple[sql.Query, SelectQuery]:
         """Translate SPARQL (text or an already parsed/rewritten query
-        object) to a SQL query; returns (sql, normalized query)."""
+        object) to a SQL query; returns (sql, normalized query). Always
+        compiles from scratch — :meth:`query` adds the cached fast path."""
+        compiled, select, _ = self._compile_stages(sparql)
+        return compiled, select
+
+    def _compile_stages(
+        self, sparql: "str | SelectQuery | AskQuery"
+    ) -> tuple[sql.Query, SelectQuery, dict[str, float]]:
+        """The full pipeline with per-stage wall timings (parse / plan /
+        translate) for the cache's compile-cost accounting."""
+        started = time.perf_counter()
         parsed = parse_sparql(sparql) if isinstance(sparql, str) else sparql
+        parsed_at = time.perf_counter()
         if isinstance(parsed, AskQuery):
             select = SelectQuery(variables=None, where=parsed.where, limit=1)
         else:
             select = parsed
         select = normalize(select)
         plan = self._plan(select)
+        planned_at = time.perf_counter()
         translator = PipelineTranslator(self.emitter)
-        return translator.translate(plan, select), select
+        compiled = translator.translate(plan, select)
+        done = time.perf_counter()
+        timings = {
+            "parse": parsed_at - started,
+            "plan": planned_at - parsed_at,
+            "translate": done - planned_at,
+            "total": done - started,
+        }
+        return compiled, select, timings
+
+    def compile_cached(self, sparql: str) -> CachedPlan:
+        """Return the compiled plan for query text, reusing the plan cache.
+
+        The key is the lexically canonicalized text plus the config
+        fingerprint; a hit skips parse → dataflow → planbuild → merge →
+        translate entirely. Entries compiled under an older stats epoch are
+        invalidated here.
+        """
+        key = canonicalize_sparql(sparql)
+        fingerprint = self.config.fingerprint()
+        epoch = self.stats.epoch
+        entry = self.cache.lookup(key, fingerprint, epoch)
+        if entry is not None:
+            return entry
+        compiled, select, timings = self._compile_stages(sparql)
+        plan = CachedPlan(
+            sql=compiled,
+            variables=tuple(select.projected_variables()),
+            epoch=epoch,
+            compile_seconds=timings["total"],
+        )
+        self.cache.store(key, fingerprint, plan)
+        self.cache.record_timings(**timings)
+        return plan
+
+    def cache_info(self) -> CacheInfo:
+        """Plan-cache counters and cumulative per-stage compile timings."""
+        return self.cache.info()
 
     def _plan(self, select: SelectQuery) -> ExecNode:
         pattern_tree = PatternTree.build(select.where)
@@ -125,9 +204,13 @@ class SparqlEngine:
         sparql: "str | SelectQuery | AskQuery",
         timeout: float | None = None,
     ) -> SelectResult:
-        compiled, select = self.compile(sparql)
+        if isinstance(sparql, str) and self.cache.enabled:
+            plan = self.compile_cached(sparql)
+            compiled, variables = plan.sql, list(plan.variables)
+        else:
+            compiled, select = self.compile(sparql)
+            variables = select.projected_variables()
         columns, raw_rows = self.backend.execute(compiled, timeout=timeout)
-        variables = select.projected_variables()
         width = len(variables)  # drop any trailing marker column (ASK)
         rows: list[tuple[Term | None, ...]] = [
             tuple(
@@ -143,5 +226,7 @@ class SparqlEngine:
 
     def explain(self, sparql: str) -> str:
         """The generated SQL text (the paper's Figure 13 view)."""
+        if isinstance(sparql, str) and self.cache.enabled:
+            return self.backend.sql_text(self.compile_cached(sparql).sql)
         compiled, _ = self.compile(sparql)
         return self.backend.sql_text(compiled)

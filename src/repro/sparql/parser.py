@@ -227,10 +227,18 @@ class _Parser:
         while self.at("KEYWORD", "LIMIT") or self.at("KEYWORD", "OFFSET"):
             keyword = self.advance().text
             number = self.expect("NUMBER").text
+            try:
+                count = int(number)
+            except ValueError:
+                raise SparqlSyntaxError(
+                    f"{keyword} requires an integer, found {number!r}"
+                ) from None
+            if count < 0:
+                raise SparqlSyntaxError(f"{keyword} must be non-negative")
             if keyword == "LIMIT":
-                limit = int(number)
+                limit = count
             else:
-                offset = int(number)
+                offset = count
         return order_by, limit, offset
 
     def _parse_order_condition(self) -> OrderCondition | None:

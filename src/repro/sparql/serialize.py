@@ -1,7 +1,10 @@
-"""SPARQL result serialization: W3C-style CSV, TSV, and JSON formats.
+"""SPARQL serialization: results (W3C CSV/TSV/JSON) and query text.
 
 ``SELECT`` results serialize per the SPARQL 1.1 Query Results CSV/TSV and
 JSON formats (the subset covering URIs, blank nodes, and literals).
+:func:`query_to_sparql` renders a parsed query model back to SPARQL text
+that re-parses to the same model — the round-trip property the parser fuzz
+tests pin down.
 """
 
 from __future__ import annotations
@@ -10,7 +13,24 @@ import csv
 import io
 import json
 
-from ..rdf.terms import BNode, Term, URI, XSD_STRING
+from ..rdf.terms import BNode, Literal, Term, URI, XSD_STRING
+from .ast import (
+    AskQuery,
+    FBinary,
+    FBound,
+    FCall,
+    FConst,
+    FilterExpr,
+    FRegex,
+    FUnary,
+    FVar,
+    GroupPattern,
+    OptionalPattern,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    Var,
+)
 from .results import SelectResult
 
 
@@ -113,3 +133,99 @@ FORMATTERS = {
     "json": lambda result: to_json(result, indent=2),
     "table": to_ascii_table,
 }
+
+
+# ---------------------------------------------------------------------------
+# Query serialization (model -> SPARQL text)
+# ---------------------------------------------------------------------------
+
+
+def _term_text(term) -> str:
+    if isinstance(term, Var):
+        return f"?{term.name}"
+    return term.n3()
+
+
+def _string_literal(value: str) -> str:
+    return Literal(value).n3()
+
+
+def _filter_text(expr: FilterExpr) -> str:
+    if isinstance(expr, FVar):
+        return f"?{expr.name}"
+    if isinstance(expr, FConst):
+        return expr.term.n3()
+    if isinstance(expr, FBinary):
+        return f"({_filter_text(expr.left)} {expr.op} {_filter_text(expr.right)})"
+    if isinstance(expr, FUnary):
+        return f"({expr.op} {_filter_text(expr.operand)})"
+    if isinstance(expr, FBound):
+        return f"BOUND(?{expr.var})"
+    if isinstance(expr, FRegex):
+        parts = [_filter_text(expr.operand), _string_literal(expr.pattern)]
+        if expr.flags:
+            parts.append(_string_literal(expr.flags))
+        return f"REGEX({', '.join(parts)})"
+    if isinstance(expr, FCall):
+        args = ", ".join(_filter_text(arg) for arg in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"unknown filter expression {expr!r}")
+
+
+def _group_text(group: GroupPattern) -> str:
+    parts: list[str] = []
+    for element in group.elements:
+        if isinstance(element, TriplePattern):
+            parts.append(
+                f"{_term_text(element.subject)} {_term_text(element.predicate)} "
+                f"{_term_text(element.object)}"
+            )
+        elif isinstance(element, GroupPattern):
+            parts.append(_group_text(element))
+        elif isinstance(element, UnionPattern):
+            parts.append(
+                " UNION ".join(_group_text(branch) for branch in element.branches)
+            )
+        elif isinstance(element, OptionalPattern):
+            parts.append(f"OPTIONAL {_group_text(element.pattern)}")
+        else:
+            raise TypeError(f"unknown pattern element {element!r}")
+    body = " . ".join(parts)
+    for condition in group.filters:
+        clause = _filter_text(condition)
+        if not clause.startswith("("):  # FILTER needs brackets or a builtin
+            clause = f"({clause})" if not clause[:1].isalpha() else clause
+        body = f"{body} FILTER {clause}" if body else f"FILTER {clause}"
+    return "{ " + body + " }" if body else "{ }"
+
+
+def query_to_sparql(query: "SelectQuery | AskQuery") -> str:
+    """Render a parsed query model back to SPARQL text.
+
+    The output re-parses to an equivalent model: serialize ∘ parse is a
+    fixpoint (property paths and blank nodes were already desugared by the
+    parser, so the rendered text is plain triples over explicit variables).
+    """
+    if isinstance(query, AskQuery):
+        return f"ASK {_group_text(query.where)}"
+    head = "SELECT"
+    if query.distinct:
+        head += " DISTINCT"
+    elif query.reduced:
+        head += " REDUCED"
+    if query.variables is None:
+        head += " *"
+    else:
+        head += "".join(f" ?{name}" for name in query.variables)
+    text = f"{head} WHERE {_group_text(query.where)}"
+    if query.order_by:
+        conditions = " ".join(
+            f"{'ASC' if condition.ascending else 'DESC'}({_filter_text(condition.expr)})"
+            for condition in query.order_by
+        )
+        text += f" ORDER BY {conditions}"
+    if query.limit is not None:
+        text += f" LIMIT {query.limit}"
+    if query.offset is not None:
+        text += f" OFFSET {query.offset}"
+    return text

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Protocol
 
 from ..core.errors import UnsupportedQueryError
+from ..core.querycache import CacheInfo
 from ..relational.errors import QueryTimeout
 from ..sparql.parser import SparqlSyntaxError
 from ..sparql.results import SelectResult
@@ -59,6 +60,9 @@ class SystemSummary:
     mean_seconds: float = 0.0
     geometric_mean_seconds: float = 0.0
     outcomes: dict[str, QueryOutcome] = field(default_factory=dict)
+    #: plan-cache counters, when the store exposes ``cache_info()`` (the
+    #: repeated-run workload is exactly where plan reuse pays)
+    cache: CacheInfo | None = None
 
     @property
     def supported(self) -> int:
@@ -164,6 +168,9 @@ def run_system(
         positive = [t for t in complete_times if t > 0]
         if positive:
             summary.geometric_mean_seconds = statistics.geometric_mean(positive)
+    cache_info = getattr(store, "cache_info", None)
+    if callable(cache_info):
+        summary.cache = cache_info()
     return summary
 
 
@@ -187,16 +194,25 @@ def format_summary_table(
     dataset: str, summaries: Mapping[str, SystemSummary]
 ) -> str:
     """Render one dataset block of Figure 15 as text."""
+    with_cache = any(summary.cache is not None for summary in summaries.values())
+    cache_header = f" {'Cache':>9}" if with_cache else ""
     lines = [
         f"{dataset}",
         f"{'System':<20} {'Complete':>9} {'Timeout':>8} {'Error':>6} "
-        f"{'Unsupp.':>8} {'Mean(s)':>9}",
+        f"{'Unsupp.':>8} {'Mean(s)':>9}" + cache_header,
     ]
     for name, summary in summaries.items():
+        if with_cache:
+            if summary.cache is not None and summary.cache.lookups:
+                cache_cell = f" {summary.cache.hit_rate * 100:>8.0f}%"
+            else:
+                cache_cell = f" {'-':>9}"
+        else:
+            cache_cell = ""
         lines.append(
             f"{name:<20} {summary.complete:>9} {summary.timeout:>8} "
             f"{summary.error:>6} {summary.unsupported:>8} "
-            f"{summary.mean_seconds:>9.3f}"
+            f"{summary.mean_seconds:>9.3f}" + cache_cell
         )
     return "\n".join(lines)
 

@@ -1,0 +1,142 @@
+"""Parser round-trip and robustness properties.
+
+Two families of checks:
+
+1. **Round-trip**: ``query_to_sparql`` output re-parses, and re-serializing
+   the re-parse is a fixpoint, for every query in all five workload suites.
+   A semantic spot check on the microbenchmark confirms the serialized text
+   answers identically to the original.
+2. **Robustness**: malformed inputs — hand-written, truncations of real
+   queries, and seeded random mutations — must raise the repo's typed
+   ``SparqlSyntaxError``, never an untyped ``IndexError``/``KeyError``/
+   ``ValueError`` from deep inside the parser.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.native_memory import NativeMemoryStore
+from repro.sparql import parse_sparql, query_to_sparql
+from repro.sparql.parser import SparqlSyntaxError
+from repro.workloads import dbpedia, lubm, microbench, prbench, sp2bench
+
+SUITES = (microbench, lubm, sp2bench, dbpedia, prbench)
+
+ALL_QUERIES = [
+    pytest.param(text, id=f"{module.__name__.split('.')[-1]}-{name}")
+    for module in SUITES
+    for name, text in module.queries().items()
+]
+
+
+# ---------------------------------------------------------------- round-trip
+
+
+@pytest.mark.parametrize("sparql", ALL_QUERIES)
+def test_serialize_parse_fixpoint(sparql):
+    """serialize∘parse is a fixpoint: the serialized text re-parses, and
+    serializing the re-parse reproduces it byte for byte."""
+    once = query_to_sparql(parse_sparql(sparql))
+    twice = query_to_sparql(parse_sparql(once))
+    assert once == twice
+
+
+def test_roundtrip_preserves_semantics():
+    """Original and serialized query text return identical answers."""
+    graph = microbench.generate(target_triples=1500).graph
+    store = NativeMemoryStore.from_graph(graph)
+    for name, sparql in microbench.queries().items():
+        roundtripped = query_to_sparql(parse_sparql(sparql))
+        assert (
+            store.query(roundtripped).canonical()
+            == store.query(sparql).canonical()
+        ), name
+
+
+# --------------------------------------------------------------- robustness
+
+
+MALFORMED = [
+    "",
+    "   # only a comment",
+    "SELECT",
+    "SELECT ?x",
+    "SELECT WHERE { }",
+    "SELECT ?x WHERE",
+    "SELECT ?x WHERE {",
+    "SELECT ?x WHERE { ?x <p> ?y",
+    "SELECT ?x WHERE { ?x <p> }",
+    "SELECT ?x WHERE { ?x <p> ?y } extra tokens",
+    "SELECT ?x WHERE { ?x <p> 'unterminated }",
+    'SELECT ?x WHERE { ?x <p> "unterminated }',
+    "SELECT ?x WHERE { ?x <p> <unclosed-iri }",
+    "SELECT ?x WHERE { ?x ?y }",
+    "SELECT ?x WHERE { . }",
+    "SELECT ?x WHERE { FILTER }",
+    "SELECT ?x WHERE { ?x <p> ?y FILTER (?y > ) }",
+    "SELECT ?x WHERE { ?x <p> ?y FILTER (?y >= 1 }",
+    "SELECT ?x WHERE { { ?x <p> ?y } UNION }",
+    "SELECT ?x WHERE { OPTIONAL }",
+    "PREFIX SELECT ?x WHERE { ?x <p> ?y }",
+    "PREFIX ex: SELECT ?x WHERE { ?x ex:p ?y }",
+    "SELECT ?x WHERE { ?x undeclared:p ?y }",
+    "ASK",
+    "ASK { ?x <p> ",
+    "SELECT ?x WHERE { ?x <p> ?y } ORDER BY",
+    "SELECT ?x WHERE { ?x <p> ?y } ORDER BY ASC",
+    "SELECT ?x WHERE { ?x <p> ?y } ORDER BY ASC(?y",
+    "SELECT ?x WHERE { ?x <p> ?y } LIMIT",
+    "SELECT ?x WHERE { ?x <p> ?y } LIMIT 1.5",
+    "SELECT ?x WHERE { ?x <p> ?y } LIMIT 2e3",
+    "SELECT ?x WHERE { ?x <p> ?y } OFFSET 1.2",
+    "SELECT ?x WHERE { ?x <p> ?y } LIMIT abc",
+    "CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }",
+    "SELECT ?x WHERE { ?x <p> \ufffd ?y }",
+    "@@@",
+]
+
+
+@pytest.mark.parametrize("text", MALFORMED, ids=range(len(MALFORMED)))
+def test_malformed_raises_typed_error(text):
+    with pytest.raises(SparqlSyntaxError):
+        parse_sparql(text)
+
+
+def _assert_parses_or_raises_typed(text: str) -> None:
+    """The one acceptable failure mode is the typed syntax error."""
+    try:
+        parse_sparql(text)
+    except SparqlSyntaxError:
+        pass
+    # Anything else (IndexError, KeyError, bare ValueError, ...) propagates
+    # and fails the test.
+
+
+def test_truncations_never_crash_untyped():
+    """Every prefix of every workload query parses or raises the typed
+    error — the parser never walks off the end of the token stream."""
+    for param in ALL_QUERIES:
+        sparql = param.values[0]
+        for cut in range(len(sparql)):
+            _assert_parses_or_raises_typed(sparql[:cut])
+
+
+def test_random_mutations_never_crash_untyped():
+    """Seeded mutation fuzz: delete / insert / replace characters in real
+    queries and require the parser to fail closed."""
+    rng = random.Random(1729)
+    corpus = [param.values[0] for param in ALL_QUERIES]
+    alphabet = "{}()<>?$.;,\"'\\@^|!*+-/ abcPREFIX#:_09\u00e9"
+    for _ in range(2000):
+        chars = list(rng.choice(corpus))
+        for _ in range(rng.randint(1, 4)):
+            operation = rng.randrange(3)
+            position = rng.randrange(len(chars)) if chars else 0
+            if operation == 0 and chars:
+                del chars[position]
+            elif operation == 1:
+                chars.insert(position, rng.choice(alphabet))
+            elif chars:
+                chars[position] = rng.choice(alphabet)
+        _assert_parses_or_raises_typed("".join(chars))
