@@ -18,7 +18,7 @@ import time
 from repro.workloads import microbench
 from repro.workloads.runner import time_query
 
-from conftest import report
+from conftest import record_metric, report
 
 QUERIES = microbench.queries()
 COLD_REPS = 5
@@ -63,6 +63,7 @@ def test_warm_compile_speedup(micro_stores, micro_data, benchmark):
         f"({micro_data.triples} triples)",
         "\n".join([header] + rows),
     )
+    record_metric("warm_compile_speedup", speedup)
     assert speedup >= REQUIRED_SPEEDUP, (
         f"warm compile only {speedup:.1f}x faster than cold; "
         f"need ≥ {REQUIRED_SPEEDUP}x"

@@ -9,7 +9,7 @@ import itertools
 
 import pytest
 
-from repro import Graph, RdfStore, Triple, URI
+from repro import RdfStore, Triple, URI
 from repro.baselines import NativeMemoryStore, TripleStore, VerticalStore
 from repro.workloads import lubm
 

@@ -10,7 +10,6 @@ selective (Q7–Q10) while fluctuating wildly elsewhere.
 
 from __future__ import annotations
 
-import time
 
 import pytest
 

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI regression gate over the machine-readable smoke-benchmark metrics.
+
+Reads ``benchmarks/out/results.json`` (written by the benches through
+``conftest.record_metric``) and fails when a headline number regresses:
+
+* ``warm_compile_speedup`` — a warm plan-cache hit must still beat a cold
+  compile by at least 10× (PR 1 measured ~38×).
+* ``profile_off_overhead`` — the tracing subsystem must stay free when
+  disabled: under 5% over the hand-inlined pre-instrumentation pipeline.
+
+Stdlib only; exits nonzero with one line per failure.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+MIN_WARM_COMPILE_SPEEDUP = 10.0
+MAX_PROFILE_OFF_OVERHEAD = 0.05
+
+RESULTS = pathlib.Path(__file__).parent / "out" / "results.json"
+
+
+def main() -> int:
+    if not RESULTS.exists():
+        print(f"regression check: {RESULTS} missing — did the benches run?")
+        return 1
+    metrics = json.loads(RESULTS.read_text())
+    failures: list[str] = []
+
+    speedup = metrics.get("warm_compile_speedup")
+    if speedup is None:
+        failures.append("warm_compile_speedup was not recorded")
+    elif speedup < MIN_WARM_COMPILE_SPEEDUP:
+        failures.append(
+            f"warm_compile_speedup {speedup:.1f}x < "
+            f"{MIN_WARM_COMPILE_SPEEDUP:.0f}x floor"
+        )
+    else:
+        print(f"ok: warm_compile_speedup {speedup:.1f}x "
+              f"(floor {MIN_WARM_COMPILE_SPEEDUP:.0f}x)")
+
+    overhead = metrics.get("profile_off_overhead")
+    if overhead is None:
+        failures.append("profile_off_overhead was not recorded")
+    elif overhead > MAX_PROFILE_OFF_OVERHEAD:
+        failures.append(
+            f"profile_off_overhead {overhead * 100:.1f}% > "
+            f"{MAX_PROFILE_OFF_OVERHEAD * 100:.0f}% ceiling"
+        )
+    else:
+        print(f"ok: profile_off_overhead {overhead * 100:.1f}% "
+              f"(ceiling {MAX_PROFILE_OFF_OVERHEAD * 100:.0f}%)")
+
+    on_overhead = metrics.get("profile_on_overhead")
+    if on_overhead is not None:  # informational, not gated
+        print(f"info: profile_on_overhead {on_overhead * 100:.1f}%")
+
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

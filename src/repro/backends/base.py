@@ -87,6 +87,28 @@ class Backend(abc.ABC):
     def row_count(self, table_name: str) -> int:
         """Number of rows in a table (cheap metadata access)."""
 
+    def execute_profiled(
+        self,
+        statement: ast.Statement | str,
+        timeout: float | None = None,
+        tracer: Any = None,
+    ) -> tuple[list[str], list[tuple]]:
+        """Run a statement under a tracer (``repro.core.observe.Tracer``).
+
+        The default wraps :meth:`execute` in a single span with the result
+        rowcount; backends override it to report finer-grained work (the
+        minirel planner meters every operator, sqlite attaches its
+        ``EXPLAIN QUERY PLAN``). The tracer is duck-typed so backends need
+        no dependency on the observability layer; ``None`` degrades to a
+        plain :meth:`execute`.
+        """
+        if tracer is None or not tracer.enabled:
+            return self.execute(statement, timeout=timeout)
+        with tracer.span(f"{self.name}.execute") as span:
+            columns, rows = self.execute(statement, timeout=timeout)
+            span.set("rows_out", len(rows))
+        return columns, rows
+
     def sql_text(self, statement: ast.Statement) -> str:
         """Render a statement to this backend's SQL dialect (for EXPLAIN-style
         introspection; both backends share the SQLite-ish dialect). Renders

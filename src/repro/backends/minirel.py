@@ -43,6 +43,22 @@ class MiniRelBackend(Backend):
         result = self.db.execute(statement, deadline=deadline)
         return result.columns, result.rows
 
+    def execute_profiled(
+        self,
+        statement: ast.Statement | str,
+        timeout: float | None = None,
+        tracer: Any = None,
+    ) -> tuple[list[str], list[tuple]]:
+        """Execute with the planner metering every operator iterator
+        (scans, joins, filters, set ops, CTEs) into the trace."""
+        if tracer is None or not tracer.enabled:
+            return self.execute(statement, timeout=timeout)
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with tracer.span(f"{self.name}.execute") as span:
+            result = self.db.execute(statement, deadline=deadline, trace=span)
+            span.set("rows_out", len(result.rows))
+        return result.columns, result.rows
+
     def table_names(self) -> list[str]:
         return [table.name for table in self.db.tables.values()]
 

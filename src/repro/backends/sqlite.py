@@ -100,6 +100,38 @@ class SqliteBackend(Backend):
         columns = [d[0] for d in cursor.description] if cursor.description else []
         return columns, rows
 
+    def execute_profiled(
+        self,
+        statement: ast.Statement | str,
+        timeout: float | None = None,
+        tracer: Any = None,
+    ) -> tuple[list[str], list[tuple]]:
+        """Execute with sqlite's own plan attached: an ``EXPLAIN QUERY
+        PLAN`` span (one child per plan node) plus the result rowcount."""
+        if tracer is None or not tracer.enabled:
+            return self.execute(statement, timeout=timeout)
+        with tracer.span(f"{self.name}.execute") as span:
+            with tracer.span("explain-query-plan") as plan_span:
+                plan_span.set("plan", self.explain_query_plan(statement))
+            columns, rows = self.execute(statement, timeout=timeout)
+            span.set("rows_out", len(rows))
+        return columns, rows
+
+    def explain_query_plan(
+        self, statement: ast.Statement | str
+    ) -> list[str]:
+        """sqlite's ``EXPLAIN QUERY PLAN`` rows, rendered one node per line
+        with ``.``-indentation following the plan tree."""
+        sql = statement if isinstance(statement, str) else self.sql_text(statement)
+        cursor = self.connection.execute("EXPLAIN QUERY PLAN " + sql)
+        depths: dict[int, int] = {0: 0}
+        lines: list[str] = []
+        for node_id, parent_id, _, detail in cursor.fetchall():
+            depth = depths.get(parent_id, 0) + 1
+            depths[node_id] = depth
+            lines.append("..." * (depth - 1) + detail)
+        return lines
+
     def table_names(self) -> list[str]:
         cursor = self.connection.execute(
             "SELECT name FROM sqlite_master WHERE type = 'table'"

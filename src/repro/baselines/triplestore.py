@@ -67,16 +67,22 @@ class TripleTableEmitter(TripleEmitter):
         ):
             source = sql.Column("T", column)
             if isinstance(position, Var):
-                if ctx.has(position.name):
+                if position.name in produced:
+                    # Repeated variable within one pattern: the two source
+                    # columns must agree directly. A ctx compat check alone
+                    # is vacuous when the incoming binding is NULL (e.g.
+                    # after a UNION), which would drop the constraint.
+                    where.append(sql.BinOp("=", source, produced[position.name]))
+                    now_definite.add(position.name)
+                elif ctx.has(position.name):
                     bound_col = sql.Column("I", ctx.col(position.name))
                     maybe = ctx.is_maybe(position.name)
                     where.append(compat_condition(source, bound_col, maybe))
                     replacement = compat_projection(source, bound_col, maybe)
                     if replacement is not None:
                         overrides[position.name] = replacement
+                    produced[position.name] = source
                     now_definite.add(position.name)
-                elif position.name in produced:
-                    where.append(sql.BinOp("=", source, produced[position.name]))
                 else:
                     produced[position.name] = source
                     extra_items.append(

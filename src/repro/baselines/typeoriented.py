@@ -29,7 +29,7 @@ from ..core.errors import LoadError, UnsupportedQueryError
 from ..core.querycache import CacheInfo, QueryCache
 from ..core.stats import DatasetStatistics
 from ..rdf.graph import Graph
-from ..rdf.terms import RDF_TYPE, Triple, URI, term_key
+from ..rdf.terms import RDF_TYPE, URI, term_key
 from ..relational import ast as sql
 from ..relational.types import ColumnType
 from ..sparql.ast import Var

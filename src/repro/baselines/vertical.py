@@ -96,15 +96,19 @@ class VerticalEmitter(TripleEmitter):
         for position, column in ((triple.subject, ENTRY), (triple.object, VAL)):
             source = sql.Column("T", column)
             if isinstance(position, Var):
-                if ctx.has(position.name):
+                if position.name in produced:
+                    # Repeated variable within one pattern: hard equality
+                    # between the source columns — the ctx compat check is
+                    # vacuous when the incoming binding is NULL.
+                    where.append(sql.BinOp("=", source, produced[position.name]))
+                elif ctx.has(position.name):
                     bound_col = sql.Column("I", ctx.col(position.name))
                     maybe = ctx.is_maybe(position.name)
                     where.append(compat_condition(source, bound_col, maybe))
                     replacement = compat_projection(source, bound_col, maybe)
                     if replacement is not None:
                         overrides[position.name] = replacement
-                elif position.name in produced:
-                    where.append(sql.BinOp("=", source, produced[position.name]))
+                    produced[position.name] = source
                 else:
                     produced[position.name] = source
                     extra_items.append(

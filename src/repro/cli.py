@@ -17,6 +17,7 @@ import time
 from typing import Iterable
 
 from .backends import SqliteBackend
+from .core.observe import render_profile
 from .core.store import RdfStore
 from .sparql.engine import EngineConfig
 from .rdf.graph import Graph
@@ -94,13 +95,16 @@ def cmd_query(args: argparse.Namespace) -> int:
     store = build_store(args)
     sparql = _read_query(args.query)
     repeats = max(1, getattr(args, "repeat", 1))
+    profile = bool(getattr(args, "profile", False))
     timings: list[float] = []
     result = None
     for _ in range(repeats):
         started = time.perf_counter()
-        result = store.query(sparql, timeout=args.timeout)
+        result = store.query(sparql, timeout=args.timeout, profile=profile)
         timings.append(time.perf_counter() - started)
     print_result(result, args.format)
+    if profile and result.profile is not None:
+        print(render_profile(result.profile), file=sys.stderr)
     if not args.quiet:
         if repeats > 1:
             runs = ", ".join(f"{seconds * 1000:.1f}" for seconds in timings)
@@ -115,9 +119,11 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    """``repro explain``: print the SQL generated for a query."""
+    """``repro explain``: print the SQL generated for a query (with
+    ``--plan``, also the compile configuration and the backend's plan)."""
     store = build_store(args)
-    print(store.explain(_read_query(args.query)))
+    mode = "plan" if getattr(args, "plan", False) else "sql"
+    print(store.explain(_read_query(args.query), mode=mode))
     return 0
 
 
@@ -148,7 +154,8 @@ def cmd_shell(args: argparse.Namespace) -> int:
     """``repro shell``: an interactive SPARQL read-eval-print loop."""
     store = build_store(args)
     print("# repro SPARQL shell — end queries with a blank line, "
-          "'\\q' quits, '\\e <query>' explains, '\\c' shows plan-cache stats",
+          "'\\q' quits, '\\e <query>' explains, '\\profile <query>' "
+          "profiles, '\\c' shows plan-cache stats",
           file=sys.stderr)
     buffer: list[str] = []
     while True:
@@ -163,8 +170,18 @@ def cmd_shell(args: argparse.Namespace) -> int:
             continue
         if line.startswith("\\e "):
             try:
-                print(store.explain(line[3:]))
+                print(store.explain(line[3:], mode="plan"))
             except Exception as exc:  # interactive: report, keep going
+                print(f"error: {exc}", file=sys.stderr)
+            continue
+        if line.startswith("\\profile "):
+            try:
+                result = store.query(
+                    line[len("\\profile "):], timeout=args.timeout, profile=True
+                )
+                print_result(result)
+                print(render_profile(result.profile), file=sys.stderr)
+            except Exception as exc:
                 print(f"error: {exc}", file=sys.stderr)
             continue
         if line.strip():
@@ -221,10 +238,19 @@ def make_parser() -> argparse.ArgumentParser:
         "--repeat", type=int, default=1,
         help="run the query N times (warm plan cache after the first)",
     )
+    query_parser.add_argument(
+        "--profile", action="store_true",
+        help="trace the query (compile stages, per-operator rows/timings) "
+             "and print the profile to stderr",
+    )
     query_parser.set_defaults(func=cmd_query)
 
     explain_parser = sub.add_parser("explain", help="show the generated SQL")
     common(explain_parser)
+    explain_parser.add_argument(
+        "--plan", action="store_true",
+        help="include the compile configuration and the backend's own plan",
+    )
     explain_parser.set_defaults(func=cmd_explain)
 
     info_parser = sub.add_parser("info", help="load statistics")

@@ -23,6 +23,7 @@ from .mapping import (
     composed_hashes,
     stable_hash,
 )
+from .observe import Span, Tracer, render_profile, summarize_operators
 from .querycache import (
     CachedPlan,
     CacheInfo,
@@ -51,8 +52,10 @@ __all__ = [
     "PredicateMapper",
     "RdfStore",
     "SideMetadata",
+    "Span",
     "StoreError",
     "StoreReport",
+    "Tracer",
     "UnsupportedQueryError",
     "build_interference_graph",
     "canonicalize_sparql",
@@ -63,6 +66,8 @@ __all__ = [
     "direct_interference_graph",
     "greedy_color",
     "pack_entity",
+    "render_profile",
     "reverse_interference_graph",
     "stable_hash",
+    "summarize_operators",
 ]

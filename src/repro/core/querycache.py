@@ -172,18 +172,25 @@ class QueryCache:
     def lookup(
         self, text: str, fingerprint: tuple, epoch: int
     ) -> CachedPlan | None:
+        return self.probe(text, fingerprint, epoch)[0]
+
+    def probe(
+        self, text: str, fingerprint: tuple, epoch: int
+    ) -> tuple[CachedPlan | None, str]:
+        """Like :meth:`lookup`, also naming the outcome — ``"hit"``,
+        ``"miss"``, or ``"invalidated"`` — for tracing spans."""
         key = (text, fingerprint)
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
-            return None
+            return None, "miss"
         if entry.epoch != epoch:
             del self._entries[key]
             self.invalidations += 1
-            return None
+            return None, "invalidated"
         self._entries.move_to_end(key)
         self.hits += 1
-        return entry
+        return entry, "hit"
 
     def store(self, text: str, fingerprint: tuple, plan: CachedPlan) -> None:
         if not self.enabled:

@@ -25,6 +25,7 @@ from ..sparql.translator.db2rdf import Db2RdfEmitter, StorageInfo
 from .coloring import color_graph_for_store
 from .loader import Loader, LoadReport, SideMetadata
 from .mapping import PredicateMapper, composed_hashes
+from .observe import Sink, Span, Tracer
 from .querycache import CacheInfo, QueryCache
 from .schema import DB2RDFSchema
 from .stats import DatasetStatistics
@@ -74,6 +75,8 @@ class RdfStore:
         # entries whose cost inputs went stale.
         self._plan_cache = QueryCache(self.config.cache_size)
         self._engine: SparqlEngine | None = None
+        #: callables receiving every finished PROFILE trace (root Span)
+        self.profile_sinks: list[Sink] = []
 
     # --------------------------------------------------------- construction
 
@@ -192,18 +195,50 @@ class RdfStore:
             )
         return self._engine
 
-    def query(self, sparql, timeout: float | None = None) -> SelectResult:
+    def query(
+        self,
+        sparql,
+        timeout: float | None = None,
+        profile: bool = False,
+    ) -> SelectResult:
         """Evaluate a SPARQL SELECT query (text or a parsed/rewritten
-        query object, e.g. from :mod:`repro.sparql.inference`)."""
-        return self.engine.query(sparql, timeout=timeout)
+        query object, e.g. from :mod:`repro.sparql.inference`).
+
+        With ``profile=True`` the whole pipeline runs under a tracer —
+        compile stages, plan-cache outcome, and per-operator
+        rows-in/rows-out/timings from the backend — and the finished trace
+        is attached as ``result.profile`` (render it with
+        :func:`repro.core.observe.render_profile`) after being delivered to
+        every sink in :attr:`profile_sinks`.
+        """
+        if not profile:
+            return self.engine.query(sparql, timeout=timeout)
+        tracer = Tracer("query", sinks=self.profile_sinks)
+        with tracer.root:
+            result = self.engine.query(sparql, timeout=timeout, tracer=tracer)
+        result.profile = tracer.finish()
+        return result
+
+    def profile(self, sparql, timeout: float | None = None) -> Span:
+        """Run a query in PROFILE mode and return just the trace root."""
+        return self.query(sparql, timeout=timeout, profile=True).profile
 
     def ask(self, sparql: str, timeout: float | None = None) -> bool:
         """Evaluate a SPARQL ASK query."""
         return self.engine.ask(sparql, timeout=timeout)
 
-    def explain(self, sparql: str) -> str:
-        """The SQL this store would run for a query."""
-        return self.engine.explain(sparql)
+    def explain(self, sparql: str, mode: str = "sql") -> str:
+        """EXPLAIN a query without executing it.
+
+        ``mode="sql"`` (default) is the generated SQL text; ``mode="plan"``
+        prepends the compile configuration and appends the backend's own
+        access plan when it can report one (sqlite's EXPLAIN QUERY PLAN).
+        """
+        if mode == "sql":
+            return self.engine.explain(sparql)
+        if mode == "plan":
+            return self.engine.explain_plan(sparql)
+        raise ValueError(f"unknown explain mode {mode!r} (use 'sql' or 'plan')")
 
     def cache_info(self) -> CacheInfo:
         """Plan-cache counters (hits / misses / invalidations / evictions)

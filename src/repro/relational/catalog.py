@@ -84,11 +84,15 @@ class Database:
         self,
         statement: ast.Statement | str,
         deadline: float | None = None,
+        trace: Any = None,
     ) -> "QueryResult":
         """Run a statement (AST node or SQL text); returns a QueryResult.
 
         ``deadline`` is an absolute ``time.monotonic()`` instant; queries
         cooperatively abort with :class:`QueryTimeout` once it passes.
+        ``trace`` is an optional parent span (duck-typed, see
+        ``repro.core.observe``) under which the planner reports
+        per-operator rows-in/rows-out and timings.
         """
         from .planner import run_statement  # deferred: planner imports catalog
 
@@ -97,11 +101,11 @@ class Database:
 
             results: QueryResult | None = None
             for parsed in parse_sql(statement):
-                results = run_statement(self, parsed, deadline)
+                results = run_statement(self, parsed, deadline, trace)
             if results is None:
                 raise CatalogError("empty SQL script")
             return results
-        return run_statement(self, statement, deadline)
+        return run_statement(self, statement, deadline, trace)
 
 
 class QueryResult:

@@ -46,11 +46,21 @@ class PlannedUnit:
 
 
 def run_statement(
-    db: Database, statement: ast.Statement, deadline: float | None = None
+    db: Database,
+    statement: ast.Statement,
+    deadline: float | None = None,
+    trace: Any = None,
 ) -> QueryResult:
-    """Execute any statement against ``db``."""
+    """Execute any statement against ``db``.
+
+    ``trace`` is an optional parent span (duck-typed against
+    ``repro.core.observe.Span``: ``child`` / ``set`` / ``inc`` / ``meter``
+    / ``count``). When supplied, every operator the planner builds reports
+    rows-in/rows-out and inclusive time under it; when ``None`` (the
+    default) the operator pipelines are exactly the uninstrumented ones.
+    """
     if isinstance(statement, (ast.Select, ast.SetOp, ast.With)):
-        return Planner(db, deadline).execute_query(statement)
+        return Planner(db, deadline, trace=trace).execute_query(statement)
     if isinstance(statement, ast.CreateTable):
         db.create_table(
             statement.name,
@@ -146,29 +156,68 @@ class Planner:
         db: Database,
         deadline: float | None = None,
         cte_env: dict[str, QueryResult] | None = None,
+        trace: Any = None,
     ) -> None:
         self.db = db
         self.ticker = Ticker(deadline)
         self.deadline = deadline
         self.cte_env: dict[str, QueryResult] = dict(cte_env or {})
+        #: parent span for operators planned next (None = tracing off)
+        self.trace = trace
 
     # ------------------------------------------------------------- queries
 
     def execute_query(self, query: ast.Query) -> QueryResult:
         if isinstance(query, ast.With):
-            inner = Planner(self.db, self.deadline, self.cte_env)
+            inner = Planner(self.db, self.deadline, self.cte_env, trace=self.trace)
             for name, cte_query in query.ctes:
-                inner.cte_env[name.lower()] = inner.execute_query(cte_query)
+                if inner.trace is not None:
+                    with self.trace.child(f"cte {name}") as cte_span:
+                        inner.trace = cte_span
+                        result = inner.execute_query(cte_query)
+                        cte_span.set("rows_out", len(result.rows))
+                    inner.trace = self.trace
+                else:
+                    result = inner.execute_query(cte_query)
+                inner.cte_env[name.lower()] = result
             return inner.execute_query(query.body)
         if isinstance(query, ast.SetOp):
             return self._execute_setop(query)
         if isinstance(query, ast.Select):
-            return self._execute_select(query)
+            if self.trace is None:
+                return self._execute_select(query)
+            saved = self.trace
+            span = saved.child("select")
+            self.trace = span
+            try:
+                with span:
+                    result = self._execute_select(query)
+                    span.set("rows_out", len(result.rows))
+                return result
+            finally:
+                self.trace = saved
         raise PlanError(f"not a query: {query!r}")
 
     def _execute_setop(self, query: ast.SetOp) -> QueryResult:
+        if self.trace is None:
+            return self._run_setop(query)
+        saved = self.trace
+        span = saved.child(f"setop {query.op.upper().replace(' ', '-')}")
+        self.trace = span
+        try:
+            with span:
+                result = self._run_setop(query)
+                span.set("rows_out", len(result.rows))
+            return result
+        finally:
+            self.trace = saved
+
+    def _run_setop(self, query: ast.SetOp) -> QueryResult:
         left = self.execute_query(query.left)
         right = self.execute_query(query.right)
+        if self.trace is not None:
+            self.trace.inc("rows_in_left", len(left.rows))
+            self.trace.inc("rows_in_right", len(right.rows))
         if left.rows and right.rows and len(left.rows[0]) != len(right.rows[0]):
             raise PlanError("set operation arity mismatch")
         op = query.op.upper()
@@ -203,7 +252,15 @@ class Planner:
             )
         )
         if is_aggregate:
-            scope, rows = self._aggregate(select, scope, rows)
+            if self.trace is None:
+                scope, rows = self._aggregate(select, scope, rows)
+            else:
+                span = self.trace.child("aggregate")
+                with span:
+                    scope, rows = self._aggregate(
+                        select, scope, span.count(rows, "rows_in")
+                    )
+                    span.set("rows_out", len(rows))
             if select.having is not None:
                 condition = compile_expr(
                     _rewrite_with_index(select.having, self._agg_index), scope
@@ -236,18 +293,26 @@ class Planner:
                 for row in materialized
             ]
             if select.distinct:
-                projected = list(dict.fromkeys(projected))
+                projected = self._distinct(projected)
         else:
             projected = [
                 tuple(evaluator(row) for evaluator in evaluators)
                 for row in materialized
             ]
             if select.distinct:
-                projected = list(dict.fromkeys(projected))
+                projected = self._distinct(projected)
             if order_plan:
                 projected = _sort_projected(projected, order_plan)
         projected = _apply_limit(projected, select.limit, select.offset)
         return QueryResult(column_names, projected)
+
+    def _distinct(self, projected: list[Row]) -> list[Row]:
+        deduped = list(dict.fromkeys(projected))
+        if self.trace is not None:
+            self.trace.child(
+                "distinct", rows_in=len(projected), rows_out=len(deduped)
+            )
+        return deduped
 
     def _resolve_order_item(
         self, order_item: ast.OrderItem, column_names: list[str], scope: Scope
@@ -358,8 +423,29 @@ class Planner:
             leftovers.append(conjunct)
         if leftovers:
             condition = compile_expr(ast.conjoin(leftovers), scope)
-            rows = filter_rows(rows, condition, self.ticker)
+            rows = self._filtered(rows, condition)
         return scope, rows
+
+    def _metered(self, factory: RowsFactory, name: str, **attrs) -> RowsFactory:
+        """Wrap a row-source factory in an operator span when tracing.
+
+        The span is created on first use — a factory the planner ends up
+        bypassing (e.g. a seq scan displaced by an index probe) leaves no
+        phantom operator — and accumulates rows_out / inclusive time across
+        every invocation (a nested-loop right side re-runs per left batch)."""
+        if self.trace is None:
+            return factory
+        parent = self.trace
+        state: dict[str, Any] = {}
+
+        def wrapped() -> Iterator[Row]:
+            span = state.get("span")
+            if span is None:
+                span = parent.child(name, **attrs)
+                state["span"] = span
+            return span.meter(factory())
+
+        return wrapped
 
     def _plan_unit(self, item: ast.FromItem) -> PlannedUnit:
         if isinstance(item, ast.TableRef):
@@ -369,12 +455,20 @@ class Planner:
                 binding = item.binding
                 scope = Scope([(binding, name) for name in result.columns])
                 rows_list = result.rows
-                return PlannedUnit(scope, lambda: iter(rows_list), None)
+                factory = self._metered(
+                    lambda: iter(rows_list), f"cte-scan {item.name}"
+                )
+                return PlannedUnit(scope, factory, None)
             table = self.db.table(item.name)
             binding = item.binding
             scope = Scope([(binding, name) for name in table.schema.column_names])
             ticker = self.ticker
-            return PlannedUnit(scope, lambda: seq_scan(table, ticker), table)
+            factory = self._metered(
+                lambda: seq_scan(table, ticker),
+                f"seq-scan {table.name}",
+                table_rows=len(table),
+            )
+            return PlannedUnit(scope, factory, table)
         if isinstance(item, ast.SubqueryRef):
             result = self.execute_query(item.query)
             scope = Scope([(item.alias, name) for name in result.columns])
@@ -402,6 +496,11 @@ class Planner:
             if index_match is not None:
                 index, key, leftovers = index_match
                 rows = index_scan(index, key, self.ticker)
+                if self.trace is not None:
+                    span = self.trace.child(
+                        f"index-scan {planned.base.name}", index=index.name
+                    )
+                    rows = span.meter(rows)
                 local = leftovers
                 used_index = True
             else:
@@ -410,8 +509,17 @@ class Planner:
             rows = planned.factory()
         if local:
             condition = compile_expr(ast.conjoin(local), planned.scope)
-            rows = filter_rows(rows, condition, self.ticker)
+            rows = self._filtered(rows, condition)
         return rows, rest, used_index
+
+    def _filtered(self, rows: Iterable[Row], condition: Any) -> Iterable[Row]:
+        """A filter operator, metered (rows-in/rows-out/time) when tracing."""
+        if self.trace is None:
+            return filter_rows(rows, condition, self.ticker)
+        span = self.trace.child("filter")
+        return span.meter(
+            filter_rows(span.count(rows, "rows_in"), condition, self.ticker)
+        )
 
     def _join(
         self,
@@ -448,16 +556,27 @@ class Planner:
                 left_scope, right, equi_pairs, right_only, residual_eval, outer
             )
             if probe is not None:
-                return probe(left_rows)
+                if self.trace is None:
+                    return probe(left_rows)
+                span = self.trace.child(
+                    f"index-join {right.base.name}", outer=outer
+                )
+                return span.meter(probe(span.count(left_rows, "rows_in_left")))
 
         if equi_pairs:
-            left_slots = [left_scope.resolve(l) for l, _ in equi_pairs]
-            right_slots = [right.scope.resolve(r) for _, r in equi_pairs]
+            left_slots = [left_scope.resolve(left_col) for left_col, _ in equi_pairs]
+            right_slots = [right.scope.resolve(right_col) for _, right_col in equi_pairs]
             right_rows: Iterable[Row] = right.factory()
             if right_only:
                 right_condition = compile_expr(ast.conjoin(right_only), right.scope)
-                right_rows = filter_rows(right_rows, right_condition, self.ticker)
-            return hash_join(
+                right_rows = self._filtered(right_rows, right_condition)
+            span = None if self.trace is None else self.trace.child(
+                "hash-join", outer=outer
+            )
+            if span is not None:
+                left_rows = span.count(left_rows, "rows_in_left")
+                right_rows = span.count(right_rows, "rows_in_right")
+            joined = hash_join(
                 left_rows,
                 right_rows,
                 lambda row: tuple(row[s] for s in left_slots),
@@ -467,6 +586,7 @@ class Planner:
                 outer,
                 self.ticker,
             )
+            return joined if span is None else span.meter(joined)
 
         # No equi keys: nested loop with the full condition.
         condition_parts = residual[:]
@@ -475,13 +595,28 @@ class Planner:
             right_condition = compile_expr(ast.conjoin(right_only), right.scope)
             ticker = self.ticker
             base_factory = right.factory
-            right_factory = lambda: filter_rows(base_factory(), right_condition, ticker)
+
+            def _filtered_right() -> Iterator[Row]:
+                return filter_rows(base_factory(), right_condition, ticker)
+
+            right_factory = _filtered_right
         condition = (
             compile_expr(ast.conjoin(condition_parts), merged)
             if condition_parts
             else None
         )
-        return nested_loop_join(
+        span = None if self.trace is None else self.trace.child(
+            "nested-loop-join", outer=outer
+        )
+        if span is not None:
+            left_rows = span.count(left_rows, "rows_in_left")
+            inner_factory = right_factory
+
+            def _counted_right() -> Iterator[Row]:
+                return span.count(inner_factory(), "rows_in_right")
+
+            right_factory = _counted_right
+        joined = nested_loop_join(
             left_rows,
             right_factory,
             len(right.scope),
@@ -489,6 +624,7 @@ class Planner:
             outer,
             self.ticker,
         )
+        return joined if span is None else span.meter(joined)
 
     def _try_index_probe(
         self,
@@ -510,7 +646,7 @@ class Planner:
             ]
             merged = left_scope.merged_with(right.scope)
             extra_residuals = [
-                ast.BinOp("=", l, r) for l, r in other_pairs
+                ast.BinOp("=", lhs, rhs) for lhs, rhs in other_pairs
             ]
             combined_residual = residual_eval
             if extra_residuals:

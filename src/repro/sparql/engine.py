@@ -10,9 +10,11 @@ is the sub-optimal comparator of §3.3 / Figure 14.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from ..backends.base import Backend
+from ..core.observe import Tracer
 from ..core.querycache import (
     DEFAULT_CACHE_SIZE,
     CacheInfo,
@@ -65,6 +67,11 @@ class EngineConfig:
         return (self.optimizer, self.merge, self.methods, self.use_statistics)
 
 
+def _stage(tracer: Tracer | None, name: str, **attrs):
+    """A tracer span when tracing, a no-op context otherwise."""
+    return tracer.span(name, **attrs) if tracer is not None else nullcontext()
+
+
 class SparqlEngine:
     """Compiles and runs SPARQL queries for one store."""
 
@@ -101,22 +108,28 @@ class SparqlEngine:
         return compiled, select
 
     def _compile_stages(
-        self, sparql: "str | SelectQuery | AskQuery"
+        self,
+        sparql: "str | SelectQuery | AskQuery",
+        tracer: Tracer | None = None,
     ) -> tuple[sql.Query, SelectQuery, dict[str, float]]:
         """The full pipeline with per-stage wall timings (parse / plan /
-        translate) for the cache's compile-cost accounting."""
+        translate) for the cache's compile-cost accounting. With a tracer,
+        every stage (and the planner's sub-stages) also opens a span."""
         started = time.perf_counter()
-        parsed = parse_sparql(sparql) if isinstance(sparql, str) else sparql
+        with _stage(tracer, "parse"):
+            parsed = parse_sparql(sparql) if isinstance(sparql, str) else sparql
+            if isinstance(parsed, AskQuery):
+                select = SelectQuery(variables=None, where=parsed.where, limit=1)
+            else:
+                select = parsed
+            select = normalize(select)
         parsed_at = time.perf_counter()
-        if isinstance(parsed, AskQuery):
-            select = SelectQuery(variables=None, where=parsed.where, limit=1)
-        else:
-            select = parsed
-        select = normalize(select)
-        plan = self._plan(select)
+        with _stage(tracer, "plan", optimizer=self.config.optimizer):
+            plan = self._plan(select, tracer)
         planned_at = time.perf_counter()
-        translator = PipelineTranslator(self.emitter)
-        compiled = translator.translate(plan, select)
+        with _stage(tracer, "translate"):
+            translator = PipelineTranslator(self.emitter)
+            compiled = translator.translate(plan, select)
         done = time.perf_counter()
         timings = {
             "parse": parsed_at - started,
@@ -126,7 +139,9 @@ class SparqlEngine:
         }
         return compiled, select, timings
 
-    def compile_cached(self, sparql: str) -> CachedPlan:
+    def compile_cached(
+        self, sparql: str, tracer: Tracer | None = None
+    ) -> CachedPlan:
         """Return the compiled plan for query text, reusing the plan cache.
 
         The key is the lexically canonicalized text plus the config
@@ -137,10 +152,15 @@ class SparqlEngine:
         key = canonicalize_sparql(sparql)
         fingerprint = self.config.fingerprint()
         epoch = self.stats.epoch
-        entry = self.cache.lookup(key, fingerprint, epoch)
+        if tracer is None:
+            entry = self.cache.lookup(key, fingerprint, epoch)
+        else:
+            with tracer.span("cache") as span:
+                entry, outcome = self.cache.probe(key, fingerprint, epoch)
+                span.set("outcome", outcome)
         if entry is not None:
             return entry
-        compiled, select, timings = self._compile_stages(sparql)
+        compiled, select, timings = self._compile_stages(sparql, tracer)
         plan = CachedPlan(
             sql=compiled,
             variables=tuple(select.projected_variables()),
@@ -155,13 +175,16 @@ class SparqlEngine:
         """Plan-cache counters and cumulative per-stage compile timings."""
         return self.cache.info()
 
-    def _plan(self, select: SelectQuery) -> ExecNode:
+    def _plan(
+        self, select: SelectQuery, tracer: Tracer | None = None
+    ) -> ExecNode:
         pattern_tree = PatternTree.build(select.where)
         triples = select.triples()
         if self.config.optimizer == "naive":
-            execution_tree = textual_execution_tree(
-                select.where, self._textual_method_chooser
-            )
+            with _stage(tracer, "planbuild", mode="textual"):
+                execution_tree = textual_execution_tree(
+                    select.where, self._textual_method_chooser
+                )
         else:
             stats = (
                 self.stats
@@ -170,16 +193,19 @@ class SparqlEngine:
                     total_triples=1, distinct_subjects=1, distinct_objects=1
                 )
             )
-            graph = build_data_flow_graph(
-                triples, pattern_tree, stats, self.config.methods
-            )
-            flow = optimal_flow_tree(graph)
-            execution_tree = build_execution_tree(select.where, flow)
+            with _stage(tracer, "dataflow", triples=len(triples)):
+                graph = build_data_flow_graph(
+                    triples, pattern_tree, stats, self.config.methods
+                )
+                flow = optimal_flow_tree(graph)
+            with _stage(tracer, "planbuild", mode="flow"):
+                execution_tree = build_execution_tree(select.where, flow)
         if self.config.merge and self.emitter.supports_merge:
-            ctx = MergeContext.build(
-                pattern_tree, triples, self.spill_direct, self.spill_reverse
-            )
-            return merge_execution_tree(execution_tree, ctx)
+            with _stage(tracer, "merge"):
+                ctx = MergeContext.build(
+                    pattern_tree, triples, self.spill_direct, self.spill_reverse
+                )
+                return merge_execution_tree(execution_tree, ctx)
         return execution_tree
 
     def _textual_method_chooser(
@@ -203,7 +229,10 @@ class SparqlEngine:
         self,
         sparql: "str | SelectQuery | AskQuery",
         timeout: float | None = None,
+        tracer: Tracer | None = None,
     ) -> SelectResult:
+        if tracer is not None and tracer.enabled:
+            return self._query_traced(sparql, timeout, tracer)
         if isinstance(sparql, str) and self.cache.enabled:
             plan = self.compile_cached(sparql)
             compiled, variables = plan.sql, list(plan.variables)
@@ -221,6 +250,40 @@ class SparqlEngine:
         ]
         return SelectResult(variables, rows)
 
+    def _query_traced(
+        self,
+        sparql: "str | SelectQuery | AskQuery",
+        timeout: float | None,
+        tracer: Tracer,
+    ) -> SelectResult:
+        """The PROFILE path: same pipeline as :meth:`query`, with spans
+        around compile / execute / decode and per-operator metering in the
+        backend. Kept separate so the untraced path stays word-for-word the
+        zero-overhead hot path."""
+        with tracer.span("compile"):
+            if isinstance(sparql, str) and self.cache.enabled:
+                plan = self.compile_cached(sparql, tracer)
+                compiled, variables = plan.sql, list(plan.variables)
+            else:
+                compiled, select, _ = self._compile_stages(sparql, tracer)
+                variables = select.projected_variables()
+        with tracer.span("execute", backend=self.backend.name) as span:
+            columns, raw_rows = self.backend.execute_profiled(
+                compiled, timeout=timeout, tracer=tracer
+            )
+            span.set("rows_out", len(raw_rows))
+        with tracer.span("decode") as span:
+            width = len(variables)
+            rows: list[tuple[Term | None, ...]] = [
+                tuple(
+                    None if key is None else term_from_key(key)
+                    for key in row[:width]
+                )
+                for row in raw_rows
+            ]
+            span.set("rows_out", len(rows))
+        return SelectResult(variables, rows)
+
     def ask(self, sparql: str, timeout: float | None = None) -> bool:
         return len(self.query(sparql, timeout=timeout)) > 0
 
@@ -230,3 +293,24 @@ class SparqlEngine:
             return self.backend.sql_text(self.compile_cached(sparql).sql)
         compiled, _ = self.compile(sparql)
         return self.backend.sql_text(compiled)
+
+    def explain_plan(self, sparql: str) -> str:
+        """EXPLAIN: compile configuration, generated SQL, and — when the
+        backend can describe its own access plan (sqlite's ``EXPLAIN QUERY
+        PLAN``) — the backend plan. Compiles but never executes."""
+        compiled, select = self.compile(sparql)
+        config = self.config
+        lines = [
+            f"-- backend: {self.backend.name}",
+            f"-- optimizer: {config.optimizer}"
+            f" (merge={'on' if config.merge else 'off'},"
+            f" statistics={'on' if config.use_statistics else 'off'})",
+            f"-- methods: {', '.join(config.methods)}",
+            f"-- projection: {', '.join(select.projected_variables())}",
+            self.backend.sql_text(compiled),
+        ]
+        explain_backend = getattr(self.backend, "explain_query_plan", None)
+        if callable(explain_backend):
+            lines.append("-- backend plan:")
+            lines.extend("--   " + line for line in explain_backend(compiled))
+        return "\n".join(lines)

@@ -8,8 +8,8 @@ assertions in tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
 
 from ..rdf.terms import Term, term_key
 
@@ -20,6 +20,10 @@ class SelectResult:
 
     variables: list[str]
     rows: list[tuple[Term | None, ...]]
+    #: the finished trace root (``repro.core.observe.Span``) when the query
+    #: ran in PROFILE mode; ``None`` otherwise. Excluded from equality —
+    #: profiled and unprofiled runs of one query compare equal.
+    profile: Any | None = field(default=None, compare=False, repr=False)
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Triple, URI
+from repro import Graph, Triple, URI
 from repro.baselines import VerticalStore
 from repro.sparql import query_graph
 
@@ -52,3 +52,38 @@ class TestTranslation:
             "SELECT ?hq ?x WHERE { <IBM> <HQ> ?hq OPTIONAL { <IBM> <nope> ?x } }"
         )
         assert result.key_rows() == [("Armonk", None)]
+
+
+class TestRepeatedVariable:
+    """A variable repeated inside one triple pattern must equate the two
+    source columns directly. Before the fix, each occurrence only checked
+    compatibility with the incoming context binding — vacuous when that
+    binding is NULL (e.g. on the other side of a UNION) — so `?a <p2> ?a`
+    silently degraded to an unconstrained scan."""
+
+    GRAPH = [
+        ("n3", "p2", "n2"),
+        ("n5", "p2", "n3"),
+        ("n7", "p2", "n1"),
+        ("n4", "p2", "n4"),  # the only genuine self-loop
+    ]
+    QUERY = (
+        "SELECT * WHERE { ?a <p2> ?a . "
+        "{ <n5> <p2> ?c } UNION { ?a <p2> <n1> } }"
+    )
+
+    def _graph(self):
+        return Graph(Triple(URI(s), URI(p), URI(o)) for s, p, o in self.GRAPH)
+
+    def test_self_loop_pattern_after_union(self):
+        graph = self._graph()
+        store = VerticalStore.from_graph(graph)
+        reference = query_graph(graph, self.QUERY)
+        assert len(reference) == 1  # only n4 satisfies ?a <p2> ?a
+        assert store.query(self.QUERY).matches(reference)
+
+    def test_self_loop_pattern_alone(self):
+        graph = self._graph()
+        store = VerticalStore.from_graph(graph)
+        result = store.query("SELECT ?a WHERE { ?a <p2> ?a }")
+        assert result.key_rows() == [("n4",)]

@@ -8,7 +8,7 @@ from repro.core.loader import Loader, pack_entity
 from repro.core.mapping import ExplicitMapper, composed_hashes
 from repro.core.schema import DB2RDFSchema
 from repro.rdf.graph import Graph
-from repro.rdf.terms import Literal, Triple, URI
+from repro.rdf.terms import Triple, URI
 
 
 def t(s, p, o):

@@ -3,10 +3,9 @@ every query path (single access, merge veto, scans) must stay correct."""
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro import EngineConfig, Graph, RdfStore, Triple, URI
+from repro import Graph, RdfStore, Triple, URI
 from repro.core.mapping import HashMapper
 from repro.sparql import query_graph
 

@@ -1,9 +1,8 @@
 """RDF-aware SQL scalar functions: NULL discipline and value semantics."""
 
-import pytest
 
 from repro.core import sqlfunctions as fn
-from repro.rdf.terms import Literal, URI, XSD_INTEGER, XSD_STRING, term_key
+from repro.rdf.terms import Literal, XSD_INTEGER, XSD_STRING, term_key
 
 
 def key(term):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Graph, RdfStore, SqliteBackend, Triple, URI
+from repro import RdfStore, SqliteBackend, Triple, URI
 from repro.core.mapping import ColoringMapper
 from repro.sparql import query_graph
 

@@ -54,7 +54,6 @@ def both(engines, sql_text: str, ordered: bool = False):
     if ordered:
         assert mini_rows == lite_rows, sql_text
     else:
-        key = lambda row: tuple((v is None, v) if not isinstance(v, (int, float)) or isinstance(v, bool) else (v is None, float(v)) for v in row)
         assert sorted(mini_rows, key=repr) == sorted(lite_rows, key=repr), sql_text
 
 
@@ -174,7 +173,7 @@ def join_queries(draw):
     )
     if join_kind == ",":
         condition = f"e.{left_col} = d.name {extra}".strip()
-        joined = f"emp e, dept d"
+        joined = "emp e, dept d"
         where_clause = f"WHERE {condition}" + (
             f" AND {where[6:]}" if where else ""
         )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.relational import ast
 from repro.relational.errors import PlanError
 from repro.relational.expressions import Scope, compile_expr, expr_columns
 from repro.relational.parser import parse_expression

@@ -5,7 +5,6 @@ import pytest
 
 from repro.sparql.algebra import PatternTree, normalize
 from repro.sparql.ast import (
-    GroupPattern,
     OptionalPattern,
     TriplePattern,
     UnionPattern,

@@ -1,6 +1,5 @@
 """Node merging (§3.2.1), replaying the paper's Figure 11 outcome."""
 
-import pytest
 
 from repro.core.stats import DatasetStatistics
 from repro.sparql.algebra import PatternTree, normalize

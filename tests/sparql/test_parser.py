@@ -11,7 +11,6 @@ from repro.sparql.ast import (
     FVar,
     GroupPattern,
     OptionalPattern,
-    TriplePattern,
     UnionPattern,
     Var,
 )

@@ -1,0 +1,122 @@
+"""PROFILE mode must observe, never interfere.
+
+The invariant: for any query, on any backend, a profiled run returns
+exactly the rows an unprofiled run returns — the tracer adds spans, not
+semantics. Also pinned here: the trace actually carries what EXPLAIN/
+PROFILE promise (compile stages, cache outcome, per-operator rows on
+minirel, EXPLAIN QUERY PLAN on sqlite).
+"""
+
+import pytest
+
+from repro import RdfStore, SqliteBackend
+
+from ..conftest import figure1_graph
+
+QUERIES = {
+    "star": (
+        "SELECT ?p ?b ?d WHERE "
+        "{ ?p <founder> <IBM> . ?p <born> ?b . ?p <died> ?d }"
+    ),
+    "chain": (
+        "SELECT ?person ?ind WHERE "
+        "{ ?person <founder> ?c . ?c <industry> ?ind }"
+    ),
+    "optional": (
+        "SELECT ?c ?hq WHERE "
+        "{ ?c <industry> <Software> OPTIONAL { ?c <HQ> ?hq } }"
+    ),
+    "union": (
+        "SELECT ?x WHERE "
+        "{ { ?x <founder> <IBM> } UNION { ?x <founder> <Google> } }"
+    ),
+}
+
+BACKENDS = ["minirel", "sqlite"]
+
+
+def build_store(backend_name):
+    backend = SqliteBackend() if backend_name == "sqlite" else None
+    return RdfStore.from_graph(figure1_graph(), backend=backend)
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def store(request):
+    return build_store(request.param)
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_profiled_results_identical(store, name):
+    plain = store.query(QUERIES[name])
+    profiled = store.query(QUERIES[name], profile=True)
+    assert profiled.matches(plain)
+    assert plain.profile is None
+    assert profiled.profile is not None
+
+
+def test_trace_structure(store):
+    root = store.profile(QUERIES["star"])
+    assert root.name == "query"
+    assert root.find("compile") is not None
+    execute = root.find("execute")
+    assert execute is not None
+    assert execute.attrs["backend"] == store.backend.name
+    decode = root.find("decode")
+    assert decode.attrs["rows_out"] == len(store.query(QUERIES["star"]))
+
+
+def test_cache_span_reports_outcome(store):
+    sparql = QUERIES["chain"]
+    store._plan_cache.clear()
+    first = store.profile(sparql)
+    second = store.profile(sparql)
+    assert first.find("cache").attrs["outcome"] == "miss"
+    assert second.find("cache").attrs["outcome"] == "hit"
+    # a miss compiles: the full stage chain hangs off the compile span
+    for stage in ("parse", "dataflow", "planbuild", "merge", "translate"):
+        assert first.find(stage) is not None, stage
+    assert second.find("parse") is None  # a hit skips compilation
+
+
+def test_minirel_reports_operator_rows():
+    store = build_store("minirel")
+    root = store.profile(QUERIES["star"])
+    ops = [span for _, span in root.walk()
+           if span.name.split(" ")[0] in
+           ("seq-scan", "index-scan", "cte-scan", "index-join", "hash-join",
+            "filter", "select")]
+    assert ops, "expected minirel operator spans"
+    assert any("rows_out" in span.attrs for span in ops)
+    scans = [s for s in ops if s.name.startswith(("seq-scan", "index-scan"))]
+    assert all(isinstance(s.attrs.get("rows_out"), int) for s in scans)
+
+
+def test_sqlite_reports_query_plan():
+    store = build_store("sqlite")
+    root = store.profile(QUERIES["star"])
+    eqp = root.find("explain-query-plan")
+    assert eqp is not None
+    plan = eqp.attrs["plan"]
+    assert plan and all(isinstance(line, str) for line in plan)
+    execute = root.find("sqlite.execute")
+    assert execute.attrs["rows_out"] == 1
+
+
+def test_profile_sinks_receive_finished_trace(store):
+    seen = []
+    store.profile_sinks.append(seen.append)
+    try:
+        result = store.query(QUERIES["union"], profile=True)
+    finally:
+        store.profile_sinks.clear()
+    assert seen and seen[0] is result.profile
+
+
+def test_explain_plan_never_executes(store):
+    """EXPLAIN compiles only — row counters stay absent from its output."""
+    text = store.explain(QUERIES["union"], mode="plan")
+    assert "-- backend:" in text
+    if store.backend.name == "sqlite":
+        assert "-- backend plan:" in text
+    with pytest.raises(ValueError):
+        store.explain(QUERIES["union"], mode="bogus")

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import EngineConfig, Graph, RdfStore, SqliteBackend, Triple, URI

@@ -4,7 +4,6 @@ DB2RDF-specific access shapes of §3.2.2 / Figures 12–13."""
 import pytest
 
 from repro import Graph, RdfStore, Triple, URI
-from repro.core.errors import UnsupportedQueryError
 from repro.rdf.terms import Literal
 from repro.sparql import EngineConfig, query_graph
 

@@ -102,3 +102,45 @@ class TestOtherCommands:
     def test_no_coloring_flag(self, data_file, capsys):
         assert main(["info", data_file, "--no-coloring", "--quiet"]) == 0
         assert "DPH columns:          32" in capsys.readouterr().out
+
+
+class TestProfileAndPlan:
+    QUERY = (
+        "PREFIX ex: <http://e/> SELECT ?who WHERE "
+        "{ ?who ex:industry ex:Software } ORDER BY ?who"
+    )
+
+    def test_query_profile_prints_trace_to_stderr(self, data_file, capsys):
+        assert main(["query", data_file, self.QUERY, "--quiet",
+                     "--profile"]) == 0
+        captured = capsys.readouterr()
+        # results untouched on stdout, trace on stderr
+        assert captured.out.splitlines() == [
+            "?who", "http://e/Google", "http://e/IBM",
+        ]
+        assert "query" in captured.err
+        assert "execute" in captured.err and "ms" in captured.err
+
+    def test_query_without_profile_has_no_trace(self, data_file, capsys):
+        assert main(["query", data_file, self.QUERY, "--quiet"]) == 0
+        assert "execute" not in capsys.readouterr().err
+
+    def test_profile_with_sqlite_backend(self, data_file, capsys):
+        assert main(["query", data_file, self.QUERY, "--quiet",
+                     "--profile", "--backend", "sqlite"]) == 0
+        err = capsys.readouterr().err
+        assert "sqlite.execute" in err
+        assert "explain-query-plan" in err
+
+    def test_explain_plan_flag(self, data_file, capsys):
+        assert main(["explain", data_file, self.QUERY, "--quiet",
+                     "--plan"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("-- backend: minirel")
+        assert "SELECT" in out
+
+    def test_explain_without_plan_is_bare_sql(self, data_file, capsys):
+        assert main(["explain", data_file, self.QUERY, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert not out.startswith("--")
+        assert "SELECT" in out
