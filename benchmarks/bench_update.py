@@ -1,0 +1,141 @@
+"""E14 — the write path: group commit vs per-triple commit.
+
+Two claims to demonstrate on the §2.1 micro-benchmark store:
+
+1. **Warm-cache retention** (gated): inside one transaction, queries
+   interleaved with writes keep hitting the warm plan cache — the epoch
+   moves once, at commit, not per triple. Per-triple autocommit instead
+   invalidates the cached plan on every write, so every interleaved query
+   recompiles.
+2. **Batched speedup** (informational): the same insert-N-query-M workload
+   runs faster batched than unbatched, the gap being exactly the repeated
+   recompiles (plus N-1 avoided epoch/engine churn).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import RdfStore, Triple, URI
+from repro.workloads import microbench
+
+from conftest import record_metric, report, scaled
+
+QUERY = microbench.queries()["Q1"]
+QUERY_EVERY = 10  # one interleaved query per this many writes
+
+
+def _fresh_triples(n: int) -> list[Triple]:
+    return [
+        Triple(
+            URI(f"http://example.org/upd/s{i}"),
+            URI("http://example.org/upd/p"),
+            URI(f"http://example.org/upd/o{i}"),
+        )
+        for i in range(n)
+    ]
+
+
+def _mixed_workload(store: RdfStore, write, triples) -> None:
+    for index, triple in enumerate(triples):
+        write(triple)
+        if index % QUERY_EVERY == 0:
+            store.query(QUERY)
+
+
+def test_batched_vs_unbatched_mixed_workload(benchmark):
+    """Insert N fresh triples with a query every 10 writes, both ways."""
+    data = microbench.generate(target_triples=scaled(8_000))
+    n = scaled(400)
+    triples = _fresh_triples(n)
+
+    def run():
+        unbatched = RdfStore.from_graph(data.graph)
+        unbatched.query(QUERY)  # prime
+        start = time.perf_counter()
+        _mixed_workload(unbatched, unbatched.add, triples)
+        unbatched_seconds = time.perf_counter() - start
+        unbatched_info = unbatched.cache_info()
+
+        batched = RdfStore.from_graph(data.graph)
+        batched.query(QUERY)  # prime
+        epoch_before = batched.stats.epoch
+        start = time.perf_counter()
+        with batched.transaction() as txn:
+            _mixed_workload(batched, txn.add, triples)
+        batched_seconds = time.perf_counter() - start
+        # Group commit: the whole batch moved the epoch exactly once.
+        assert batched.stats.epoch == epoch_before + 1
+        return (
+            unbatched_seconds,
+            batched_seconds,
+            unbatched_info,
+            batched.cache_info(),
+        )
+
+    unbatched_seconds, batched_seconds, cold_info, warm_info = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    queries_run = (len(triples) + QUERY_EVERY - 1) // QUERY_EVERY
+    speedup = unbatched_seconds / batched_seconds
+    retention = warm_info.hits / queries_run
+    per_write_ms = batched_seconds / len(triples) * 1e3
+    report(
+        f"E14 — batched vs unbatched writes "
+        f"({data.triples} base triples, {n} inserts, "
+        f"query every {QUERY_EVERY})",
+        "\n".join(
+            [
+                f"{'':<12}{'total (s)':>11}{'per write (ms)':>16}"
+                f"{'cache hits':>12}{'invalidations':>15}",
+                f"{'unbatched':<12}{unbatched_seconds:>11.2f}"
+                f"{unbatched_seconds / len(triples) * 1e3:>16.2f}"
+                f"{cold_info.hits:>12}{cold_info.invalidations:>15}",
+                f"{'batched':<12}{batched_seconds:>11.2f}"
+                f"{per_write_ms:>16.2f}"
+                f"{warm_info.hits:>12}{warm_info.invalidations:>15}",
+                f"batched speedup: {speedup:.2f}x; "
+                f"warm-cache retention: {retention * 100:.0f}%",
+            ]
+        ),
+    )
+    record_metric("update_batched_speedup", speedup)
+    record_metric("update_warm_cache_retention", retention)
+    # Deterministic (no timing): every interleaved query in the batch hit.
+    assert retention >= 0.9
+    # Per-triple autocommit recompiled (invalidated) on every query.
+    assert cold_info.invalidations == queries_run
+
+
+def test_wal_append_overhead(benchmark, tmp_path):
+    """Journalled vs unjournalled batched inserts (informational)."""
+    data = microbench.generate(target_triples=scaled(2_000))
+    n = scaled(400)
+    triples = _fresh_triples(n)
+
+    def run():
+        plain = RdfStore.from_graph(data.graph)
+        start = time.perf_counter()
+        with plain.transaction() as txn:
+            for triple in triples:
+                txn.add(triple)
+        plain_seconds = time.perf_counter() - start
+
+        journalled = RdfStore.from_graph(
+            data.graph, wal_path=tmp_path / "bench.wal"
+        )
+        start = time.perf_counter()
+        with journalled.transaction() as txn:
+            for triple in triples:
+                txn.add(triple)
+        wal_seconds = time.perf_counter() - start
+        return plain_seconds, wal_seconds
+
+    plain_seconds, wal_seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead = wal_seconds / plain_seconds - 1.0
+    report(
+        f"E14 — WAL append overhead ({n} inserts, one commit)",
+        f"plain {plain_seconds:.3f}s, journalled {wal_seconds:.3f}s "
+        f"({overhead * 100:+.1f}%)",
+    )
+    record_metric("update_wal_overhead", overhead)

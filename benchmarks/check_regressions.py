@@ -8,6 +8,9 @@ Reads ``benchmarks/out/results.json`` (written by the benches through
   compile by at least 10× (PR 1 measured ~38×).
 * ``profile_off_overhead`` — the tracing subsystem must stay free when
   disabled: under 5% over the hand-inlined pre-instrumentation pipeline.
+* ``update_warm_cache_retention`` — queries interleaved inside one write
+  transaction must keep hitting the warm plan cache (group commit bumps
+  the epoch once); the floor is 90% and the measure is deterministic.
 
 Stdlib only; exits nonzero with one line per failure.
 """
@@ -19,6 +22,7 @@ import pathlib
 
 MIN_WARM_COMPILE_SPEEDUP = 10.0
 MAX_PROFILE_OFF_OVERHEAD = 0.05
+MIN_UPDATE_CACHE_RETENTION = 0.9
 
 RESULTS = pathlib.Path(__file__).parent / "out" / "results.json"
 
@@ -54,9 +58,29 @@ def main() -> int:
         print(f"ok: profile_off_overhead {overhead * 100:.1f}% "
               f"(ceiling {MAX_PROFILE_OFF_OVERHEAD * 100:.0f}%)")
 
+    retention = metrics.get("update_warm_cache_retention")
+    if retention is None:
+        failures.append("update_warm_cache_retention was not recorded")
+    elif retention < MIN_UPDATE_CACHE_RETENTION:
+        failures.append(
+            f"update_warm_cache_retention {retention * 100:.0f}% < "
+            f"{MIN_UPDATE_CACHE_RETENTION * 100:.0f}% floor"
+        )
+    else:
+        print(f"ok: update_warm_cache_retention {retention * 100:.0f}% "
+              f"(floor {MIN_UPDATE_CACHE_RETENTION * 100:.0f}%)")
+
     on_overhead = metrics.get("profile_on_overhead")
     if on_overhead is not None:  # informational, not gated
         print(f"info: profile_on_overhead {on_overhead * 100:.1f}%")
+
+    batched_speedup = metrics.get("update_batched_speedup")
+    if batched_speedup is not None:  # informational, not gated
+        print(f"info: update_batched_speedup {batched_speedup:.2f}x")
+
+    wal_overhead = metrics.get("update_wal_overhead")
+    if wal_overhead is not None:  # informational, not gated
+        print(f"info: update_wal_overhead {wal_overhead * 100:+.1f}%")
 
     for failure in failures:
         print(f"REGRESSION: {failure}")

@@ -19,6 +19,7 @@ from .core import (
 )
 from .rdf import BNode, Graph, Literal, Namespace, Triple, URI
 from .sparql import EngineConfig, SelectResult, parse_sparql, query_graph
+from .update import UpdateResult, UpdateSyntaxError, parse_update
 
 __version__ = "1.0.0"
 
@@ -38,6 +39,9 @@ __all__ = [
     "Triple",
     "URI",
     "UnsupportedQueryError",
+    "UpdateResult",
+    "UpdateSyntaxError",
     "parse_sparql",
+    "parse_update",
     "query_graph",
 ]

@@ -38,6 +38,8 @@ from ..sparql.ast import (
 from ..sparql.parser import parse_sparql
 from ..sparql.reference import Bindings, _filter_passes, _substitute
 from ..sparql.results import SelectResult, project_rows
+from ..update.apply import UpdateResult, apply_update
+from ..update.parser import parse_update
 
 
 class HexastoreIndexes:
@@ -56,15 +58,42 @@ class HexastoreIndexes:
         self.p_count: dict[URI, int] = defaultdict(int)
         self.total = 0
 
-    def add(self, triple: Triple) -> None:
+    def add(self, triple: Triple) -> bool:
         subject, predicate, obj = triple.subject, triple.predicate, triple.object
         if obj in self.sp[subject].get(predicate, ()):  # duplicate
-            return
+            return False
         self.sp[subject][predicate].add(obj)
         self.po[predicate][subject].add(obj)
         self.os[obj][subject].add(predicate)
         self.p_count[predicate] += 1
         self.total += 1
+        return True
+
+    def remove(self, triple: Triple) -> bool:
+        subject, predicate, obj = triple.subject, triple.predicate, triple.object
+        by_pred = self.sp.get(subject)
+        if not by_pred or obj not in by_pred.get(predicate, ()):
+            return False
+        by_pred[predicate].discard(obj)
+        if not by_pred[predicate]:
+            del by_pred[predicate]
+            if not by_pred:
+                del self.sp[subject]
+        self.po[predicate][subject].discard(obj)
+        if not self.po[predicate][subject]:
+            del self.po[predicate][subject]
+            if not self.po[predicate]:
+                del self.po[predicate]
+        self.os[obj][subject].discard(predicate)
+        if not self.os[obj][subject]:
+            del self.os[obj][subject]
+            if not self.os[obj]:
+                del self.os[obj]
+        self.p_count[predicate] -= 1
+        if not self.p_count[predicate]:
+            del self.p_count[predicate]
+        self.total -= 1
+        return True
 
     # ------------------------------------------------------------- matching
 
@@ -144,18 +173,35 @@ class NativeMemoryStore:
         for triple in graph:
             self.indexes.add(triple)
 
-    def add(self, triple: Triple) -> None:
-        self.indexes.add(triple)
+    def add(self, triple: Triple) -> bool:
+        return self.indexes.add(triple)
+
+    def remove(self, triple: Triple) -> bool:
+        return self.indexes.remove(triple)
+
+    def update(self, sparql) -> UpdateResult:
+        """Execute a SPARQL Update request (text or parsed) against the
+        permutation indexes — the same executor the DB2RDF store runs, so
+        write semantics are differentially testable across engines."""
+        request = sparql if not isinstance(sparql, str) else parse_update(sparql)
+        return apply_update(request, self)
 
     # ------------------------------------------------------------ querying
 
     def query(self, sparql: str, timeout: float | None = None) -> SelectResult:
         parsed = parse_sparql(sparql)
-        deadline = time.monotonic() + timeout if timeout is not None else None
         if isinstance(parsed, AskQuery):
             select = SelectQuery(variables=None, where=parsed.where, limit=1)
         else:
             select = parsed
+        return self._select(select, timeout)
+
+    def select(self, query: SelectQuery) -> SelectResult:
+        """Evaluate a parsed SELECT query (the update executor's read hook)."""
+        return self._select(query, None)
+
+    def _select(self, select: SelectQuery, timeout: float | None) -> SelectResult:
+        deadline = time.monotonic() + timeout if timeout is not None else None
         select = normalize(select)
         evaluator = _Evaluator(self.indexes, self.optimize_bgp, deadline)
         solutions = evaluator.group(select.where, [{}])

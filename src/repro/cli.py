@@ -3,6 +3,7 @@
 Usage examples::
 
     python -m repro query data.ttl "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5"
+    python -m repro update data.nt "INSERT DATA { <s> <p> 'o' }" --wal j.wal
     python -m repro explain data.nt query.rq
     python -m repro info data.nt --no-coloring
     python -m repro shell data.ttl
@@ -54,6 +55,7 @@ def build_store(args: argparse.Namespace) -> RdfStore:
         use_coloring=not args.no_coloring,
         max_columns=args.max_columns,
         config=config,
+        wal_path=getattr(args, "wal", None),
     )
     elapsed = time.perf_counter() - started
     if not args.quiet:
@@ -70,7 +72,7 @@ def build_store(args: argparse.Namespace) -> RdfStore:
 
 def _read_query(text_or_path: str) -> str:
     path = pathlib.Path(text_or_path)
-    if path.suffix in (".rq", ".sparql") and path.exists():
+    if path.suffix in (".rq", ".sparql", ".ru") and path.exists():
         return path.read_text()
     return text_or_path
 
@@ -118,6 +120,27 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_update(args: argparse.Namespace) -> int:
+    """``repro update``: apply a SPARQL Update request to the loaded data.
+
+    The request runs as one transaction; with ``--wal PATH`` its committed
+    delta is journalled (and any previously journalled transactions are
+    replayed before it runs — the crash-recovery path)."""
+    store = build_store(args)
+    sparql = _read_query(args.update)
+    profile = bool(getattr(args, "profile", False))
+    started = time.perf_counter()
+    result = store.update(sparql, profile=profile)
+    elapsed = time.perf_counter() - started
+    if profile and result.profile is not None:
+        print(render_profile(result.profile), file=sys.stderr)
+    print(f"# {result.summary()} in {elapsed * 1000:.1f} ms", file=sys.stderr)
+    if not args.quiet:
+        report = store.report()
+        print(f"# store now holds {report.triples} triples", file=sys.stderr)
+    return 0
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     """``repro explain``: print the SQL generated for a query (with
     ``--plan``, also the compile configuration and the backend's plan)."""
@@ -140,6 +163,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"RPH columns:          {report.reverse_columns}")
     print(f"multi-valued (direct): {len(report.direct.multivalued)}")
     print(f"multi-valued (reverse): {len(report.reverse.multivalued)}")
+    print(f"online-assigned preds: {len(report.direct.online_assignments)}")
     print(f"distinct predicates:  {len(store.stats.predicate_counts)}")
     top = sorted(
         store.stats.predicate_counts.items(), key=lambda kv: -kv[1]
@@ -155,7 +179,7 @@ def cmd_shell(args: argparse.Namespace) -> int:
     store = build_store(args)
     print("# repro SPARQL shell — end queries with a blank line, "
           "'\\q' quits, '\\e <query>' explains, '\\profile <query>' "
-          "profiles, '\\c' shows plan-cache stats",
+          "profiles, '\\update <stmt>' writes, '\\c' shows plan-cache stats",
           file=sys.stderr)
     buffer: list[str] = []
     while True:
@@ -172,6 +196,13 @@ def cmd_shell(args: argparse.Namespace) -> int:
             try:
                 print(store.explain(line[3:], mode="plan"))
             except Exception as exc:  # interactive: report, keep going
+                print(f"error: {exc}", file=sys.stderr)
+            continue
+        if line.startswith("\\update "):
+            try:
+                result = store.update(line[len("\\update "):])
+                print(f"# {result.summary()}", file=sys.stderr)
+            except Exception as exc:
                 print(f"error: {exc}", file=sys.stderr)
             continue
         if line.startswith("\\profile "):
@@ -231,6 +262,10 @@ def make_parser() -> argparse.ArgumentParser:
             default="plain",
             help="result output format",
         )
+        p.add_argument(
+            "--wal", default=None, metavar="PATH",
+            help="replay (and keep journalling to) a write-ahead log",
+        )
 
     query_parser = sub.add_parser("query", help="run a SPARQL query")
     common(query_parser)
@@ -244,6 +279,30 @@ def make_parser() -> argparse.ArgumentParser:
              "and print the profile to stderr",
     )
     query_parser.set_defaults(func=cmd_query)
+
+    update_parser = sub.add_parser(
+        "update", help="apply a SPARQL Update request"
+    )
+    update_parser.add_argument("data", nargs="+", help=".nt or .ttl file(s)")
+    update_parser.add_argument(
+        "update", help="SPARQL Update text or a .ru file path"
+    )
+    update_parser.add_argument(
+        "--backend", choices=["minirel", "sqlite"], default="minirel"
+    )
+    update_parser.add_argument("--no-coloring", action="store_true",
+                               help="use hash composition instead of coloring")
+    update_parser.add_argument("--max-columns", type=int, default=100)
+    update_parser.add_argument("--quiet", action="store_true")
+    update_parser.add_argument(
+        "--wal", default=None, metavar="PATH",
+        help="write-ahead journal: replay it after load, append the commit",
+    )
+    update_parser.add_argument(
+        "--profile", action="store_true",
+        help="trace parse/apply/commit stages and print the profile",
+    )
+    update_parser.set_defaults(func=cmd_update)
 
     explain_parser = sub.add_parser("explain", help="show the generated SQL")
     common(explain_parser)

@@ -47,6 +47,10 @@ class SideMetadata:
     spill_rows: int = 0
     entities: int = 0
     rows: int = 0
+    #: predicates first seen *after* bulk load, mapped to the column the
+    #: online insert algorithm assigned them (paper §2.5): later inserts of
+    #: the same predicate prefer this column so it stays clustered.
+    online_assignments: dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "SideMetadata") -> None:
         self.multivalued |= other.multivalued
@@ -54,6 +58,8 @@ class SideMetadata:
         self.spill_rows += other.spill_rows
         self.entities += other.entities
         self.rows += other.rows
+        for predicate, column in other.online_assignments.items():
+            self.online_assignments.setdefault(predicate, column)
 
 
 @dataclass
@@ -165,6 +171,13 @@ class Loader:
         self.reverse_mapper = reverse_mapper
         self.direct_lids = _LidAllocator(DIRECT_LID_PREFIX)
         self.reverse_lids = _LidAllocator(REVERSE_LID_PREFIX)
+        # Predicates the bulk loader has seen, per side. A predicate outside
+        # this set arriving through insert_triple is *novel*: its first
+        # placement is remembered (online_*) and preferred afterwards.
+        self.bulk_direct_preds: set[str] = set()
+        self.bulk_reverse_preds: set[str] = set()
+        self.online_direct: dict[str, int] = {}
+        self.online_reverse: dict[str, int] = {}
 
     # ------------------------------------------------------------ bulk load
 
@@ -178,6 +191,7 @@ class Loader:
             self.schema.direct_columns,
             self.direct_lids,
             batch_size,
+            self.bulk_direct_preds,
         )
         reverse = self._load_side(
             _group_reverse(graph),
@@ -187,6 +201,7 @@ class Loader:
             self.schema.reverse_columns,
             self.reverse_lids,
             batch_size,
+            self.bulk_reverse_preds,
         )
         return LoadReport(triples=len(graph), direct=direct, reverse=reverse)
 
@@ -199,12 +214,15 @@ class Loader:
         width: int,
         lids: _LidAllocator,
         batch_size: int,
+        seen_predicates: set[str] | None = None,
     ) -> SideMetadata:
         meta = SideMetadata()
         primary_batch: list[list] = []
         secondary_batch: list[tuple[str, str]] = []
         for entry, grouped in grouped_entities:
             meta.entities += 1
+            if seen_predicates is not None:
+                seen_predicates.update(grouped)
             pred_values: dict[str, str] = {}
             for predicate, values in grouped.items():
                 if len(values) > 1:
@@ -234,13 +252,16 @@ class Loader:
     # ---------------------------------------------------------- incremental
 
     def insert_triple(self, triple: Triple) -> SideMetadata:
-        """Insert one triple incrementally; returns the metadata deltas."""
+        """Insert one triple incrementally; returns the metadata deltas.
+
+        ``delta.inserted`` is False for an exact duplicate, in which case
+        neither side was touched."""
         subject_key = _check_key(term_key(triple.subject))
         predicate = triple.predicate.value
         object_key = _check_key(term_key(triple.object))
 
         delta = SideMetadata()
-        self._insert_one_side(
+        inserted = self._insert_one_side(
             self.schema.dph,
             self.schema.ds,
             self.direct_mapper,
@@ -251,23 +272,31 @@ class Loader:
             predicate,
             object_key,
             delta,
+            self.bulk_direct_preds,
+            self.online_direct,
         )
         reverse_delta = SideMetadata()
-        self._insert_one_side(
-            self.schema.rph,
-            self.schema.rs,
-            self.reverse_mapper,
-            self.schema.reverse_columns,
-            self.reverse_lids,
-            REVERSE_LID_PREFIX,
-            object_key,
-            predicate,
-            subject_key,
-            reverse_delta,
-        )
+        if inserted:
+            # The direct side is authoritative for duplicate detection; a
+            # duplicate never reaches the reverse tables.
+            self._insert_one_side(
+                self.schema.rph,
+                self.schema.rs,
+                self.reverse_mapper,
+                self.schema.reverse_columns,
+                self.reverse_lids,
+                REVERSE_LID_PREFIX,
+                object_key,
+                predicate,
+                subject_key,
+                reverse_delta,
+                self.bulk_reverse_preds,
+                self.online_reverse,
+            )
         # Fold both directions into one delta for the caller; direct fields
         # keep their meaning via the two metadata objects on the store.
         delta.reverse_part = reverse_delta  # type: ignore[attr-defined]
+        delta.inserted = inserted  # type: ignore[attr-defined]
         return delta
 
     def _insert_one_side(
@@ -282,13 +311,26 @@ class Loader:
         predicate: str,
         value: str,
         delta: SideMetadata,
-    ) -> None:
+        bulk_seen: set[str],
+        online: dict[str, int],
+    ) -> bool:
         rows = self._fetch_entity_rows(primary_table, entry, width)
         candidates = [c for c in mapper.columns_for(predicate) if c < width]
         if not candidates:
             raise LoadError(
                 f"predicate {predicate!r} maps to no column below width {width}"
             )
+        # A previously assigned online column leads the candidate list so
+        # the predicate keeps landing where it first did.
+        assigned = online.get(predicate)
+        if assigned is not None and assigned in candidates and assigned != candidates[0]:
+            candidates = [assigned] + [c for c in candidates if c != assigned]
+
+        def record_assignment(column: int) -> None:
+            """First fresh-cell placement of a post-bulk novel predicate."""
+            if predicate not in bulk_seen and predicate not in online:
+                online[predicate] = column
+                delta.online_assignments[predicate] = column
 
         # Case 1: predicate already present on some row.
         for row in rows:
@@ -296,15 +338,16 @@ class Loader:
                 if row["preds"][column] == predicate:
                     existing = row["vals"][column]
                     if existing == value:
-                        return  # duplicate triple: no-op
+                        return False  # duplicate triple: no-op
                     if existing is not None and existing.startswith(lid_prefix):
-                        if not self._secondary_contains(
+                        if self._secondary_contains(
                             secondary_table, existing, value
                         ):
-                            self.backend.insert_many(
-                                secondary_table, [(existing, value)]
-                            )
-                        return
+                            return False  # already in the multi-valued set
+                        self.backend.insert_many(
+                            secondary_table, [(existing, value)]
+                        )
+                        return True
                     # Upgrade a single value to a multi-valued lid.
                     lid = lids.allocate()
                     self.backend.insert_many(
@@ -312,16 +355,17 @@ class Loader:
                     )
                     self._update_cell(primary_table, row, column, predicate, lid)
                     delta.multivalued.add(predicate)
-                    return
+                    return True
 
         # Case 2: predicate absent; place it in the first free candidate.
         for row_index, row in enumerate(rows):
             for column in candidates:
                 if row["preds"][column] is None:
                     self._update_cell(primary_table, row, column, predicate, value)
+                    record_assignment(column)
                     if row_index > 0:
                         delta.spill_predicates.add(predicate)
-                    return
+                    return True
 
         # Case 3: no free candidate anywhere; create a (spill) row.
         spill_flag = 1 if rows else 0
@@ -330,6 +374,7 @@ class Loader:
             is_target = column == candidates[0]
             new_row.append(predicate if is_target else None)
             new_row.append(value if is_target else None)
+        record_assignment(candidates[0])
         if rows:
             # Existing rows must be flagged as spilled too.
             self.backend.execute(
@@ -345,6 +390,7 @@ class Loader:
             delta.entities += 1
         self.backend.insert_many(primary_table, [new_row])
         delta.rows += 1
+        return True
 
     # -------------------------------------------------------------- delete
 

@@ -101,3 +101,15 @@ class DatasetStatistics:
             self.top_subjects[subject_key] += 1
         if object_key in self.top_objects:
             self.top_objects[object_key] += 1
+
+    def unrecord_triple(
+        self, subject_key: str, predicate: str, object_key: str
+    ) -> None:
+        """Inverse of :meth:`record_triple`, used by ``RdfStore.remove``."""
+        self.total_triples = max(0, self.total_triples - 1)
+        if predicate in self.predicate_counts:
+            self.predicate_counts[predicate] -= 1
+        if subject_key in self.top_subjects:
+            self.top_subjects[subject_key] -= 1
+        if object_key in self.top_objects:
+            self.top_objects[object_key] -= 1

@@ -13,15 +13,24 @@ SPARQL engine. Typical use::
 
 from __future__ import annotations
 
+import os
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from . import sqlfunctions  # noqa: F401  (registers RDF_* SQL functions)
 from ..backends import Backend, MiniRelBackend
 from ..rdf.graph import Graph
-from ..rdf.terms import Triple, term_key
+from ..rdf.terms import Triple, URI, term_from_key, term_key
+from ..sparql.ast import SelectQuery
 from ..sparql.engine import EngineConfig, SparqlEngine
 from ..sparql.results import SelectResult
 from ..sparql.translator.db2rdf import Db2RdfEmitter, StorageInfo
+from ..update.apply import UpdateResult, apply_update
+from ..update.ast import UpdateRequest
+from ..update.errors import TransactionError
+from ..update.parser import parse_update
+from ..update.transaction import Transaction
+from ..update.wal import WriteAheadLog
 from .coloring import color_graph_for_store
 from .loader import Loader, LoadReport, SideMetadata
 from .mapping import PredicateMapper, composed_hashes
@@ -57,6 +66,7 @@ class RdfStore:
         reverse_mapper: PredicateMapper | None = None,
         table_prefix: str = "",
         config: EngineConfig | None = None,
+        wal_path: str | os.PathLike | None = None,
     ) -> None:
         self.backend = backend if backend is not None else MiniRelBackend()
         self.schema = DB2RDFSchema(direct_columns, reverse_columns, table_prefix)
@@ -77,6 +87,11 @@ class RdfStore:
         self._engine: SparqlEngine | None = None
         #: callables receiving every finished PROFILE trace (root Span)
         self.profile_sinks: list[Sink] = []
+        #: the currently open transaction, if any (one at a time per store)
+        self._txn: Transaction | None = None
+        self._wal: WriteAheadLog | None = None
+        if wal_path is not None:
+            self.attach_wal(wal_path)
 
     # --------------------------------------------------------- construction
 
@@ -91,6 +106,7 @@ class RdfStore:
         table_prefix: str = "",
         config: EngineConfig | None = None,
         top_k_stats: int = 1000,
+        wal_path: str | os.PathLike | None = None,
     ) -> "RdfStore":
         """Build a store sized and colored for ``graph``, then bulk load it.
 
@@ -124,6 +140,10 @@ class RdfStore:
         else:
             store = cls(backend=backend, table_prefix=table_prefix, config=config)
         store.load_graph(graph, top_k_stats=top_k_stats)
+        if wal_path is not None:
+            # Attached after the bulk load so journalled incremental writes
+            # replay on top of the loaded data.
+            store.attach_wal(wal_path)
         return store
 
     # ---------------------------------------------------------------- load
@@ -139,9 +159,124 @@ class RdfStore:
         self._engine = None
         return report
 
-    def add(self, triple: Triple) -> None:
-        """Insert one triple incrementally (the dynamic-data path)."""
+    # --------------------------------------------------------------- writes
+
+    def add(self, triple: Triple) -> bool:
+        """Insert one triple incrementally (the dynamic-data path).
+
+        Inside an open transaction this joins the batch; standalone it is
+        its own single-write transaction (one epoch bump, journalled).
+        Returns False for a duplicate no-op."""
+        if self._txn is not None:
+            return self._txn.add(triple)
+        with self.transaction() as txn:
+            return txn.add(triple)
+
+    def remove(self, triple: Triple) -> bool:
+        """Delete one triple; returns False when it was not stored.
+
+        Transactional exactly like :meth:`add` — a failed standalone delete
+        commits empty and leaves cached plans warm."""
+        if self._txn is not None:
+            return self._txn.remove(triple)
+        with self.transaction() as txn:
+            return txn.remove(triple)
+
+    def transaction(self) -> Transaction:
+        """Open an atomic write batch (one at a time per store).
+
+        Inside the batch every ``add``/``remove`` is visible to queries
+        immediately, but the statistics epoch — and with it plan-cache
+        invalidation — moves only at commit, once. Rollback restores the
+        pre-transaction state without touching the epoch."""
+        if self._txn is not None:
+            raise TransactionError(
+                "a transaction is already open on this store"
+            )
+        txn = Transaction(self)
+        self._txn = txn
+        return txn
+
+    def update(self, sparql, profile: bool = False) -> UpdateResult:
+        """Execute a SPARQL Update request (text or a parsed
+        :class:`~repro.update.ast.UpdateRequest`).
+
+        The whole request runs atomically: in the caller's open
+        transaction if there is one (which then controls commit), else in
+        its own. WHERE clauses compile through the regular query pipeline
+        against the in-transaction state. With ``profile=True`` the parse,
+        per-operation apply, and commit stages are traced and the finished
+        trace is attached as ``result.profile``."""
+        if not profile:
+            return self._run_update(sparql, None)
+        tracer = Tracer("update", sinks=self.profile_sinks)
+        with tracer.root:
+            result = self._run_update(sparql, tracer)
+        result.profile = tracer.finish()
+        return result
+
+    def _run_update(self, sparql, tracer: Tracer | None) -> UpdateResult:
+        def stage(name: str):
+            return tracer.span(name) if tracer is not None else nullcontext()
+
+        if isinstance(sparql, UpdateRequest):
+            request = sparql
+        else:
+            with stage("parse"):
+                request = parse_update(sparql)
+        if self._txn is not None:
+            return apply_update(request, self._txn, tracer=tracer)
+        txn = self.transaction()
+        try:
+            result = apply_update(request, txn, tracer=tracer)
+        except BaseException:
+            txn.rollback()
+            raise
+        with stage("commit"):
+            txn.commit()
+        return result
+
+    def attach_wal(
+        self, path: str | os.PathLike, sync: bool = False
+    ) -> int:
+        """Attach a write-ahead journal and replay any committed records.
+
+        Every transaction committed afterwards appends its net delta, so a
+        crashed process can reopen the store (rebuilding or re-bulk-loading
+        its base data first) and call this to recover every committed
+        write. Returns the number of replayed operations."""
+        if self._txn is not None:
+            raise TransactionError("cannot attach a journal mid-transaction")
+        if self._wal is not None:
+            raise TransactionError("a journal is already attached")
+        wal = WriteAheadLog(path, sync=sync)
+        replayed = 0
+        for _txn_id, ops in wal.replay():
+            for tag, subject_key, predicate, object_key in ops:
+                triple = Triple(
+                    term_from_key(subject_key),
+                    URI(predicate),
+                    term_from_key(object_key),
+                )
+                if tag == "+":
+                    self._apply_add(triple)
+                else:
+                    self._apply_remove(triple)
+                replayed += 1
+        if replayed:
+            self.stats.bump_epoch()
+            self._engine = None
+        self._wal = wal
+        return replayed
+
+    # Raw single-triple writes: no transaction, no epoch bump. These are the
+    # primitives Transaction (and WAL replay) build on; everything public
+    # goes through a transaction.
+
+    def _apply_add(self, triple: Triple) -> bool:
         delta = self.loader.insert_triple(triple)
+        if not getattr(delta, "inserted", True):
+            return False
         self.direct_meta.merge(delta)
         reverse_part = getattr(delta, "reverse_part", None)
         if reverse_part is not None:
@@ -151,26 +286,24 @@ class RdfStore:
             triple.predicate.value,
             term_key(triple.object),
         )
-        self.stats.bump_epoch()
         self._engine = None
+        return True
 
-    def remove(self, triple: Triple) -> bool:
-        """Delete one triple; returns False when it was not stored."""
+    def _apply_remove(self, triple: Triple) -> bool:
         existed = self.loader.delete_triple(triple)
         if existed:
-            self.stats.total_triples = max(0, self.stats.total_triples - 1)
-            predicate = triple.predicate.value
-            if predicate in self.stats.predicate_counts:
-                self.stats.predicate_counts[predicate] -= 1
-            subject_key = term_key(triple.subject)
-            if subject_key in self.stats.top_subjects:
-                self.stats.top_subjects[subject_key] -= 1
-            object_key = term_key(triple.object)
-            if object_key in self.stats.top_objects:
-                self.stats.top_objects[object_key] -= 1
-            self.stats.bump_epoch()
+            self.stats.unrecord_triple(
+                term_key(triple.subject),
+                triple.predicate.value,
+                term_key(triple.object),
+            )
             self._engine = None
         return existed
+
+    def select(self, query: SelectQuery) -> SelectResult:
+        """Evaluate a parsed SELECT query (the update executor's read
+        hook; equivalent to :meth:`query` with a query object)."""
+        return self.engine.query(query)
 
     # --------------------------------------------------------------- query
 

@@ -1,0 +1,50 @@
+"""The SPARQL 1.1 Update subsystem: the store's transactional write path.
+
+Reads and writes share one pipeline: the WHERE clause of ``DELETE WHERE``
+and ``DELETE ... INSERT ... WHERE`` compiles through the same dataflow /
+planbuilder / translator stages as SELECT queries. On top of that sit the
+pieces a real write path needs:
+
+* :mod:`repro.update.parser` — grammar + AST for ``INSERT DATA``,
+  ``DELETE DATA``, ``DELETE WHERE`` and ``DELETE ... INSERT ... WHERE``;
+* :mod:`repro.update.transaction` — atomic batches with an undo log and
+  group commit (the stats epoch bumps once per transaction, so cached
+  plans survive until commit);
+* :mod:`repro.update.wal` — an append-only JSONL journal of committed
+  deltas that a reopened store replays for crash recovery;
+* :mod:`repro.update.apply` — the executor mapping update operations onto
+  any store-like target (the DB2RDF store and the native-memory baseline
+  share it, so differential testing covers writes).
+"""
+
+from .apply import UpdateResult, apply_update
+from .ast import (
+    DeleteData,
+    DeleteWhere,
+    InsertData,
+    Modify,
+    UpdateOperation,
+    UpdateRequest,
+)
+from .errors import TransactionError, UpdateError, UpdateSyntaxError, WalError
+from .parser import parse_update
+from .transaction import Transaction
+from .wal import WriteAheadLog
+
+__all__ = [
+    "DeleteData",
+    "DeleteWhere",
+    "InsertData",
+    "Modify",
+    "Transaction",
+    "TransactionError",
+    "UpdateError",
+    "UpdateOperation",
+    "UpdateRequest",
+    "UpdateResult",
+    "UpdateSyntaxError",
+    "WalError",
+    "WriteAheadLog",
+    "apply_update",
+    "parse_update",
+]

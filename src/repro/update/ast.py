@@ -1,0 +1,61 @@
+"""The SPARQL Update request model.
+
+A request is a ``;``-separated sequence of operations. Ground operations
+(``INSERT DATA`` / ``DELETE DATA``) carry concrete :class:`~repro.rdf.
+terms.Triple` values; pattern operations carry the same
+:class:`~repro.sparql.ast.GroupPattern` / :class:`~repro.sparql.ast.
+TriplePattern` nodes the query compiler consumes, so their WHERE clauses
+run through the ordinary read pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..rdf.terms import Triple
+from ..sparql.ast import GroupPattern, TriplePattern
+
+
+@dataclass(frozen=True)
+class InsertData:
+    """``INSERT DATA { ground triples }``"""
+
+    triples: tuple[Triple, ...]
+
+
+@dataclass(frozen=True)
+class DeleteData:
+    """``DELETE DATA { ground triples }``"""
+
+    triples: tuple[Triple, ...]
+
+
+@dataclass(eq=False)
+class DeleteWhere:
+    """``DELETE WHERE { pattern }`` — the pattern doubles as the delete
+    template, instantiated once per solution."""
+
+    pattern: GroupPattern
+
+
+@dataclass(eq=False)
+class Modify:
+    """``DELETE { ... } INSERT { ... } WHERE { ... }`` (either template
+    block may be absent). All solutions are computed first, then deletes
+    apply before inserts."""
+
+    delete_templates: tuple[TriplePattern, ...]
+    insert_templates: tuple[TriplePattern, ...]
+    where: GroupPattern
+
+
+UpdateOperation = Union[InsertData, DeleteData, DeleteWhere, Modify]
+
+
+@dataclass(eq=False)
+class UpdateRequest:
+    """One parsed update string: an ordered sequence of operations applied
+    atomically in a single transaction."""
+
+    operations: list[UpdateOperation]

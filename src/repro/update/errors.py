@@ -1,0 +1,32 @@
+"""Errors raised by the write path.
+
+``UpdateSyntaxError`` inherits from both :class:`~repro.core.errors.
+StoreError` (the repro hierarchy) and :class:`~repro.sparql.parser.
+SparqlSyntaxError` (itself a ``ValueError``), so callers can catch
+malformed updates at whichever level they already handle.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import StoreError
+from ..sparql.parser import SparqlSyntaxError
+
+
+class UpdateError(StoreError):
+    """Base class for write-path failures."""
+
+
+class UpdateSyntaxError(UpdateError, SparqlSyntaxError):
+    """Malformed SPARQL Update text (variable in a DATA block, unterminated
+    quad block, unknown operation, ...)."""
+
+
+class TransactionError(UpdateError):
+    """Invalid transaction usage: nesting, reuse after commit/rollback,
+    attaching a journal mid-transaction."""
+
+
+class WalError(UpdateError):
+    """The write-ahead journal is unreadable (corrupt interior record or
+    unknown operation tag). A torn *final* line is tolerated silently — it
+    is the expected shape of a crash mid-append."""

@@ -1,0 +1,147 @@
+"""A recursive-descent parser for the SPARQL 1.1 Update subset:
+``INSERT DATA``, ``DELETE DATA``, ``DELETE WHERE``, and
+``DELETE ... INSERT ... WHERE``, with ``;``-separated sequences and the
+shared PREFIX/BASE prologue.
+
+It extends the query parser's machinery (tokenizer, term and group
+productions), so templates and WHERE clauses accept exactly the syntax
+queries do. ``INSERT``/``DELETE``/``DATA`` are *not* reserved words in the
+query grammar; they are matched case-insensitively against plain NAME
+tokens here so the query tokenizer stays untouched.
+"""
+
+from __future__ import annotations
+
+from ..rdf.terms import BNode, Literal, Triple, URI
+from ..sparql.ast import GroupPattern, TriplePattern, Var
+from ..sparql.parser import SparqlSyntaxError, _Parser
+from .ast import (
+    DeleteData,
+    DeleteWhere,
+    InsertData,
+    Modify,
+    UpdateRequest,
+)
+from .errors import UpdateSyntaxError
+
+
+class _UpdateParser(_Parser):
+    # ------------------------------------------------------ word matching
+
+    def _at_word(self, word: str) -> bool:
+        token = self.current
+        return token.kind in ("NAME", "KEYWORD") and token.text.upper() == word
+
+    def _accept_word(self, word: str) -> bool:
+        if self._at_word(word):
+            self.advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            raise UpdateSyntaxError(f"expected {word}, found {self.current}")
+
+    # ------------------------------------------------------------ request
+
+    def parse_request(self) -> UpdateRequest:
+        self._parse_prologue()
+        operations = [self._parse_operation()]
+        while self.accept("OP", ";"):
+            if self.current.kind == "EOF":
+                break  # trailing separator
+            self._parse_prologue()  # each operation may add prefixes
+            operations.append(self._parse_operation())
+        if self.current.kind != "EOF":
+            raise UpdateSyntaxError(f"trailing tokens: {self.current}")
+        return UpdateRequest(operations)
+
+    def _parse_operation(self):
+        if self._accept_word("INSERT"):
+            if self._accept_word("DATA"):
+                return InsertData(self._parse_ground_block("INSERT DATA"))
+            templates = self._parse_template_block("INSERT")
+            self._expect_word("WHERE")
+            return Modify((), templates, self._parse_group())
+        if self._accept_word("DELETE"):
+            if self._accept_word("DATA"):
+                return DeleteData(self._parse_ground_block("DELETE DATA"))
+            if self._at_word("WHERE"):
+                self.advance()
+                pattern = self._parse_group()
+                self._check_template_pattern(pattern, "DELETE WHERE")
+                return DeleteWhere(pattern)
+            deletes = self._parse_template_block("DELETE")
+            inserts: tuple[TriplePattern, ...] = ()
+            if self._accept_word("INSERT"):
+                inserts = self._parse_template_block("INSERT")
+            self._expect_word("WHERE")
+            return Modify(deletes, inserts, self._parse_group())
+        raise UpdateSyntaxError(
+            f"expected an update operation (INSERT or DELETE), "
+            f"found {self.current}"
+        )
+
+    # ------------------------------------------------------------- blocks
+
+    def _parse_template_block(self, context: str) -> tuple[TriplePattern, ...]:
+        """A ``{ triples }`` template: triple patterns only — no FILTER,
+        OPTIONAL, UNION, or nested groups."""
+        group = self._parse_group()
+        self._check_template_pattern(group, context)
+        return tuple(group.elements)
+
+    def _check_template_pattern(self, group: GroupPattern, context: str) -> None:
+        if group.filters:
+            raise UpdateSyntaxError(
+                f"{context} templates cannot contain FILTER expressions"
+            )
+        for element in group.elements:
+            if not isinstance(element, TriplePattern):
+                raise UpdateSyntaxError(
+                    f"{context} templates allow only triple patterns, "
+                    f"found {type(element).__name__}"
+                )
+
+    def _parse_ground_block(self, context: str) -> tuple[Triple, ...]:
+        """A ``{ triples }`` block of *ground* triples (no variables)."""
+        templates = self._parse_template_block(context)
+        triples = []
+        for pattern in templates:
+            for position, role in (
+                (pattern.subject, "subject"),
+                (pattern.predicate, "predicate"),
+                (pattern.object, "object"),
+            ):
+                if isinstance(position, Var):
+                    raise UpdateSyntaxError(
+                        f"{context} requires ground triples; "
+                        f"found variable ?{position.name} in {role} position"
+                    )
+            if isinstance(pattern.subject, Literal):
+                raise UpdateSyntaxError(
+                    f"{context}: a literal cannot be a subject "
+                    f"({pattern.subject.n3()})"
+                )
+            assert isinstance(pattern.predicate, URI)
+            assert isinstance(pattern.subject, (URI, BNode))
+            triples.append(
+                Triple(pattern.subject, pattern.predicate, pattern.object)
+            )
+        return tuple(triples)
+
+
+def parse_update(text: str) -> UpdateRequest:
+    """Parse a SPARQL Update string into an :class:`UpdateRequest`.
+
+    All syntax failures raise :class:`~repro.update.errors.
+    UpdateSyntaxError` (a :class:`~repro.core.errors.StoreError` *and* a
+    ``ValueError``), including those detected by the shared query-grammar
+    productions.
+    """
+    try:
+        return _UpdateParser(text).parse_request()
+    except UpdateSyntaxError:
+        raise
+    except SparqlSyntaxError as exc:
+        raise UpdateSyntaxError(str(exc)) from exc

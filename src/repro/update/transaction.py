@@ -1,0 +1,130 @@
+"""Atomic write batches with an undo log and group commit.
+
+The transaction applies writes to the store *eagerly* — each ``add`` /
+``remove`` lands in the DPH/DS/RPH/RS tables immediately, so WHERE
+clauses of later operations in the same request see earlier effects —
+while recording an undo entry per effective change. ``rollback`` replays
+the undo log in reverse; ``commit`` journals the net delta to the WAL (if
+one is attached) and bumps the statistics epoch exactly once, which is
+what lets cached query plans stay warm across a thousand-triple batch
+instead of being invalidated a thousand times.
+
+A transaction that changed nothing commits without bumping the epoch at
+all: failed deletes and duplicate inserts keep the plan cache warm.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..rdf.terms import Triple, term_key
+from ..sparql.ast import SelectQuery
+from ..sparql.results import SelectResult
+from .errors import TransactionError
+from .wal import WalOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.store import RdfStore
+
+
+class Transaction:
+    """One atomic batch of writes against an :class:`RdfStore`.
+
+    Created via :meth:`RdfStore.transaction`; usable as a context manager
+    (commit on clean exit, rollback on exception) or driven manually::
+
+        with store.transaction() as txn:
+            txn.add(triple)
+            txn.remove(other)
+        # committed: epoch bumped once, delta journalled
+
+    Also a valid :class:`~repro.update.apply.WriteTarget`, so
+    :func:`~repro.update.apply.apply_update` can execute a whole parsed
+    update request inside one transaction.
+    """
+
+    def __init__(self, store: "RdfStore") -> None:
+        self.store = store
+        self.state = "open"  # open | committed | rolled-back
+        #: inverse operations, applied in reverse on rollback
+        self._undo: list[tuple[str, Triple]] = []
+        #: the net journal record, in apply order
+        self._ops: list[WalOp] = []
+
+    # ------------------------------------------------------------- writes
+
+    def _check_open(self) -> None:
+        if self.state != "open":
+            raise TransactionError(f"transaction already {self.state}")
+
+    def add(self, triple: Triple) -> bool:
+        """Insert ``triple``; returns False for a duplicate no-op."""
+        self._check_open()
+        if not self.store._apply_add(triple):
+            return False
+        self._undo.append(("remove", triple))
+        self._ops.append(("+", *_keys(triple)))
+        return True
+
+    def remove(self, triple: Triple) -> bool:
+        """Delete ``triple``; returns False when it was absent."""
+        self._check_open()
+        if not self.store._apply_remove(triple):
+            return False
+        self._undo.append(("add", triple))
+        self._ops.append(("-", *_keys(triple)))
+        return True
+
+    def select(self, query: SelectQuery) -> SelectResult:
+        """Evaluate a WHERE clause against the in-transaction state."""
+        self._check_open()
+        return self.store.engine.query(query)
+
+    # ------------------------------------------------------------ closing
+
+    def commit(self) -> None:
+        """Publish the batch: journal the delta, bump the epoch once."""
+        self._check_open()
+        self.state = "committed"
+        self.store._txn = None
+        if not self._ops:
+            return  # nothing changed: cached plans stay valid
+        if self.store._wal is not None:
+            self.store._wal.append(self._ops)
+        self.store.stats.bump_epoch()
+        self.store._engine = None
+
+    def rollback(self) -> None:
+        """Undo every effective write of this transaction, newest first.
+
+        The epoch is *not* bumped: a rolled-back transaction never
+        happened, so plans cached before it remain exactly as valid."""
+        self._check_open()
+        self.state = "rolled-back"
+        self.store._txn = None
+        for action, triple in reversed(self._undo):
+            if action == "add":
+                self.store._apply_add(triple)
+            else:
+                self.store._apply_remove(triple)
+
+    # ----------------------------------------------------- context manager
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state != "open":
+            return  # committed/rolled back manually inside the block
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+
+def _keys(triple: Triple) -> tuple[str, str, str]:
+    return (
+        term_key(triple.subject),
+        triple.predicate.value,
+        term_key(triple.object),
+    )

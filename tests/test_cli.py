@@ -104,6 +104,64 @@ class TestOtherCommands:
         assert "DPH columns:          32" in capsys.readouterr().out
 
 
+class TestUpdateCommand:
+    def test_update_inline(self, nt_file, capsys):
+        code = main(
+            [
+                "update",
+                nt_file,
+                "INSERT DATA { <http://e/c> <http://e/p> <http://e/d> }",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "+1 / -0 triples" in err
+        assert "store now holds 2 triples" in err
+
+    def test_update_from_ru_file(self, nt_file, tmp_path, capsys):
+        update_file = tmp_path / "w.ru"
+        update_file.write_text("DELETE WHERE { ?s <http://e/p> ?o }")
+        assert main(["update", nt_file, str(update_file), "--quiet"]) == 0
+        assert "-1 triples" in capsys.readouterr().err
+
+    def test_update_wal_round_trip(self, nt_file, tmp_path, capsys):
+        wal = str(tmp_path / "j.wal")
+        assert main(
+            [
+                "update",
+                nt_file,
+                "INSERT DATA { <http://e/c> <http://e/p> <http://e/d> }",
+                "--wal",
+                wal,
+                "--quiet",
+            ]
+        ) == 0
+        capsys.readouterr()
+        # A later process replays the journal before querying.
+        assert main(["update", nt_file, "DELETE DATA { <http://e/x> <http://e/p> <http://e/y> }",
+                     "--wal", wal]) == 0
+        assert "store now holds 2 triples" in capsys.readouterr().err
+
+    def test_update_profile(self, nt_file, capsys):
+        assert main(
+            [
+                "update",
+                nt_file,
+                "INSERT { ?s <http://e/q> ?o } WHERE { ?s <http://e/p> ?o }",
+                "--quiet",
+                "--profile",
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "apply.Modify" in err and "commit" in err
+
+    def test_malformed_update_raises_typed_error(self, nt_file):
+        from repro import UpdateSyntaxError
+
+        with pytest.raises(UpdateSyntaxError):
+            main(["update", nt_file, "INSERT DATA { ?s <p> <o> }", "--quiet"])
+
+
 class TestProfileAndPlan:
     QUERY = (
         "PREFIX ex: <http://e/> SELECT ?who WHERE "

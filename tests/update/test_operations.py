@@ -1,0 +1,168 @@
+"""Update operations end to end, on both backends and the native baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RdfStore, SqliteBackend
+from repro.baselines.native_memory import NativeMemoryStore
+
+from ..conftest import figure1_graph
+
+
+def db2rdf_store(backend_name: str) -> RdfStore:
+    backend = SqliteBackend() if backend_name == "sqlite" else None
+    return RdfStore.from_graph(figure1_graph(), backend=backend)
+
+
+def every_engine(backend_name: str):
+    if backend_name == "native":
+        return NativeMemoryStore.from_graph(figure1_graph())
+    return db2rdf_store(backend_name)
+
+
+ENGINES = ["minirel", "sqlite", "native"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestOperations:
+    def test_insert_data(self, engine):
+        store = every_engine(engine)
+        result = store.update(
+            'INSERT DATA { <Ada> <founder> <Analytical_Engines> . '
+            '<Ada> <born> "1815" }'
+        )
+        assert (result.inserted, result.deleted) == (2, 0)
+        rows = store.query("SELECT ?x ?y WHERE { ?x <founder> ?y }").key_rows()
+        assert ("Ada", "Analytical_Engines") in rows
+
+    def test_insert_data_duplicate_counts_zero(self, engine):
+        store = every_engine(engine)
+        result = store.update("INSERT DATA { <IBM> <industry> <Software> }")
+        assert result.inserted == 0
+
+    def test_delete_data(self, engine):
+        store = every_engine(engine)
+        result = store.update(
+            "DELETE DATA { <Larry_Page> <founder> <Google> . "
+            "<missing> <p> <o> }"
+        )
+        assert result.deleted == 1
+        rows = store.query("SELECT ?x ?y WHERE { ?x <founder> ?y }").key_rows()
+        assert ("Larry_Page", "Google") not in rows
+
+    def test_delete_where(self, engine):
+        store = every_engine(engine)
+        result = store.update("DELETE WHERE { ?x <industry> ?y }")
+        assert result.deleted == 5  # Google x2 + IBM x3
+        assert len(store.query("SELECT ?x WHERE { ?x <industry> ?y }")) == 0
+
+    def test_delete_where_join(self, engine):
+        store = every_engine(engine)
+        # Only founders of Software companies lose their founder edge.
+        store.update(
+            "DELETE { ?x <founder> ?y } "
+            "WHERE { ?x <founder> ?y . ?y <industry> <Software> }"
+        )
+        rows = store.query("SELECT ?x ?y WHERE { ?x <founder> ?y }").key_rows()
+        assert rows == []
+
+    def test_modify_rename_predicate(self, engine):
+        store = every_engine(engine)
+        result = store.update(
+            "DELETE { ?x <founder> ?y } INSERT { ?x <foundedBy> ?y } "
+            "WHERE { ?x <founder> ?y }"
+        )
+        assert result.inserted == result.deleted == 2
+        assert len(store.query("SELECT ?x WHERE { ?x <founder> ?y }")) == 0
+        renamed = store.query(
+            "SELECT ?x ?y WHERE { ?x <foundedBy> ?y }"
+        ).canonical()
+        assert renamed == [
+            ("Charles_Flint", "IBM"),
+            ("Larry_Page", "Google"),
+        ]
+
+    def test_insert_where_derives_new_triples(self, engine):
+        store = every_engine(engine)
+        store.update(
+            "INSERT { ?y <foundedBy> ?x } WHERE { ?x <founder> ?y }"
+        )
+        rows = store.query("SELECT ?y ?x WHERE { ?y <foundedBy> ?x }").canonical()
+        assert rows == [("Google", "Larry_Page"), ("IBM", "Charles_Flint")]
+
+    def test_operation_sequence_is_ordered(self, engine):
+        store = every_engine(engine)
+        store.update(
+            "INSERT DATA { <a> <p> <b> } ;\n"
+            "DELETE WHERE { <a> <p> ?o } ;\n"
+            "INSERT DATA { <a> <p> <c> }"
+        )
+        rows = store.query("SELECT ?o WHERE { <a> <p> ?o }").canonical()
+        assert rows == [("c",)]
+
+    def test_novel_predicate_queryable_without_reload(self, engine):
+        """The paper's dynamic-data claim: a predicate the bulk loader never
+        saw becomes queryable immediately after an online insert."""
+        store = every_engine(engine)
+        store.update('INSERT DATA { <Android> <license> "Apache-2.0" }')
+        result = store.query("SELECT ?s ?l WHERE { ?s <license> ?l }")
+        assert result.canonical() == [("Android", '"Apache-2.0"')]
+        # ... and joins against bulk-loaded predicates work too.
+        joined = store.query(
+            "SELECT ?k WHERE { ?s <license> ?l . ?s <kernel> ?k }"
+        )
+        assert joined.canonical() == [("Linux",)]
+
+
+MUTATION = (
+    "DELETE { ?x <industry> ?y } INSERT { ?x <sector> ?y } "
+    "WHERE { ?x <industry> ?y . ?x <employees> ?n } ;"
+    "INSERT DATA { <Android> <license> <Apache> } ;"
+    "DELETE WHERE { <Larry_Page> <board> ?y }"
+)
+
+PROBES = [
+    "SELECT ?x ?y WHERE { ?x <sector> ?y }",
+    "SELECT ?x ?y WHERE { ?x <industry> ?y }",
+    "SELECT ?s ?o WHERE { ?s <license> ?o }",
+    "SELECT ?x WHERE { ?x <board> ?y }",
+    "SELECT ?x ?n WHERE { ?x <sector> <Software> . ?x <employees> ?n }",
+]
+
+
+def test_modify_round_trips_identically_across_engines():
+    """Acceptance: one DELETE..INSERT..WHERE request leaves minirel, sqlite,
+    and the native baseline in observably identical states."""
+    stores = {name: every_engine(name) for name in ENGINES}
+    summaries = set()
+    for store in stores.values():
+        result = store.update(MUTATION)
+        summaries.add((result.inserted, result.deleted))
+    assert len(summaries) == 1  # same counts everywhere
+    for probe in PROBES:
+        answers = {
+            name: tuple(store.query(probe).canonical())
+            for name, store in stores.items()
+        }
+        assert answers["minirel"] == answers["sqlite"] == answers["native"], (
+            probe,
+            answers,
+        )
+
+
+def test_update_profile_traces_stages(fig1_graph):
+    store = RdfStore.from_graph(fig1_graph)
+    result = store.update(
+        "DELETE { ?x <founder> ?y } INSERT { ?x <foundedBy> ?y } "
+        "WHERE { ?x <founder> ?y }",
+        profile=True,
+    )
+    assert result.profile is not None
+    names = [span.name for span in result.profile.children]
+    assert names == ["parse", "apply.Modify", "commit"]
+    sinks_seen = []
+    store.profile_sinks.append(sinks_seen.append)
+    store.update('INSERT DATA { <a> <p> "x" }', profile=True)
+    assert len(sinks_seen) == 1
+    assert sinks_seen[0].name == "update"

@@ -1,0 +1,173 @@
+"""Grammar coverage and typed-error guarantees for the update parser."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Triple, URI, parse_update
+from repro.core.errors import StoreError
+from repro.sparql.ast import GroupPattern, TriplePattern, Var
+from repro.update import (
+    DeleteData,
+    DeleteWhere,
+    InsertData,
+    Modify,
+    UpdateSyntaxError,
+)
+
+
+class TestGrammar:
+    def test_insert_data(self):
+        request = parse_update(
+            'INSERT DATA { <s> <p> <o> . <s> <p2> "lit" }'
+        )
+        assert len(request.operations) == 1
+        op = request.operations[0]
+        assert isinstance(op, InsertData)
+        assert op.triples[0] == Triple(URI("s"), URI("p"), URI("o"))
+        assert len(op.triples) == 2
+
+    def test_insert_data_with_prefix(self):
+        request = parse_update(
+            "PREFIX ex: <http://example.org/>\n"
+            "INSERT DATA { ex:s ex:p ex:o }"
+        )
+        op = request.operations[0]
+        assert op.triples[0].subject == URI("http://example.org/s")
+
+    def test_delete_data(self):
+        request = parse_update("DELETE DATA { <s> <p> <o> }")
+        assert isinstance(request.operations[0], DeleteData)
+
+    def test_delete_where(self):
+        request = parse_update("DELETE WHERE { ?s <p> ?o . ?o <q> ?v }")
+        op = request.operations[0]
+        assert isinstance(op, DeleteWhere)
+        assert isinstance(op.pattern, GroupPattern)
+        assert len(op.pattern.elements) == 2
+
+    def test_modify_full(self):
+        request = parse_update(
+            "DELETE { ?s <old> ?o } INSERT { ?s <new> ?o } "
+            "WHERE { ?s <old> ?o }"
+        )
+        op = request.operations[0]
+        assert isinstance(op, Modify)
+        assert len(op.delete_templates) == 1
+        assert len(op.insert_templates) == 1
+        template = op.insert_templates[0]
+        assert isinstance(template, TriplePattern)
+        assert template.subject == Var("s")
+        assert template.predicate == URI("new")
+        assert template.object == Var("o")
+
+    def test_insert_where_only(self):
+        op = parse_update(
+            "INSERT { ?s <copy> ?o } WHERE { ?s <p> ?o }"
+        ).operations[0]
+        assert isinstance(op, Modify)
+        assert op.delete_templates == ()
+
+    def test_delete_where_templates_only(self):
+        op = parse_update(
+            "DELETE { ?s <p> ?o } WHERE { ?s <p> ?o }"
+        ).operations[0]
+        assert isinstance(op, Modify)
+        assert op.insert_templates == ()
+
+    def test_keywords_case_insensitive(self):
+        request = parse_update('insert data { <s> <p> "x" }')
+        assert isinstance(request.operations[0], InsertData)
+
+    def test_operation_sequence(self):
+        request = parse_update(
+            "INSERT DATA { <a> <p> <b> } ;\n"
+            "DELETE DATA { <c> <p> <d> } ;\n"
+            "DELETE WHERE { ?s <p> ?o } ;"  # trailing ; is legal
+        )
+        kinds = [type(op) for op in request.operations]
+        assert kinds == [InsertData, DeleteData, DeleteWhere]
+
+    def test_prefix_between_operations(self):
+        request = parse_update(
+            "INSERT DATA { <a> <p> <b> } ;\n"
+            "PREFIX ex: <http://example.org/>\n"
+            "INSERT DATA { ex:c ex:p ex:d }"
+        )
+        assert request.operations[1].triples[0].predicate == URI(
+            "http://example.org/p"
+        )
+
+
+class TestTypedErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",  # no operation at all
+            "SELECT ?s WHERE { ?s ?p ?o }",  # a query is not an update
+            "INSERT DATA { ?s <p> <o> }",  # variable in ground block
+            "DELETE DATA { <s> ?p <o> }",
+            'INSERT DATA { "lit" <p> <o> }',  # literal subject
+            "INSERT DATA { <s> <p> <o> ",  # unterminated block
+            "INSERT DATA { <s> <p> }",  # malformed triple
+            "INSERT DATA { <s> <p> <o> } garbage",  # trailing tokens
+            "INSERT { ?s <p> ?o }",  # missing WHERE
+            "DELETE { ?s <p> ?o } INSERT { ?s <q> ?o }",  # missing WHERE
+            "INSERT DATA { <s> <p> <o> . FILTER(?x) }",  # FILTER in template
+            "DELETE WHERE { { ?s <p> ?o } UNION { ?s <q> ?o } }",
+            "DELETE { ?s <p> ?o } WHERE { ?s <p> ?o } extra ;",
+            "UPSERT DATA { <s> <p> <o> }",  # unknown verb
+        ],
+    )
+    def test_malformed_raises_update_syntax_error(self, text):
+        with pytest.raises(UpdateSyntaxError):
+            parse_update(text)
+
+    def test_error_is_store_error_and_value_error(self):
+        with pytest.raises(StoreError):
+            parse_update("INSERT DATA { ?s <p> <o> }")
+        with pytest.raises(ValueError):
+            parse_update("INSERT DATA { ?s <p> <o> }")
+
+    def test_error_names_the_offending_position(self):
+        with pytest.raises(UpdateSyntaxError, match="subject"):
+            parse_update("DELETE DATA { ?s <p> <o> }")
+        with pytest.raises(UpdateSyntaxError, match="literal"):
+            parse_update('DELETE DATA { "x" <p> <o> }')
+
+
+class TestFuzz:
+    """Random mutations of valid updates must fail *typed*, never with an
+    unexpected exception class or a hang."""
+
+    SEEDS = [
+        'INSERT DATA { <s> <p> "o" . <s2> <p2> <o2> }',
+        "DELETE WHERE { ?s <p> ?o }",
+        "DELETE { ?s <p> ?o } INSERT { ?s <q> ?o } WHERE { ?s <p> ?o }",
+        "PREFIX ex: <http://e/> INSERT DATA { ex:a ex:b ex:c }",
+    ]
+
+    def test_mutated_updates_raise_only_update_syntax_error(self):
+        rng = random.Random(20260806)
+        alphabet = '{}<>?";.INSERTDELWHA '
+        for seed_text in self.SEEDS:
+            for _ in range(250):
+                chars = list(seed_text)
+                for _ in range(rng.randint(1, 4)):
+                    mutation = rng.randrange(3)
+                    position = rng.randrange(len(chars))
+                    if mutation == 0:
+                        del chars[position]
+                    elif mutation == 1:
+                        chars.insert(position, rng.choice(alphabet))
+                    else:
+                        chars[position] = rng.choice(alphabet)
+                mutated = "".join(chars)
+                try:
+                    request = parse_update(mutated)
+                except UpdateSyntaxError:
+                    continue
+                # Still parseable: must be a structurally sound request.
+                assert request.operations

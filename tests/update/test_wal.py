@@ -1,0 +1,130 @@
+"""The write-ahead journal: durability, replay, and torn-tail tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import RdfStore, Triple, URI
+from repro.update import TransactionError, WalError, WriteAheadLog
+
+from ..conftest import figure1_graph
+
+QUERY = "SELECT ?x ?y WHERE { ?x <founder> ?y }"
+
+
+def t(subject: str, predicate: str, obj: str) -> Triple:
+    return Triple(URI(subject), URI(predicate), URI(obj))
+
+
+class TestJournal:
+    def test_append_then_replay(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "j.wal")
+        assert wal.append([("+", "a", "p", "b")]) == 1
+        assert wal.append([("-", "a", "p", "b"), ("+", "c", "p", "d")]) == 2
+        replayed = list(WriteAheadLog(tmp_path / "j.wal").replay())
+        assert replayed == [
+            (1, [("+", "a", "p", "b")]),
+            (2, [("-", "a", "p", "b"), ("+", "c", "p", "d")]),
+        ]
+
+    def test_txn_ids_continue_after_reopen(self, tmp_path):
+        path = tmp_path / "j.wal"
+        WriteAheadLog(path).append([("+", "a", "p", "b")])
+        assert WriteAheadLog(path).append([("+", "c", "p", "d")]) == 2
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = tmp_path / "j.wal"
+        WriteAheadLog(path).append([("+", "a", "p", "b")])
+        with open(path, "a") as handle:
+            handle.write('{"txn": 2, "ops": [["+", "c", "p"')  # crash mid-write
+        assert list(WriteAheadLog(path).replay()) == [(1, [("+", "a", "p", "b")])]
+        # ... and appending after recovery reuses the torn record's slot
+        assert WriteAheadLog(path).append([("+", "x", "p", "y")]) == 2
+
+    def test_corrupt_interior_record_raises(self, tmp_path):
+        path = tmp_path / "j.wal"
+        wal = WriteAheadLog(path)
+        wal.append([("+", "a", "p", "b")])
+        wal.append([("+", "c", "p", "d")])
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-8]  # damage a NON-final record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WalError):
+            list(WriteAheadLog(path).replay())
+
+    def test_unknown_operation_tag_raises(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.write_text(
+            json.dumps({"txn": 1, "ops": [["*", "a", "p", "b"]]}) + "\n"
+            + json.dumps({"txn": 2, "ops": []}) + "\n"
+        )
+        with pytest.raises(WalError):
+            list(WriteAheadLog(path).replay())
+
+
+class TestStoreRecovery:
+    def test_crash_and_reopen_replays_committed_txns(self, tmp_path):
+        """The acceptance scenario: kill a store, rebuild from the same
+        base data + journal, and observe every committed write again."""
+        path = tmp_path / "store.wal"
+        store = RdfStore.from_graph(figure1_graph(), wal_path=path)
+        with store.transaction() as txn:
+            txn.add(t("Ada", "founder", "Analytical_Engines"))
+            txn.remove(t("Larry_Page", "founder", "Google"))
+        store.update('INSERT DATA { <Grace> <founder> <COBOL_Inc> }')
+        expected = store.query(QUERY).canonical()
+        del store  # "crash"
+
+        reopened = RdfStore.from_graph(figure1_graph(), wal_path=path)
+        assert reopened.query(QUERY).canonical() == expected
+        rows = reopened.query(QUERY).key_rows()
+        assert ("Ada", "Analytical_Engines") in rows
+        assert ("Grace", "COBOL_Inc") in rows
+        assert ("Larry_Page", "Google") not in rows
+
+    def test_rolled_back_txn_never_reaches_the_journal(self, tmp_path):
+        path = tmp_path / "store.wal"
+        store = RdfStore.from_graph(figure1_graph(), wal_path=path)
+        with pytest.raises(RuntimeError):
+            with store.transaction() as txn:
+                txn.add(t("ghost", "p", "x"))
+                raise RuntimeError("abort")
+        store.add(t("real", "p", "x"))
+        reopened = RdfStore.from_graph(figure1_graph(), wal_path=path)
+        assert reopened.ask("ASK { <real> <p> <x> }")
+        assert not reopened.ask("ASK { <ghost> <p> <x> }")
+
+    def test_replay_bumps_epoch_once(self, tmp_path):
+        path = tmp_path / "store.wal"
+        store = RdfStore.from_graph(figure1_graph(), wal_path=path)
+        for i in range(5):
+            store.add(t(f"s{i}", "p", f"o{i}"))
+
+        reopened = RdfStore.from_graph(figure1_graph())
+        epoch = reopened.stats.epoch
+        assert reopened.attach_wal(path) == 5
+        assert reopened.stats.epoch == epoch + 1
+
+    def test_literals_round_trip_through_the_journal(self, tmp_path):
+        path = tmp_path / "store.wal"
+        store = RdfStore.from_graph(figure1_graph(), wal_path=path)
+        store.update(
+            'INSERT DATA { <s> <p> "plain" . <s> <q> "typed"^^<http://t> }'
+        )
+        reopened = RdfStore.from_graph(figure1_graph(), wal_path=path)
+        result = reopened.query("SELECT ?o WHERE { <s> ?p ?o }")
+        assert sorted(result.canonical()) == [
+            ('"plain"',),
+            ('"typed"^^<http://t>',),
+        ]
+
+    def test_attach_errors(self, tmp_path):
+        store = RdfStore.from_graph(figure1_graph(), wal_path=tmp_path / "a.wal")
+        with pytest.raises(TransactionError):
+            store.attach_wal(tmp_path / "b.wal")  # already attached
+        other = RdfStore.from_graph(figure1_graph())
+        with other.transaction():
+            with pytest.raises(TransactionError):
+                other.attach_wal(tmp_path / "c.wal")  # mid-transaction
