@@ -1,0 +1,110 @@
+"""E14 — guardrail overhead: budgets off must be free, on must be cheap.
+
+The execution guardrails (per-query deadline, output-row and
+intermediate-row ceilings) are threaded through every operator loop of the
+minirel executor and the sqlite progress handler. That plumbing is only
+acceptable if an *unguarded* query — no timeout, no ceilings — costs the
+same as the hand-inlined pre-guardrail pipeline: a single ``None`` check
+in the hot loop, nothing more. The claim gated here: guardrails-off
+overhead stays under 3%.
+
+Methodology matches ``bench_observe``: the three modes (inlined baseline,
+guardrails off, guardrails on with generous limits) run in interleaved
+rounds and compare on their minimum latency, so scheduler noise hits every
+mode equally.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.resilience import BudgetExceededError
+from repro.rdf.terms import term_from_key
+from repro.workloads import microbench
+
+from conftest import record_metric, report
+
+QUERIES = microbench.queries()
+ROUNDS = 60
+MAX_OFF_OVERHEAD = 0.03
+
+
+def _baseline(store, sparql):
+    """The pre-guardrail query pipeline, hand-inlined: compile_cached →
+    execute → decode with no budget anywhere on the stack."""
+    engine = store.engine
+    plan = engine.compile_cached(sparql)
+    compiled, variables = plan.sql, list(plan.variables)
+    columns, raw_rows = engine.backend.execute(compiled)
+    width = len(variables)
+    return [
+        tuple(None if key is None else term_from_key(key) for key in row[:width])
+        for row in raw_rows
+    ]
+
+
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
+
+
+def test_guardrail_overhead(micro_stores, micro_data, benchmark):
+    """Guardrails off must add < 3% over the hand-inlined pipeline."""
+    store = micro_stores["DB2RDF"]
+    sparql = QUERIES["Q2"]
+    modes = {
+        "baseline": lambda: _baseline(store, sparql),
+        "off": lambda: store.query(sparql),
+        "on": lambda: store.query(
+            sparql,
+            timeout=60.0,
+            max_rows=10_000_000,
+            max_intermediate_rows=1_000_000_000,
+        ),
+    }
+    for run in modes.values():  # warm the plan cache before measuring
+        run()
+
+    def measure():
+        best = {name: float("inf") for name in modes}
+        for _ in range(ROUNDS):
+            for name, run in modes.items():
+                best[name] = min(best[name], _timed(run))
+        return best
+
+    best = benchmark.pedantic(measure, rounds=1, iterations=1)
+    off_overhead = best["off"] / best["baseline"] - 1
+    on_overhead = best["on"] / best["baseline"] - 1
+    report(
+        f"E14 — guardrail overhead on Q2 ({micro_data.triples} triples, "
+        f"min of {ROUNDS} interleaved rounds)",
+        "\n".join(
+            [
+                f"{'mode':<10}{'min (ms)':>10}{'overhead':>10}",
+                f"{'baseline':<10}{best['baseline'] * 1e3:>10.3f}{'':>10}",
+                f"{'off':<10}{best['off'] * 1e3:>10.3f}"
+                f"{off_overhead * 100:>9.1f}%",
+                f"{'on':<10}{best['on'] * 1e3:>10.3f}"
+                f"{on_overhead * 100:>9.1f}%",
+            ]
+        ),
+    )
+    record_metric("guardrails_off_overhead", off_overhead)
+    record_metric("guardrails_on_overhead", on_overhead)
+    assert off_overhead < MAX_OFF_OVERHEAD, (
+        f"guardrails-off overhead {off_overhead * 100:.1f}% exceeds "
+        f"{MAX_OFF_OVERHEAD * 100:.0f}% — the unguarded hot path regressed"
+    )
+
+
+def test_guardrails_enforce_on_the_bench_store(micro_stores):
+    """Sanity on real benchmark data: the ceilings actually bite."""
+    store = micro_stores["DB2RDF"]
+    sparql = QUERIES["Q2"]
+    rows = len(store.query(sparql))
+    assert rows > 1
+    with pytest.raises(BudgetExceededError):
+        store.query(sparql, max_rows=rows - 1)

@@ -11,6 +11,9 @@ Reads ``benchmarks/out/results.json`` (written by the benches through
 * ``update_warm_cache_retention`` — queries interleaved inside one write
   transaction must keep hitting the warm plan cache (group commit bumps
   the epoch once); the floor is 90% and the measure is deterministic.
+* ``guardrails_off_overhead`` — the execution guardrails (deadline / row
+  budgets) must stay free when unset: under 3% over the hand-inlined
+  pre-guardrail pipeline.
 
 Stdlib only; exits nonzero with one line per failure.
 """
@@ -23,6 +26,7 @@ import pathlib
 MIN_WARM_COMPILE_SPEEDUP = 10.0
 MAX_PROFILE_OFF_OVERHEAD = 0.05
 MIN_UPDATE_CACHE_RETENTION = 0.9
+MAX_GUARDRAILS_OFF_OVERHEAD = 0.03
 
 RESULTS = pathlib.Path(__file__).parent / "out" / "results.json"
 
@@ -70,9 +74,25 @@ def main() -> int:
         print(f"ok: update_warm_cache_retention {retention * 100:.0f}% "
               f"(floor {MIN_UPDATE_CACHE_RETENTION * 100:.0f}%)")
 
+    guard_off = metrics.get("guardrails_off_overhead")
+    if guard_off is None:
+        failures.append("guardrails_off_overhead was not recorded")
+    elif guard_off > MAX_GUARDRAILS_OFF_OVERHEAD:
+        failures.append(
+            f"guardrails_off_overhead {guard_off * 100:.1f}% > "
+            f"{MAX_GUARDRAILS_OFF_OVERHEAD * 100:.0f}% ceiling"
+        )
+    else:
+        print(f"ok: guardrails_off_overhead {guard_off * 100:.1f}% "
+              f"(ceiling {MAX_GUARDRAILS_OFF_OVERHEAD * 100:.0f}%)")
+
     on_overhead = metrics.get("profile_on_overhead")
     if on_overhead is not None:  # informational, not gated
         print(f"info: profile_on_overhead {on_overhead * 100:.1f}%")
+
+    guard_on = metrics.get("guardrails_on_overhead")
+    if guard_on is not None:  # informational, not gated
+        print(f"info: guardrails_on_overhead {guard_on * 100:.1f}%")
 
     batched_speedup = metrics.get("update_batched_speedup")
     if batched_speedup is not None:  # informational, not gated

@@ -12,9 +12,22 @@ Public surface::
 
 from .backends import Backend, MiniRelBackend, SqliteBackend
 from .core import (
+    Budget,
+    BudgetExceededError,
+    ChaosBackend,
+    CircuitBreaker,
+    CircuitOpenError,
     DatasetStatistics,
+    Fault,
+    FaultPlan,
+    GuardrailError,
+    QueryTimeoutError,
     RdfStore,
+    ResilientBackend,
+    RetryPolicy,
+    SimulatedCrash,
     StoreReport,
+    TransientFaultError,
     UnsupportedQueryError,
 )
 from .rdf import BNode, Graph, Literal, Namespace, Triple, URI
@@ -26,16 +39,29 @@ __version__ = "1.0.0"
 __all__ = [
     "BNode",
     "Backend",
+    "Budget",
+    "BudgetExceededError",
+    "ChaosBackend",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "DatasetStatistics",
     "EngineConfig",
+    "Fault",
+    "FaultPlan",
     "Graph",
+    "GuardrailError",
     "Literal",
     "MiniRelBackend",
     "Namespace",
+    "QueryTimeoutError",
     "RdfStore",
+    "ResilientBackend",
+    "RetryPolicy",
     "SelectResult",
+    "SimulatedCrash",
     "SqliteBackend",
     "StoreReport",
+    "TransientFaultError",
     "Triple",
     "URI",
     "UnsupportedQueryError",

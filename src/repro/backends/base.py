@@ -71,12 +71,19 @@ class Backend(abc.ABC):
 
     @abc.abstractmethod
     def execute(
-        self, statement: ast.Statement | str, timeout: float | None = None
+        self,
+        statement: ast.Statement | str,
+        timeout: float | None = None,
+        budget: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         """Run a statement; returns (column names, rows).
 
         ``timeout`` is in seconds; expiry raises
         :class:`repro.relational.errors.QueryTimeout` on either backend.
+        ``budget`` is an optional guardrail object (duck-typed,
+        :class:`repro.core.resilience.Budget`): its deadline and
+        intermediate-row ceiling are enforced cooperatively during
+        execution and trips raise the typed guardrail errors.
         """
 
     @abc.abstractmethod
@@ -92,6 +99,7 @@ class Backend(abc.ABC):
         statement: ast.Statement | str,
         timeout: float | None = None,
         tracer: Any = None,
+        budget: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         """Run a statement under a tracer (``repro.core.observe.Tracer``).
 
@@ -103,9 +111,9 @@ class Backend(abc.ABC):
         plain :meth:`execute`.
         """
         if tracer is None or not tracer.enabled:
-            return self.execute(statement, timeout=timeout)
+            return self.execute(statement, timeout=timeout, budget=budget)
         with tracer.span(f"{self.name}.execute") as span:
-            columns, rows = self.execute(statement, timeout=timeout)
+            columns, rows = self.execute(statement, timeout=timeout, budget=budget)
             span.set("rows_out", len(rows))
         return columns, rows
 

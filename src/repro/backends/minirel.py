@@ -37,10 +37,13 @@ class MiniRelBackend(Backend):
         return self.db.insert(table_name, rows)
 
     def execute(
-        self, statement: ast.Statement | str, timeout: float | None = None
+        self,
+        statement: ast.Statement | str,
+        timeout: float | None = None,
+        budget: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         deadline = time.monotonic() + timeout if timeout is not None else None
-        result = self.db.execute(statement, deadline=deadline)
+        result = self.db.execute(statement, deadline=deadline, budget=budget)
         return result.columns, result.rows
 
     def execute_profiled(
@@ -48,14 +51,17 @@ class MiniRelBackend(Backend):
         statement: ast.Statement | str,
         timeout: float | None = None,
         tracer: Any = None,
+        budget: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         """Execute with the planner metering every operator iterator
         (scans, joins, filters, set ops, CTEs) into the trace."""
         if tracer is None or not tracer.enabled:
-            return self.execute(statement, timeout=timeout)
+            return self.execute(statement, timeout=timeout, budget=budget)
         deadline = time.monotonic() + timeout if timeout is not None else None
         with tracer.span(f"{self.name}.execute") as span:
-            result = self.db.execute(statement, deadline=deadline, trace=span)
+            result = self.db.execute(
+                statement, deadline=deadline, trace=span, budget=budget
+            )
             span.set("rows_out", len(result.rows))
         return result.columns, result.rows
 

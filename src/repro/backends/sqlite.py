@@ -25,6 +25,12 @@ class SqliteBackend(Backend):
 
     name = "sqlite"
 
+    #: VM instructions between progress-handler firings (deadline checks)
+    PROGRESS_OPS = 10_000
+    #: finer granularity when an intermediate-row budget is active: each
+    #: firing counts as one work unit against ``max_intermediate_rows``
+    PROGRESS_OPS_BUDGET = 1_000
+
     def __init__(self, path: str = ":memory:") -> None:
         self.connection = sqlite3.connect(path)
         self.connection.execute("PRAGMA synchronous=OFF")
@@ -74,28 +80,56 @@ class SqliteBackend(Backend):
         return len(materialized)
 
     def execute(
-        self, statement: ast.Statement | str, timeout: float | None = None
+        self,
+        statement: ast.Statement | str,
+        timeout: float | None = None,
+        budget: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         self._register_functions()  # pick up late registrations
         # sql_text memoizes rendering per AST instance: a warm plan-cache hit
         # executes the same AST object repeatedly and skips re-rendering too.
         sql = statement if isinstance(statement, str) else self.sql_text(statement)
-        if timeout is not None:
-            deadline = time.monotonic() + timeout
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        work_cap = None
+        if budget is not None:
+            if deadline is None:
+                deadline = budget.deadline
+            # Best-effort intermediate budget: sqlite cannot count operator
+            # rows, so each progress firing (one per PROGRESS_OPS_BUDGET VM
+            # instructions) counts as one work unit against the ceiling.
+            work_cap = budget.max_intermediate_rows
+        guarded = deadline is not None or work_cap is not None
+        if guarded:
 
             def _checker() -> int:
-                return 1 if time.monotonic() > deadline else 0
+                if work_cap is not None:
+                    budget.ticks += 1
+                    if budget.ticks > work_cap:
+                        budget.tripped = "intermediate"
+                        return 1
+                if deadline is not None and time.monotonic() > deadline:
+                    if budget is not None:
+                        budget.tripped = "timeout"
+                    return 1
+                return 0
 
-            self.connection.set_progress_handler(_checker, 10_000)
+            ops = (
+                self.PROGRESS_OPS_BUDGET
+                if work_cap is not None
+                else self.PROGRESS_OPS
+            )
+            self.connection.set_progress_handler(_checker, ops)
         try:
             cursor = self.connection.execute(sql)
             rows = cursor.fetchall()
         except sqlite3.OperationalError as exc:
             if "interrupted" in str(exc):
+                if budget is not None and budget.tripped is not None:
+                    budget.raise_tripped(exc)
                 raise QueryTimeout("sqlite query exceeded its deadline") from exc
             raise
         finally:
-            if timeout is not None:
+            if guarded:
                 self.connection.set_progress_handler(None, 0)
         columns = [d[0] for d in cursor.description] if cursor.description else []
         return columns, rows
@@ -105,15 +139,16 @@ class SqliteBackend(Backend):
         statement: ast.Statement | str,
         timeout: float | None = None,
         tracer: Any = None,
+        budget: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         """Execute with sqlite's own plan attached: an ``EXPLAIN QUERY
         PLAN`` span (one child per plan node) plus the result rowcount."""
         if tracer is None or not tracer.enabled:
-            return self.execute(statement, timeout=timeout)
+            return self.execute(statement, timeout=timeout, budget=budget)
         with tracer.span(f"{self.name}.execute") as span:
             with tracer.span("explain-query-plan") as plan_span:
                 plan_span.set("plan", self.explain_query_plan(statement))
-            columns, rows = self.execute(statement, timeout=timeout)
+            columns, rows = self.execute(statement, timeout=timeout, budget=budget)
             span.set("rows_out", len(rows))
         return columns, rows
 

@@ -19,13 +19,23 @@ from typing import Iterable
 
 from .backends import SqliteBackend
 from .core.observe import render_profile
+from .core.resilience import BudgetExceededError
 from .core.store import RdfStore
+from .relational.errors import QueryTimeout
 from .sparql.engine import EngineConfig
 from .rdf.graph import Graph
 from .rdf.ntriples import parse as parse_ntriples
 from .rdf.turtle import parse_turtle
+from .sparql.parser import SparqlSyntaxError
 from .sparql.results import SelectResult
 from .sparql.serialize import FORMATTERS
+from .update.errors import WalError
+
+#: typed-error exit codes — stable, scriptable contract (documented in README)
+EXIT_SYNTAX = 2
+EXIT_TIMEOUT = 3
+EXIT_BUDGET = 4
+EXIT_WAL = 5
 
 
 def load_graph(paths: Iterable[str]) -> Graph:
@@ -102,7 +112,12 @@ def cmd_query(args: argparse.Namespace) -> int:
     result = None
     for _ in range(repeats):
         started = time.perf_counter()
-        result = store.query(sparql, timeout=args.timeout, profile=profile)
+        result = store.query(
+            sparql,
+            timeout=args.timeout,
+            max_rows=args.max_rows,
+            profile=profile,
+        )
         timings.append(time.perf_counter() - started)
     print_result(result, args.format)
     if profile and result.profile is not None:
@@ -208,7 +223,10 @@ def cmd_shell(args: argparse.Namespace) -> int:
         if line.startswith("\\profile "):
             try:
                 result = store.query(
-                    line[len("\\profile "):], timeout=args.timeout, profile=True
+                    line[len("\\profile "):],
+                    timeout=args.timeout,
+                    max_rows=args.max_rows,
+                    profile=True,
                 )
                 print_result(result)
                 print(render_profile(result.profile), file=sys.stderr)
@@ -224,7 +242,9 @@ def cmd_shell(args: argparse.Namespace) -> int:
         buffer = []
         try:
             started = time.perf_counter()
-            result = store.query(sparql, timeout=args.timeout)
+            result = store.query(
+                sparql, timeout=args.timeout, max_rows=args.max_rows
+            )
             elapsed = time.perf_counter() - started
             print_result(result)
             print(f"# {len(result)} rows in {elapsed * 1000:.1f} ms",
@@ -253,6 +273,8 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-columns", type=int, default=100)
         p.add_argument("--timeout", type=float, default=None,
                        help="query timeout in seconds")
+        p.add_argument("--max-rows", type=int, default=None,
+                       help="fail queries returning more than N result rows")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the query plan cache")
         p.add_argument("--quiet", action="store_true")
@@ -323,10 +345,29 @@ def make_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Typed errors map to stable exit codes instead of tracebacks:
+    syntax errors (query or update) → 2, query timeouts → 3, budget
+    trips (``--max-rows``) → 4, journal corruption → 5. Anything else is
+    a genuine bug and propagates with its traceback.
+    """
     parser = make_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BudgetExceededError as exc:
+        print(f"error (budget): {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except QueryTimeout as exc:
+        print(f"error (timeout): {exc}", file=sys.stderr)
+        return EXIT_TIMEOUT
+    except WalError as exc:
+        print(f"error (wal): {exc}", file=sys.stderr)
+        return EXIT_WAL
+    except SparqlSyntaxError as exc:
+        print(f"error (syntax): {exc}", file=sys.stderr)
+        return EXIT_SYNTAX
 
 
 if __name__ == "__main__":

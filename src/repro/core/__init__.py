@@ -30,13 +30,33 @@ from .querycache import (
     QueryCache,
     canonicalize_sparql,
 )
+from .resilience import (
+    Budget,
+    BudgetExceededError,
+    ChaosBackend,
+    CircuitBreaker,
+    CircuitOpenError,
+    Fault,
+    FaultPlan,
+    GuardrailError,
+    QueryTimeoutError,
+    ResilientBackend,
+    RetryPolicy,
+    SimulatedCrash,
+    TransientFaultError,
+)
 from .schema import DB2RDFSchema
 from .stats import DatasetStatistics
 from .store import RdfStore, StoreReport
 
 __all__ = [
+    "Budget",
+    "BudgetExceededError",
     "CacheInfo",
     "CachedPlan",
+    "ChaosBackend",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ColoringMapper",
     "ColoringResult",
     "CompositeMapper",
@@ -44,18 +64,26 @@ __all__ = [
     "DatasetStatistics",
     "QueryCache",
     "ExplicitMapper",
+    "Fault",
+    "FaultPlan",
+    "GuardrailError",
     "HashMapper",
     "InterferenceGraph",
     "LoadError",
     "LoadReport",
     "Loader",
     "PredicateMapper",
+    "QueryTimeoutError",
     "RdfStore",
+    "ResilientBackend",
+    "RetryPolicy",
     "SideMetadata",
+    "SimulatedCrash",
     "Span",
     "StoreError",
     "StoreReport",
     "Tracer",
+    "TransientFaultError",
     "UnsupportedQueryError",
     "build_interference_graph",
     "canonicalize_sparql",

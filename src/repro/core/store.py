@@ -36,6 +36,7 @@ from .loader import Loader, LoadReport, SideMetadata
 from .mapping import PredicateMapper, composed_hashes
 from .observe import Sink, Span, Tracer
 from .querycache import CacheInfo, QueryCache
+from .resilience import Budget
 from .schema import DB2RDFSchema
 from .stats import DatasetStatistics
 
@@ -237,19 +238,27 @@ class RdfStore:
         return result
 
     def attach_wal(
-        self, path: str | os.PathLike, sync: bool = False
+        self,
+        path: str | os.PathLike,
+        sync: bool = False,
+        max_record_bytes: int | None = None,
     ) -> int:
         """Attach a write-ahead journal and replay any committed records.
 
         Every transaction committed afterwards appends its net delta, so a
         crashed process can reopen the store (rebuilding or re-bulk-loading
         its base data first) and call this to recover every committed
-        write. Returns the number of replayed operations."""
+        write. ``max_record_bytes`` bounds any single journal record during
+        replay (a corrupt or hostile journal cannot balloon memory).
+        Returns the number of replayed operations."""
         if self._txn is not None:
             raise TransactionError("cannot attach a journal mid-transaction")
         if self._wal is not None:
             raise TransactionError("a journal is already attached")
-        wal = WriteAheadLog(path, sync=sync)
+        if max_record_bytes is None:
+            wal = WriteAheadLog(path, sync=sync)
+        else:
+            wal = WriteAheadLog(path, sync=sync, max_record_bytes=max_record_bytes)
         replayed = 0
         for _txn_id, ops in wal.replay():
             for tag, subject_key, predicate, object_key in ops:
@@ -332,10 +341,22 @@ class RdfStore:
         self,
         sparql,
         timeout: float | None = None,
+        max_rows: int | None = None,
+        max_intermediate_rows: int | None = None,
         profile: bool = False,
     ) -> SelectResult:
         """Evaluate a SPARQL SELECT query (text or a parsed/rewritten
         query object, e.g. from :mod:`repro.sparql.inference`).
+
+        Execution guardrails: ``timeout`` (seconds of wall clock,
+        :class:`~repro.core.resilience.QueryTimeoutError` on expiry),
+        ``max_rows`` (ceiling on result rows), and
+        ``max_intermediate_rows`` (ceiling on rows materialized by
+        intermediate operators — on sqlite a best-effort VM work-unit
+        proxy), the latter two raising
+        :class:`~repro.core.resilience.BudgetExceededError`. All three are
+        enforced cooperatively inside the backends; a query with no
+        guardrails set pays no per-row cost.
 
         With ``profile=True`` the whole pipeline runs under a tracer —
         compile stages, plan-cache outcome, and per-operator
@@ -344,17 +365,40 @@ class RdfStore:
         :func:`repro.core.observe.render_profile`) after being delivered to
         every sink in :attr:`profile_sinks`.
         """
+        budget = None
+        if (
+            timeout is not None
+            or max_rows is not None
+            or max_intermediate_rows is not None
+        ):
+            budget = Budget(
+                timeout=timeout,
+                max_rows=max_rows,
+                max_intermediate_rows=max_intermediate_rows,
+            )
         if not profile:
-            return self.engine.query(sparql, timeout=timeout)
+            return self.engine.query(sparql, budget=budget)
         tracer = Tracer("query", sinks=self.profile_sinks)
         with tracer.root:
-            result = self.engine.query(sparql, timeout=timeout, tracer=tracer)
+            result = self.engine.query(sparql, tracer=tracer, budget=budget)
         result.profile = tracer.finish()
         return result
 
-    def profile(self, sparql, timeout: float | None = None) -> Span:
+    def profile(
+        self,
+        sparql,
+        timeout: float | None = None,
+        max_rows: int | None = None,
+        max_intermediate_rows: int | None = None,
+    ) -> Span:
         """Run a query in PROFILE mode and return just the trace root."""
-        return self.query(sparql, timeout=timeout, profile=True).profile
+        return self.query(
+            sparql,
+            timeout=timeout,
+            max_rows=max_rows,
+            max_intermediate_rows=max_intermediate_rows,
+            profile=True,
+        ).profile
 
     def ask(self, sparql: str, timeout: float | None = None) -> bool:
         """Evaluate a SPARQL ASK query."""

@@ -85,6 +85,7 @@ class Database:
         statement: ast.Statement | str,
         deadline: float | None = None,
         trace: Any = None,
+        budget: Any = None,
     ) -> "QueryResult":
         """Run a statement (AST node or SQL text); returns a QueryResult.
 
@@ -92,7 +93,9 @@ class Database:
         cooperatively abort with :class:`QueryTimeout` once it passes.
         ``trace`` is an optional parent span (duck-typed, see
         ``repro.core.observe``) under which the planner reports
-        per-operator rows-in/rows-out and timings.
+        per-operator rows-in/rows-out and timings. ``budget`` is an
+        optional guardrail object (duck-typed,
+        ``repro.core.resilience.Budget``) ticked by every operator loop.
         """
         from .planner import run_statement  # deferred: planner imports catalog
 
@@ -101,11 +104,11 @@ class Database:
 
             results: QueryResult | None = None
             for parsed in parse_sql(statement):
-                results = run_statement(self, parsed, deadline, trace)
+                results = run_statement(self, parsed, deadline, trace, budget)
             if results is None:
                 raise CatalogError("empty SQL script")
             return results
-        return run_statement(self, statement, deadline, trace)
+        return run_statement(self, statement, deadline, trace, budget)
 
 
 class QueryResult:

@@ -20,21 +20,45 @@ Row = tuple
 
 
 class Ticker:
-    """Cooperative deadline: cheap counter, occasional clock check."""
+    """Cooperative guardrails: cheap counters, occasional clock check.
+
+    ``budget`` is duck-typed (``repro.core.resilience.Budget`` or None):
+    every tick counts one intermediate row against
+    ``budget.max_intermediate_rows``, and deadline expiry defers to
+    ``budget.trip("timeout")`` so the store-level typed error is raised.
+    With no budget and no deadline a tick is a single None check — the
+    guardrails-off hot path stays untouched.
+    """
 
     CHECK_EVERY = 4096
 
-    def __init__(self, deadline: float | None) -> None:
+    def __init__(self, deadline: float | None, budget: Any = None) -> None:
+        if deadline is None and budget is not None:
+            deadline = budget.deadline
         self.deadline = deadline
+        self.budget = budget
+        #: False when nothing is guarded: tick() returns on one check, the
+        #: same cost as the pre-guardrail deadline-only fast path
+        self.active = deadline is not None or budget is not None
         self._count = 0
 
     def tick(self) -> None:
+        if not self.active:
+            return
+        budget = self.budget
+        if budget is not None:
+            budget.ticks += 1
+            cap = budget.max_intermediate_rows
+            if cap is not None and budget.ticks > cap:
+                budget.trip("intermediate")
         if self.deadline is None:
             return
         self._count += 1
         if self._count >= self.CHECK_EVERY:
             self._count = 0
             if time.monotonic() > self.deadline:
+                if budget is not None:
+                    budget.trip("timeout")
                 raise QueryTimeout("query exceeded its deadline")
 
 

@@ -50,6 +50,7 @@ def run_statement(
     statement: ast.Statement,
     deadline: float | None = None,
     trace: Any = None,
+    budget: Any = None,
 ) -> QueryResult:
     """Execute any statement against ``db``.
 
@@ -58,9 +59,13 @@ def run_statement(
     / ``count``). When supplied, every operator the planner builds reports
     rows-in/rows-out and inclusive time under it; when ``None`` (the
     default) the operator pipelines are exactly the uninstrumented ones.
+    ``budget`` (duck-typed, ``repro.core.resilience.Budget``) threads
+    per-query guardrails into every operator's :class:`Ticker`.
     """
     if isinstance(statement, (ast.Select, ast.SetOp, ast.With)):
-        return Planner(db, deadline, trace=trace).execute_query(statement)
+        return Planner(
+            db, deadline, trace=trace, budget=budget
+        ).execute_query(statement)
     if isinstance(statement, ast.CreateTable):
         db.create_table(
             statement.name,
@@ -157,10 +162,12 @@ class Planner:
         deadline: float | None = None,
         cte_env: dict[str, QueryResult] | None = None,
         trace: Any = None,
+        budget: Any = None,
     ) -> None:
         self.db = db
-        self.ticker = Ticker(deadline)
+        self.ticker = Ticker(deadline, budget)
         self.deadline = deadline
+        self.budget = budget
         self.cte_env: dict[str, QueryResult] = dict(cte_env or {})
         #: parent span for operators planned next (None = tracing off)
         self.trace = trace
@@ -169,7 +176,13 @@ class Planner:
 
     def execute_query(self, query: ast.Query) -> QueryResult:
         if isinstance(query, ast.With):
-            inner = Planner(self.db, self.deadline, self.cte_env, trace=self.trace)
+            inner = Planner(
+                self.db,
+                self.deadline,
+                self.cte_env,
+                trace=self.trace,
+                budget=self.budget,
+            )
             for name, cte_query in query.ctes:
                 if inner.trace is not None:
                     with self.trace.child(f"cte {name}") as cte_span:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import Any
 
 from ..backends.base import Backend
 from ..core.observe import Tracer
@@ -230,16 +231,21 @@ class SparqlEngine:
         sparql: "str | SelectQuery | AskQuery",
         timeout: float | None = None,
         tracer: Tracer | None = None,
+        budget: Any = None,
     ) -> SelectResult:
         if tracer is not None and tracer.enabled:
-            return self._query_traced(sparql, timeout, tracer)
+            return self._query_traced(sparql, timeout, tracer, budget)
         if isinstance(sparql, str) and self.cache.enabled:
             plan = self.compile_cached(sparql)
             compiled, variables = plan.sql, list(plan.variables)
         else:
             compiled, select = self.compile(sparql)
             variables = select.projected_variables()
-        columns, raw_rows = self.backend.execute(compiled, timeout=timeout)
+        columns, raw_rows = self.backend.execute(
+            compiled, timeout=timeout, budget=budget
+        )
+        if budget is not None:
+            budget.enforce_output(len(raw_rows))
         width = len(variables)  # drop any trailing marker column (ASK)
         rows: list[tuple[Term | None, ...]] = [
             tuple(
@@ -255,6 +261,7 @@ class SparqlEngine:
         sparql: "str | SelectQuery | AskQuery",
         timeout: float | None,
         tracer: Tracer,
+        budget: Any = None,
     ) -> SelectResult:
         """The PROFILE path: same pipeline as :meth:`query`, with spans
         around compile / execute / decode and per-operator metering in the
@@ -268,9 +275,19 @@ class SparqlEngine:
                 compiled, select, _ = self._compile_stages(sparql, tracer)
                 variables = select.projected_variables()
         with tracer.span("execute", backend=self.backend.name) as span:
-            columns, raw_rows = self.backend.execute_profiled(
-                compiled, timeout=timeout, tracer=tracer
-            )
+            try:
+                columns, raw_rows = self.backend.execute_profiled(
+                    compiled, timeout=timeout, tracer=tracer, budget=budget
+                )
+            finally:
+                # Guardrail trips surface as span counters even when the
+                # trip aborts the query mid-span.
+                if budget is not None:
+                    span.set("budget_ticks", budget.ticks)
+                    if budget.tripped is not None:
+                        span.set("guardrail", budget.tripped)
+            if budget is not None:
+                budget.enforce_output(len(raw_rows))
             span.set("rows_out", len(raw_rows))
         with tracer.span("decode") as span:
             width = len(variables)

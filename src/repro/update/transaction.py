@@ -83,7 +83,15 @@ class Transaction:
     # ------------------------------------------------------------ closing
 
     def commit(self) -> None:
-        """Publish the batch: journal the delta, bump the epoch once."""
+        """Publish the batch: journal the delta, bump the epoch once.
+
+        Crash-ordering contract (proven step-by-step by
+        ``tests/update/test_crash_matrix.py``): the in-memory apply already
+        happened eagerly, so the only durability point is the WAL append.
+        A crash anywhere before the journal record is complete recovers to
+        the pre-transaction state on replay; once the record is durable,
+        recovery yields the post-transaction state — never anything in
+        between."""
         self._check_open()
         self.state = "committed"
         self.store._txn = None

@@ -16,6 +16,10 @@ literals in N3), the same canonical encoding the dictionary tables and
 cross-engine comparisons use. A torn *final* line — the footprint of a
 crash mid-append — is tolerated and ignored on replay; a corrupt interior
 record means real damage and raises :class:`~repro.update.errors.WalError`.
+
+Replay streams the journal record by record: memory is bounded by the
+largest single record, never the journal size, and ``max_record_bytes``
+caps even that so a corrupt length cannot balloon the process.
 """
 
 from __future__ import annotations
@@ -23,12 +27,16 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from .errors import WalError
 
 #: one journalled operation: ("+"/"-", subject key, predicate IRI, object key)
 WalOp = tuple[str, str, str, str]
+
+#: default ceiling on a single journal record (16 MiB) — far above any real
+#: commit, low enough that a corrupt record cannot exhaust memory on replay
+DEFAULT_MAX_RECORD_BYTES = 16 * 1024 * 1024
 
 
 class WriteAheadLog:
@@ -37,15 +45,32 @@ class WriteAheadLog:
     ``sync=True`` adds an ``fsync`` per append for true crash durability;
     the default flushes only, which survives process death but not power
     loss — the right trade for tests and benchmarks.
+
+    ``fault_hook``, when set, is called as ``hook(step, payload)`` at each
+    append step boundary (``append.start`` / ``append.write`` /
+    ``append.flush`` / ``append.fsync``) and may raise to simulate a crash
+    at exactly that point — the seam the crash-consistency harness drives.
     """
 
-    def __init__(self, path: str | os.PathLike, sync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        sync: bool = False,
+        max_record_bytes: int = DEFAULT_MAX_RECORD_BYTES,
+        fault_hook: Callable[[str, dict[str, Any]], None] | None = None,
+    ) -> None:
         self.path = Path(path)
         self.sync = sync
+        self.max_record_bytes = max_record_bytes
+        self.fault_hook = fault_hook
         self._next_txn = 1
         if self.path.exists():
             for txn_id, _ in self.replay():
                 self._next_txn = txn_id + 1
+
+    def _fire(self, step: str, **payload: Any) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(step, payload)
 
     def append(self, ops: Sequence[WalOp]) -> int:
         """Journal one committed transaction; returns its id."""
@@ -54,42 +79,77 @@ class WriteAheadLog:
             {"txn": txn_id, "ops": [list(op) for op in ops]},
             separators=(",", ":"),
         )
+        data = record + "\n"
+        self._fire("append.start", txn=txn_id)
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(record + "\n")
+            self._fire("append.write", txn=txn_id, data=data, handle=handle)
+            handle.write(data)
+            self._fire("append.flush", txn=txn_id)
             handle.flush()
             if self.sync:
+                self._fire("append.fsync", txn=txn_id)
                 os.fsync(handle.fileno())
         self._next_txn = txn_id + 1
         return txn_id
 
     def replay(self) -> Iterator[tuple[int, list[WalOp]]]:
-        """Yield ``(txn_id, ops)`` for every committed record, in order."""
+        """Yield ``(txn_id, ops)`` for every committed record, in order.
+
+        Streams one line at a time — the journal is never read whole into
+        memory — and refuses any record longer than ``max_record_bytes``.
+        """
         if not self.path.exists():
             return
+        limit = self.max_record_bytes
         with open(self.path, "r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for index, line in enumerate(lines):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            last = index == len(lines) - 1
-            try:
-                record = json.loads(stripped)
-                txn_id = record["txn"]
-                ops = [
-                    (str(tag), str(s), str(p), str(o))
-                    for tag, s, p, o in record["ops"]
-                ]
-            except (ValueError, KeyError, TypeError) as exc:
-                if last:
-                    return  # torn tail: the crash the journal exists for
-                raise WalError(
-                    f"corrupt journal record at {self.path}:{index + 1}: {exc}"
-                ) from exc
-            for op in ops:
-                if op[0] not in ("+", "-"):
+            index = 0
+            while True:
+                # readline with a cap: a line that comes back longer than
+                # the limit (no newline within it) is an oversized record.
+                line = handle.readline(limit + 1)
+                if not line:
+                    return
+                index += 1
+                if len(line) > limit and not line.endswith("\n"):
                     raise WalError(
-                        f"unknown operation tag {op[0]!r} "
-                        f"at {self.path}:{index + 1}"
+                        f"journal record at {self.path}:{index} exceeds "
+                        f"max_record_bytes={limit}"
                     )
-            yield txn_id, ops
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                    txn_id = record["txn"]
+                    ops = [
+                        (str(tag), str(s), str(p), str(o))
+                        for tag, s, p, o in record["ops"]
+                    ]
+                except (ValueError, KeyError, TypeError) as exc:
+                    if self._rest_is_blank(handle):
+                        return  # torn tail: the crash the journal exists for
+                    raise WalError(
+                        f"corrupt journal record at {self.path}:{index}: {exc}"
+                    ) from exc
+                for op in ops:
+                    if op[0] not in ("+", "-"):
+                        raise WalError(
+                            f"unknown operation tag {op[0]!r} "
+                            f"at {self.path}:{index}"
+                        )
+                yield txn_id, ops
+
+    @staticmethod
+    def _rest_is_blank(handle: Any) -> bool:
+        """True when nothing but whitespace follows the current position —
+        i.e. the record just rejected was the journal's final line."""
+        position = handle.tell()
+        try:
+            while True:
+                chunk = handle.read(8192)
+                if not chunk:
+                    return True
+                if chunk.strip():
+                    return False
+        finally:
+            handle.seek(position)

@@ -1,8 +1,19 @@
 """Command-line interface."""
 
+import os
+import pathlib
+import subprocess
+import sys
+
 import pytest
 
-from repro.cli import main
+from repro.cli import (
+    EXIT_BUDGET,
+    EXIT_SYNTAX,
+    EXIT_TIMEOUT,
+    EXIT_WAL,
+    main,
+)
 
 
 @pytest.fixture
@@ -155,11 +166,83 @@ class TestUpdateCommand:
         err = capsys.readouterr().err
         assert "apply.Modify" in err and "commit" in err
 
-    def test_malformed_update_raises_typed_error(self, nt_file):
-        from repro import UpdateSyntaxError
+    def test_malformed_update_exits_with_syntax_code(self, nt_file, capsys):
+        code = main(
+            ["update", nt_file, "INSERT DATA { ?s <p> <o> }", "--quiet"]
+        )
+        assert code == EXIT_SYNTAX
+        assert "error (syntax):" in capsys.readouterr().err
 
-        with pytest.raises(UpdateSyntaxError):
-            main(["update", nt_file, "INSERT DATA { ?s <p> <o> }", "--quiet"])
+
+class TestExitCodes:
+    """Typed errors map to stable exit codes with one-line messages."""
+
+    # Wide enough that both engines reach a deadline check even over the
+    # four-triple fixture (minirel checks every 4096 ticks; sqlite every
+    # 10k VM instructions).
+    HEAVY = "SELECT ?a ?b WHERE { " + " . ".join(
+        f"?v{i} ?p{i} ?o{i}" for i in range(8)
+    ).replace("?v0 ", "?a ").replace("?v1 ", "?b ") + " }"
+
+    def test_syntax_error_exits_2(self, data_file, capsys):
+        code = main(["query", data_file, "SELECT WHERE {", "--quiet"])
+        assert code == EXIT_SYNTAX
+        err = capsys.readouterr().err
+        assert "error (syntax):" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("backend", ["minirel", "sqlite"])
+    def test_timeout_exits_3(self, data_file, backend, capsys):
+        code = main(
+            ["query", data_file, self.HEAVY, "--quiet",
+             "--timeout", "-1", "--backend", backend]
+        )
+        assert code == EXIT_TIMEOUT
+        assert "error (timeout):" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("backend", ["minirel", "sqlite"])
+    def test_budget_exits_4(self, data_file, backend, capsys):
+        code = main(
+            ["query", data_file, "SELECT ?s WHERE { ?s ?p ?o }", "--quiet",
+             "--max-rows", "1", "--backend", backend]
+        )
+        assert code == EXIT_BUDGET
+        assert "error (budget):" in capsys.readouterr().err
+
+    def test_corrupt_wal_exits_5(self, nt_file, tmp_path, capsys):
+        wal = tmp_path / "j.wal"
+        wal.write_text(
+            '{"txn": 1, "ops": [["bogus"]]}\n{"txn": 2, "ops": []}\n'
+        )
+        code = main(
+            ["query", nt_file, "SELECT ?s WHERE { ?s ?p ?o }", "--quiet",
+             "--wal", str(wal)]
+        )
+        assert code == EXIT_WAL
+        assert "error (wal):" in capsys.readouterr().err
+
+    def test_max_rows_at_limit_passes(self, data_file, capsys):
+        code = main(
+            ["query", data_file, "SELECT ?s WHERE { ?s ?p ?o }", "--quiet",
+             "--max-rows", "100"]
+        )
+        assert code == 0
+
+    def test_exit_codes_reach_the_shell(self, data_file):
+        """End-to-end through a real interpreter: the code crosses the
+        process boundary and no traceback leaks to stderr."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            pathlib.Path(__file__).resolve().parents[1] / "src"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "query", data_file,
+             "SELECT ?s WHERE { ?s ?p ?o }", "--quiet", "--max-rows", "1"],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == EXIT_BUDGET
+        assert "error (budget):" in proc.stderr
+        assert "Traceback" not in proc.stderr
 
 
 class TestProfileAndPlan:

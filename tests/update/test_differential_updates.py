@@ -10,12 +10,23 @@ all fall out of the vocabulary being tiny relative to the sequence length.
 
 from __future__ import annotations
 
+import os
+
 from hypothesis import given, settings, strategies as st
 
-from repro import RdfStore, SqliteBackend
+from repro import MiniRelBackend, RdfStore, SqliteBackend
 from repro.baselines.native_memory import NativeMemoryStore
+from repro.core.resilience import (
+    ChaosBackend,
+    CircuitBreaker,
+    FaultPlan,
+    ResilientBackend,
+    RetryPolicy,
+)
 
 from ..conftest import figure1_graph
+
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
 
 SUBJECTS = ["Google", "IBM", "Android", "Larry_Page", "Newco"]
 PREDICATES = ["industry", "founder", "employees", "fresh_pred"]
@@ -66,6 +77,68 @@ def test_random_update_sequences_agree_across_engines(statements):
         "sqlite": RdfStore.from_graph(figure1_graph(), backend=SqliteBackend()),
         "native": NativeMemoryStore.from_graph(figure1_graph()),
     }
+    for step, text in enumerate(statements):
+        counts = {
+            name: (result.inserted, result.deleted)
+            for name, result in (
+                (name, store.update(text)) for name, store in stores.items()
+            )
+        }
+        assert counts["minirel"] == counts["sqlite"] == counts["native"], (
+            step,
+            text,
+            counts,
+        )
+        for probe in PROBES:
+            answers = {
+                name: tuple(store.query(probe).canonical())
+                for name, store in stores.items()
+            }
+            assert (
+                answers["minirel"] == answers["sqlite"] == answers["native"]
+            ), (step, text, probe, answers)
+
+
+def _chaotic_store(backend, fault_seed: int) -> tuple[RdfStore, ChaosBackend]:
+    """A store whose backend randomly throws transient faults that the
+    retry layer must absorb. ``max_consecutive`` stays below the retry
+    attempts so every operation eventually succeeds — the invariant under
+    test is that retried faults never corrupt state or lose writes."""
+    chaos = ChaosBackend(
+        backend, FaultPlan.random(fault_seed, horizon=600, max_consecutive=2)
+    )
+    resilient = ResilientBackend(
+        chaos,
+        retry=RetryPolicy(
+            attempts=4, base_delay=0, seed=fault_seed, sleep=lambda s: None
+        ),
+        breaker=CircuitBreaker(failure_threshold=10_000),
+    )
+    return RdfStore.from_graph(figure1_graph(), backend=resilient), chaos
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    statements=st.lists(statement(), min_size=1, max_size=6),
+    fault_salt=st.integers(0, 2**16),
+)
+def test_faulted_update_sequences_agree_with_clean_reference(
+    statements, fault_salt
+):
+    """The three-engine invariant holds under fault injection: both
+    chaos-wrapped engines (transient faults + retries on every backend
+    call) stay byte-identical to the fault-free native reference."""
+    minirel, chaos_a = _chaotic_store(MiniRelBackend(), SEED ^ fault_salt)
+    sqlite, chaos_b = _chaotic_store(
+        SqliteBackend(), SEED ^ fault_salt ^ 0x5EED
+    )
+    stores = {
+        "minirel": minirel,
+        "sqlite": sqlite,
+        "native": NativeMemoryStore.from_graph(figure1_graph()),
+    }
+    chaos_a.arm()
+    chaos_b.arm()
     for step, text in enumerate(statements):
         counts = {
             name: (result.inserted, result.deleted)

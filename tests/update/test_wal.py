@@ -63,6 +63,60 @@ class TestJournal:
         with pytest.raises(WalError):
             list(WriteAheadLog(path).replay())
 
+    def test_replay_streams_records(self, tmp_path):
+        """Replay is lazy: records are yielded as the file is read, not
+        after loading it whole (consume one, then the rest)."""
+        path = tmp_path / "j.wal"
+        wal = WriteAheadLog(path)
+        for i in range(50):
+            wal.append([("+", f"s{i}", "p", f"o{i}")])
+        replay = WriteAheadLog(path).replay()
+        first = next(replay)
+        assert first == (1, [("+", "s0", "p", "o0")])
+        assert sum(1 for _ in replay) == 49
+
+    def test_oversized_record_raises_typed_error(self, tmp_path):
+        path = tmp_path / "j.wal"
+        wal = WriteAheadLog(path)
+        wal.append([("+", "a", "p", "b")])
+        wal.append([("+", "x" * 4096, "p", "b")])
+        with pytest.raises(WalError, match="max_record_bytes"):
+            list(WriteAheadLog(path, max_record_bytes=1024).replay())
+        # A generous ceiling accepts the same journal unchanged.
+        assert len(list(WriteAheadLog(path, max_record_bytes=65536).replay())) == 2
+
+    def test_oversized_guard_never_buffers_past_the_cap(self, tmp_path):
+        """A record with no newline anywhere (worst case: one giant line)
+        still fails fast at the cap instead of slurping the file."""
+        path = tmp_path / "j.wal"
+        path.write_text('{"txn": 1, "ops": [' + '["+", "a", "p", "b"],' * 100_000)
+        with pytest.raises(WalError, match="max_record_bytes"):
+            list(WriteAheadLog(path, max_record_bytes=2048).replay())
+
+    def test_blank_lines_after_torn_tail_still_tolerated(self, tmp_path):
+        path = tmp_path / "j.wal"
+        WriteAheadLog(path).append([("+", "a", "p", "b")])
+        with open(path, "a") as handle:
+            handle.write('{"txn": 2, "ops": [["+"' + "\n   \n\n")
+        assert list(WriteAheadLog(path).replay()) == [
+            (1, [("+", "a", "p", "b")])
+        ]
+
+    def test_fault_hook_sees_every_append_step(self, tmp_path):
+        steps: list[str] = []
+        wal = WriteAheadLog(
+            tmp_path / "j.wal",
+            sync=True,
+            fault_hook=lambda step, payload: steps.append(step),
+        )
+        wal.append([("+", "a", "p", "b")])
+        assert steps == [
+            "append.start",
+            "append.write",
+            "append.flush",
+            "append.fsync",
+        ]
+
 
 class TestStoreRecovery:
     def test_crash_and_reopen_replays_committed_txns(self, tmp_path):
