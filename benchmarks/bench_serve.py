@@ -1,0 +1,188 @@
+"""E15 — concurrent serving: protocol latency/throughput, snapshot cost.
+
+Two claims behind the MVCC + server work, measured:
+
+* **Snapshots-off is free.** The single-threaded ``store.query`` path now
+  carries the MVCC plumbing (version-aware scans, the writer-lock fields,
+  epoch-keyed cache probes). With no snapshot open, every table takes the
+  no-versions fast path, so the overhead against the hand-inlined
+  pre-MVCC pipeline must stay under 3% — same methodology as E14:
+  interleaved rounds, compare minimum latencies.
+
+* **The endpoint serves concurrent readers.** A real
+  :class:`~repro.server.app.SparqlServer` on an ephemeral port, hammered
+  by keep-alive HTTP clients (with a writer committing updates
+  mid-stream): per-request p50/p99 latency and saturation throughput are
+  the headline serving numbers, recorded for the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import statistics
+import threading
+import time
+import urllib.parse
+
+from repro.rdf.terms import term_from_key
+from repro.server.app import SparqlServer
+from repro.workloads import microbench
+
+from conftest import SCALE, record_metric, report
+
+QUERIES = microbench.queries()
+ROUNDS = 60
+MAX_OFF_OVERHEAD = 0.03
+
+CLIENTS = 4
+REQUESTS_PER_CLIENT = max(20, int(100 * SCALE))
+
+
+def _baseline(store, sparql):
+    """The pre-MVCC query pipeline, hand-inlined: compile_cached →
+    execute → decode, no snapshot/version anywhere on the stack."""
+    engine = store.engine
+    plan = engine.compile_cached(sparql)
+    compiled, variables = plan.sql, list(plan.variables)
+    columns, raw_rows = engine.backend.execute(compiled)
+    width = len(variables)
+    return [
+        tuple(None if key is None else term_from_key(key) for key in row[:width])
+        for row in raw_rows
+    ]
+
+
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
+
+
+def test_snapshot_off_overhead(micro_stores, micro_data, benchmark):
+    """Queries with no snapshot open must cost within 3% of pre-MVCC."""
+    store = micro_stores["DB2RDF"]
+    sparql = QUERIES["Q2"]
+
+    def through_snapshot():
+        with store.snapshot() as snap:
+            snap.query(sparql)
+
+    modes = {
+        "baseline": lambda: _baseline(store, sparql),
+        "off": lambda: store.query(sparql),
+        "snapshot": through_snapshot,
+    }
+    for run in modes.values():  # warm plan cache and code paths
+        run()
+
+    def measure():
+        best = {name: float("inf") for name in modes}
+        for _ in range(ROUNDS):
+            for name, run in modes.items():
+                best[name] = min(best[name], _timed(run))
+        return best
+
+    best = benchmark.pedantic(measure, rounds=1, iterations=1)
+    off_overhead = best["off"] / best["baseline"] - 1
+    snapshot_overhead = best["snapshot"] / best["baseline"] - 1
+    report(
+        f"E15a — snapshot overhead on Q2 ({micro_data.triples} triples, "
+        f"min of {ROUNDS} interleaved rounds)",
+        "\n".join(
+            [
+                f"{'mode':<10}{'min (ms)':>10}{'overhead':>10}",
+                f"{'baseline':<10}{best['baseline'] * 1e3:>10.3f}{'':>10}",
+                f"{'off':<10}{best['off'] * 1e3:>10.3f}"
+                f"{off_overhead * 100:>9.1f}%",
+                f"{'snapshot':<10}{best['snapshot'] * 1e3:>10.3f}"
+                f"{snapshot_overhead * 100:>9.1f}%",
+            ]
+        ),
+    )
+    record_metric("snapshot_off_overhead", off_overhead)
+    record_metric("snapshot_on_overhead", snapshot_overhead)
+    assert off_overhead < MAX_OFF_OVERHEAD, (
+        f"snapshots-off overhead {off_overhead * 100:.1f}% exceeds "
+        f"{MAX_OFF_OVERHEAD * 100:.0f}% — the unsnapshotted hot path regressed"
+    )
+
+
+def test_serve_latency_and_throughput(micro_stores, micro_data):
+    """Concurrent keep-alive clients against the protocol endpoint."""
+    store = micro_stores["DB2RDF"]
+    server = SparqlServer(store, port=0, max_concurrent=CLIENTS * 2)
+    ready = threading.Event()
+    server_thread = threading.Thread(target=server.run, args=(ready,), daemon=True)
+    server_thread.start()
+    assert ready.wait(10)
+
+    target = "/sparql?" + urllib.parse.urlencode({"query": QUERIES["Q2"]})
+    latencies: list[float] = []
+    failures: list[BaseException] = []
+    start_barrier = threading.Barrier(CLIENTS + 1)
+
+    def client_worker() -> None:
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=60
+        )
+        try:
+            start_barrier.wait(30)
+            mine = []
+            for _ in range(REQUESTS_PER_CLIENT):
+                begin = time.perf_counter()
+                connection.request("GET", target)
+                response = connection.getresponse()
+                body = response.read()
+                mine.append(time.perf_counter() - begin)
+                assert response.status == 200, body[:200]
+            latencies.extend(mine)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            failures.append(exc)
+        finally:
+            connection.close()
+
+    def writer_worker() -> None:
+        try:
+            start_barrier.wait(30)
+            for i in range(5):
+                store.update(
+                    f"INSERT DATA {{ <bench:W{i}> <bench:p> <bench:V{i}> }}"
+                )
+                time.sleep(0.01)
+        except BaseException as exc:  # noqa: BLE001
+            failures.append(exc)
+
+    threads = [threading.Thread(target=client_worker) for _ in range(CLIENTS)]
+    threads.append(threading.Thread(target=writer_worker))
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(300)
+    wall = time.perf_counter() - wall_start
+    server.shutdown()
+    server_thread.join(10)
+    assert not failures, failures
+    assert len(latencies) == CLIENTS * REQUESTS_PER_CLIENT
+
+    ordered = sorted(latencies)
+    p50 = statistics.median(ordered) * 1e3
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))] * 1e3
+    throughput = len(latencies) / wall
+    report(
+        f"E15b — SPARQL protocol serving ({micro_data.triples} triples, "
+        f"{CLIENTS} clients x {REQUESTS_PER_CLIENT} requests, "
+        f"writer committing mid-stream)",
+        "\n".join(
+            [
+                f"requests    {len(latencies)}",
+                f"p50         {p50:.2f} ms",
+                f"p99         {p99:.2f} ms",
+                f"throughput  {throughput:.0f} qps",
+            ]
+        ),
+    )
+    record_metric("serve_p50_ms", p50)
+    record_metric("serve_p99_ms", p99)
+    record_metric("serve_throughput_qps", throughput)

@@ -14,6 +14,13 @@ Reads ``benchmarks/out/results.json`` (written by the benches through
 * ``guardrails_off_overhead`` — the execution guardrails (deadline / row
   budgets) must stay free when unset: under 3% over the hand-inlined
   pre-guardrail pipeline.
+* ``snapshot_off_overhead`` — the MVCC plumbing (version-aware scans,
+  writer-lock fields, epoch-keyed cache probes) must stay free while no
+  snapshot is open: under 3% over the hand-inlined pre-MVCC pipeline.
+* ``serve_p50_ms`` — the SPARQL protocol endpoint's median request
+  latency under concurrent clients stays below a generous ceiling (the
+  smoke run is tiny; this catches order-of-magnitude regressions like an
+  accidental serialize() per request, not percentage drift).
 
 Stdlib only; exits nonzero with one line per failure.
 """
@@ -27,6 +34,8 @@ MIN_WARM_COMPILE_SPEEDUP = 10.0
 MAX_PROFILE_OFF_OVERHEAD = 0.05
 MIN_UPDATE_CACHE_RETENTION = 0.9
 MAX_GUARDRAILS_OFF_OVERHEAD = 0.03
+MAX_SNAPSHOT_OFF_OVERHEAD = 0.03
+MAX_SERVE_P50_MS = 150.0
 
 RESULTS = pathlib.Path(__file__).parent / "out" / "results.json"
 
@@ -86,6 +95,30 @@ def main() -> int:
         print(f"ok: guardrails_off_overhead {guard_off * 100:.1f}% "
               f"(ceiling {MAX_GUARDRAILS_OFF_OVERHEAD * 100:.0f}%)")
 
+    snap_off = metrics.get("snapshot_off_overhead")
+    if snap_off is None:
+        failures.append("snapshot_off_overhead was not recorded")
+    elif snap_off > MAX_SNAPSHOT_OFF_OVERHEAD:
+        failures.append(
+            f"snapshot_off_overhead {snap_off * 100:.1f}% > "
+            f"{MAX_SNAPSHOT_OFF_OVERHEAD * 100:.0f}% ceiling"
+        )
+    else:
+        print(f"ok: snapshot_off_overhead {snap_off * 100:.1f}% "
+              f"(ceiling {MAX_SNAPSHOT_OFF_OVERHEAD * 100:.0f}%)")
+
+    serve_p50 = metrics.get("serve_p50_ms")
+    if serve_p50 is None:
+        failures.append("serve_p50_ms was not recorded")
+    elif serve_p50 > MAX_SERVE_P50_MS:
+        failures.append(
+            f"serve_p50_ms {serve_p50:.1f} ms > "
+            f"{MAX_SERVE_P50_MS:.0f} ms ceiling"
+        )
+    else:
+        print(f"ok: serve_p50_ms {serve_p50:.1f} ms "
+              f"(ceiling {MAX_SERVE_P50_MS:.0f} ms)")
+
     on_overhead = metrics.get("profile_on_overhead")
     if on_overhead is not None:  # informational, not gated
         print(f"info: profile_on_overhead {on_overhead * 100:.1f}%")
@@ -101,6 +134,18 @@ def main() -> int:
     wal_overhead = metrics.get("update_wal_overhead")
     if wal_overhead is not None:  # informational, not gated
         print(f"info: update_wal_overhead {wal_overhead * 100:+.1f}%")
+
+    snap_on = metrics.get("snapshot_on_overhead")
+    if snap_on is not None:  # informational, not gated
+        print(f"info: snapshot_on_overhead {snap_on * 100:+.1f}%")
+
+    serve_p99 = metrics.get("serve_p99_ms")
+    if serve_p99 is not None:  # informational, not gated
+        print(f"info: serve_p99_ms {serve_p99:.1f} ms")
+
+    serve_qps = metrics.get("serve_throughput_qps")
+    if serve_qps is not None:  # informational, not gated
+        print(f"info: serve_throughput_qps {serve_qps:.0f}")
 
     for failure in failures:
         print(f"REGRESSION: {failure}")

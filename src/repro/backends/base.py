@@ -49,6 +49,8 @@ class Backend(abc.ABC):
     """Abstract relational back-end used by the RDF store layers."""
 
     name: str = "abstract"
+    #: True when :meth:`open_snapshot` hands out point-in-time read handles
+    supports_snapshots: bool = False
 
     @abc.abstractmethod
     def create_table(
@@ -75,6 +77,7 @@ class Backend(abc.ABC):
         statement: ast.Statement | str,
         timeout: float | None = None,
         budget: Any = None,
+        snapshot: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         """Run a statement; returns (column names, rows).
 
@@ -84,7 +87,29 @@ class Backend(abc.ABC):
         :class:`repro.core.resilience.Budget`): its deadline and
         intermediate-row ceiling are enforced cooperatively during
         execution and trips raise the typed guardrail errors.
+        ``snapshot`` is a handle from :meth:`open_snapshot`; when given,
+        the statement reads the point-in-time state the handle pins
+        instead of the latest state.
         """
+
+    # ------------------------------------------------------ write brackets
+
+    def begin_write(self) -> None:
+        """Open a write bracket (one writer at a time, enforced above)."""
+
+    def commit_write(self) -> None:
+        """Publish the bracket's writes to new snapshots."""
+
+    def abort_write(self) -> None:
+        """Close the bracket without publishing (logical undo already ran)."""
+
+    # ----------------------------------------------------------- snapshots
+
+    def open_snapshot(self) -> Any:
+        """A point-in-time read handle (pass to ``execute(snapshot=...)``;
+        call ``handle.release()`` when done). Only valid between write
+        brackets — the store acquires it under the writer lock."""
+        raise NotImplementedError(f"{self.name} backend has no snapshot support")
 
     @abc.abstractmethod
     def table_names(self) -> list[str]:
@@ -100,6 +125,7 @@ class Backend(abc.ABC):
         timeout: float | None = None,
         tracer: Any = None,
         budget: Any = None,
+        snapshot: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         """Run a statement under a tracer (``repro.core.observe.Tracer``).
 
@@ -111,9 +137,13 @@ class Backend(abc.ABC):
         plain :meth:`execute`.
         """
         if tracer is None or not tracer.enabled:
-            return self.execute(statement, timeout=timeout, budget=budget)
+            return self.execute(
+                statement, timeout=timeout, budget=budget, snapshot=snapshot
+            )
         with tracer.span(f"{self.name}.execute") as span:
-            columns, rows = self.execute(statement, timeout=timeout, budget=budget)
+            columns, rows = self.execute(
+                statement, timeout=timeout, budget=budget, snapshot=snapshot
+            )
             span.set("rows_out", len(rows))
         return columns, rows
 

@@ -11,10 +11,27 @@ from ..relational.types import ColumnType
 from .base import Backend
 
 
+class MiniRelSnapshot:
+    """A pinned MVCC version; every table scan filters rows against it."""
+
+    __slots__ = ("_mvcc", "version", "_released")
+
+    def __init__(self, mvcc: Any) -> None:
+        self._mvcc = mvcc
+        self.version: int = mvcc.pin()
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._mvcc.unpin(self.version)
+
+
 class MiniRelBackend(Backend):
     """The default backend: :class:`repro.relational.Database` in-process."""
 
     name = "minirel"
+    supports_snapshots = True
 
     def __init__(self) -> None:
         self.db = Database()
@@ -41,9 +58,13 @@ class MiniRelBackend(Backend):
         statement: ast.Statement | str,
         timeout: float | None = None,
         budget: Any = None,
+        snapshot: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         deadline = time.monotonic() + timeout if timeout is not None else None
-        result = self.db.execute(statement, deadline=deadline, budget=budget)
+        version = None if snapshot is None else snapshot.version
+        result = self.db.execute(
+            statement, deadline=deadline, budget=budget, version=version
+        )
         return result.columns, result.rows
 
     def execute_profiled(
@@ -52,18 +73,40 @@ class MiniRelBackend(Backend):
         timeout: float | None = None,
         tracer: Any = None,
         budget: Any = None,
+        snapshot: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         """Execute with the planner metering every operator iterator
         (scans, joins, filters, set ops, CTEs) into the trace."""
         if tracer is None or not tracer.enabled:
-            return self.execute(statement, timeout=timeout, budget=budget)
+            return self.execute(
+                statement, timeout=timeout, budget=budget, snapshot=snapshot
+            )
         deadline = time.monotonic() + timeout if timeout is not None else None
+        version = None if snapshot is None else snapshot.version
         with tracer.span(f"{self.name}.execute") as span:
             result = self.db.execute(
-                statement, deadline=deadline, trace=span, budget=budget
+                statement,
+                deadline=deadline,
+                trace=span,
+                budget=budget,
+                version=version,
             )
             span.set("rows_out", len(result.rows))
         return result.columns, result.rows
+
+    # ------------------------------------------------- write brackets/MVCC
+
+    def begin_write(self) -> None:
+        self.db.mvcc.begin()
+
+    def commit_write(self) -> None:
+        self.db.mvcc.publish()
+
+    def abort_write(self) -> None:
+        self.db.mvcc.abort()
+
+    def open_snapshot(self) -> MiniRelSnapshot:
+        return MiniRelSnapshot(self.db.mvcc)
 
     def table_names(self) -> list[str]:
         return [table.name for table in self.db.tables.values()]

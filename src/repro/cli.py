@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import threading
 import time
 from typing import Iterable
 
@@ -189,6 +190,42 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: expose the store over the SPARQL 1.1 Protocol.
+
+    Queries (GET/POST ``/sparql``) run on concurrent snapshot reads;
+    updates (POST ``/update``) serialize behind the store's writer lock.
+    Error bodies carry the same exit codes this CLI uses."""
+    # Deferred: repro.server imports this module for the exit codes.
+    from .server.app import SparqlServer
+
+    store = build_store(args)
+    server = SparqlServer(
+        store,
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        workers=args.workers,
+        default_timeout=args.timeout,
+        default_max_rows=args.max_rows,
+    )
+
+    class _Announce(threading.Event):
+        def set(self) -> None:  # port known once the listener is bound
+            print(
+                f"# serving SPARQL on http://{server.host}:{server.port}/sparql"
+                f" (updates at /update, liveness at /health)",
+                file=sys.stderr,
+            )
+            super().set()
+
+    try:
+        server.run(ready=None if args.quiet else _Announce())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_shell(args: argparse.Namespace) -> int:
     """``repro shell``: an interactive SPARQL read-eval-print loop."""
     store = build_store(args)
@@ -341,6 +378,25 @@ def make_parser() -> argparse.ArgumentParser:
     shell_parser = sub.add_parser("shell", help="interactive SPARQL shell")
     common(shell_parser, with_query=False)
     shell_parser.set_defaults(func=cmd_shell)
+
+    serve_parser = sub.add_parser(
+        "serve", help="serve the data over the SPARQL 1.1 Protocol"
+    )
+    common(serve_parser, with_query=False)
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=3030,
+        help="TCP port (0 binds an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--max-concurrent", type=int, default=8,
+        help="requests in flight before shedding load with 503",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="query worker threads (default: max-concurrent, floor 2)",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -22,11 +22,20 @@ entry and reports an invalidation, so plans chosen from stale cardinality
 estimates never outlive the data change that made them stale.
 
 Each lookup is classified as exactly one of hit / miss / invalidation.
+
+Thread safety. Snapshot readers compile against *their* pinned epoch while
+writers bump the live one, so the cache is shared across threads: one lock
+guards the entry map and every counter mutation, which keeps
+``hits + misses + invalidations == lookups`` exact under concurrency. An
+entry newer than the probing epoch is a plain miss (the prober is a
+snapshot pinned in the past — the entry is still valid for live readers),
+and ``store`` refuses to replace a newer entry with an older plan.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
@@ -154,6 +163,7 @@ class QueryCache:
     def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple[str, tuple], CachedPlan] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -180,45 +190,60 @@ class QueryCache:
         """Like :meth:`lookup`, also naming the outcome — ``"hit"``,
         ``"miss"``, or ``"invalidated"`` — for tracing spans."""
         key = (text, fingerprint)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None, "miss"
-        if entry.epoch != epoch:
-            del self._entries[key]
-            self.invalidations += 1
-            return None, "invalidated"
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry, "hit"
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None, "miss"
+            if entry.epoch < epoch:
+                # Stale: compiled from cardinalities a later commit changed.
+                del self._entries[key]
+                self.invalidations += 1
+                return None, "invalidated"
+            if entry.epoch > epoch:
+                # The prober is a snapshot pinned before this entry was
+                # compiled. The entry is still the right plan for live
+                # readers — miss without evicting it.
+                self.misses += 1
+                return None, "miss"
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry, "hit"
 
     def store(self, text: str, fingerprint: tuple, plan: CachedPlan) -> None:
         if not self.enabled:
             return
         key = (text, fingerprint)
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and existing.epoch > plan.epoch:
+                return  # never clobber a newer plan with a snapshot's older one
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     # ----------------------------------------------------------- accounting
 
     def record_timings(self, **stage_seconds: float) -> None:
-        for stage, seconds in stage_seconds.items():
-            self.timings[stage] = self.timings.get(stage, 0.0) + seconds
+        with self._lock:
+            for stage, seconds in stage_seconds.items():
+                self.timings[stage] = self.timings.get(stage, 0.0) + seconds
 
     def clear(self) -> None:
         """Drop all entries (counters are kept; they describe the lifetime)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def info(self) -> CacheInfo:
-        return CacheInfo(
-            hits=self.hits,
-            misses=self.misses,
-            invalidations=self.invalidations,
-            evictions=self.evictions,
-            size=len(self._entries),
-            maxsize=self.maxsize,
-            compile_seconds=dict(self.timings),
-        )
+        with self._lock:
+            return CacheInfo(
+                hits=self.hits,
+                misses=self.misses,
+                invalidations=self.invalidations,
+                evictions=self.evictions,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+                compile_seconds=dict(self.timings),
+            )

@@ -353,10 +353,13 @@ class ResilientBackend(Backend):
         statement: ast.Statement | str,
         timeout: float | None = None,
         budget: Any = None,
+        snapshot: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         return self._guarded(
             "execute",
-            lambda: self.inner.execute(statement, timeout=timeout, budget=budget),
+            lambda: self.inner.execute(
+                statement, timeout=timeout, budget=budget, snapshot=snapshot
+            ),
         )
 
     def execute_profiled(
@@ -365,15 +368,22 @@ class ResilientBackend(Backend):
         timeout: float | None = None,
         tracer: Any = None,
         budget: Any = None,
+        snapshot: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         if tracer is None or not tracer.enabled:
-            return self.execute(statement, timeout=timeout, budget=budget)
+            return self.execute(
+                statement, timeout=timeout, budget=budget, snapshot=snapshot
+            )
         before = self.metrics["retries"]
         with tracer.span("resilient", backend=self.inner.name) as span:
             result = self._guarded(
                 "execute",
                 lambda: self.inner.execute_profiled(
-                    statement, timeout=timeout, tracer=tracer, budget=budget
+                    statement,
+                    timeout=timeout,
+                    tracer=tracer,
+                    budget=budget,
+                    snapshot=snapshot,
                 ),
             )
             span.set("retries", self.metrics["retries"] - before)
@@ -388,6 +398,26 @@ class ResilientBackend(Backend):
 
     def sql_text(self, statement: ast.Statement) -> str:
         return self.inner.sql_text(statement)
+
+    # Write brackets and snapshots delegate explicitly: the Backend base
+    # class has (no-op) defaults for these, so ``__getattr__`` would never
+    # fire and the inner backend's MVCC machinery would be silently skipped.
+
+    @property
+    def supports_snapshots(self) -> bool:  # type: ignore[override]
+        return self.inner.supports_snapshots
+
+    def begin_write(self) -> None:
+        self.inner.begin_write()
+
+    def commit_write(self) -> None:
+        self.inner.commit_write()
+
+    def abort_write(self) -> None:
+        self.inner.abort_write()
+
+    def open_snapshot(self) -> Any:
+        return self.inner.open_snapshot()
 
     def __getattr__(self, attr: str) -> Any:
         # Backend extras (explain_query_plan, connection, db) pass through.
@@ -561,9 +591,12 @@ class ChaosBackend(Backend):
         statement: ast.Statement | str,
         timeout: float | None = None,
         budget: Any = None,
+        snapshot: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         self._step("execute")
-        return self.inner.execute(statement, timeout=timeout, budget=budget)
+        return self.inner.execute(
+            statement, timeout=timeout, budget=budget, snapshot=snapshot
+        )
 
     def execute_profiled(
         self,
@@ -571,10 +604,11 @@ class ChaosBackend(Backend):
         timeout: float | None = None,
         tracer: Any = None,
         budget: Any = None,
+        snapshot: Any = None,
     ) -> tuple[list[str], list[tuple]]:
         self._step("execute")
         return self.inner.execute_profiled(
-            statement, timeout=timeout, tracer=tracer, budget=budget
+            statement, timeout=timeout, tracer=tracer, budget=budget, snapshot=snapshot
         )
 
     def table_names(self) -> list[str]:
@@ -585,6 +619,27 @@ class ChaosBackend(Backend):
 
     def sql_text(self, statement: ast.Statement) -> str:
         return self.inner.sql_text(statement)
+
+    # Uncounted pass-throughs (Backend has defaults, so __getattr__ would
+    # not fire): brackets and snapshots are not fault-injection points —
+    # keeping them out of the op count preserves the numbering every
+    # recorded crash-matrix scenario depends on.
+
+    @property
+    def supports_snapshots(self) -> bool:  # type: ignore[override]
+        return self.inner.supports_snapshots
+
+    def begin_write(self) -> None:
+        self.inner.begin_write()
+
+    def commit_write(self) -> None:
+        self.inner.commit_write()
+
+    def abort_write(self) -> None:
+        self.inner.abort_write()
+
+    def open_snapshot(self) -> Any:
+        return self.inner.open_snapshot()
 
     def __getattr__(self, attr: str) -> Any:
         return getattr(self.inner, attr)

@@ -14,6 +14,7 @@ SPARQL engine. Typical use::
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import nullcontext
 from dataclasses import dataclass
 
@@ -32,6 +33,7 @@ from ..update.parser import parse_update
 from ..update.transaction import Transaction
 from ..update.wal import WriteAheadLog
 from .coloring import color_graph_for_store
+from .concurrency import Snapshot, StoreHooks
 from .loader import Loader, LoadReport, SideMetadata
 from .mapping import PredicateMapper, composed_hashes
 from .observe import Sink, Span, Tracer
@@ -91,6 +93,13 @@ class RdfStore:
         #: the currently open transaction, if any (one at a time per store)
         self._txn: Transaction | None = None
         self._wal: WriteAheadLog | None = None
+        #: writers (transactions, bulk loads, WAL replay) serialize here;
+        #: snapshot acquisition takes it briefly to capture consistent state
+        self._writer_lock = threading.Lock()
+        self._writer_thread: int | None = None
+        self._write_depth = 0
+        #: optional scheduling/observability hook points (None = no cost)
+        self.hooks: StoreHooks | None = None
         if wal_path is not None:
             self.attach_wal(wal_path)
 
@@ -147,17 +156,85 @@ class RdfStore:
             store.attach_wal(wal_path)
         return store
 
+    # ------------------------------------------------------- writer bracket
+
+    def _begin_write(self) -> None:
+        """Enter the writer bracket (blocking on other threads' writers).
+
+        Re-entrant per thread: a bulk load inside an open transaction nests
+        and the outermost exit publishes. The backend's write bracket opens
+        exactly once, at the outermost entry.
+        """
+        ident = threading.get_ident()
+        if self._writer_thread == ident:
+            self._write_depth += 1
+            return
+        self._writer_lock.acquire()
+        self._writer_thread = ident
+        self._write_depth = 1
+        self.backend.begin_write()
+
+    def _end_write(self, publish: bool) -> None:
+        """Leave the writer bracket; the outermost exit publishes (or
+        aborts) the backend bracket and releases the lock."""
+        self._write_depth -= 1
+        if self._write_depth:
+            return
+        try:
+            if publish:
+                self.backend.commit_write()
+            else:
+                self.backend.abort_write()
+        finally:
+            self._writer_thread = None
+            self._writer_lock.release()
+
+    # ------------------------------------------------------------ snapshots
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current committed state for repeatable reads.
+
+        The returned :class:`~repro.core.concurrency.Snapshot` answers
+        queries against exactly this state while writers keep committing;
+        close it (or use ``with``) to let superseded row versions be
+        reclaimed. Acquisition takes the writer lock briefly, so it blocks
+        while a transaction is mid-flight and never observes half a batch.
+        Calling it from the thread that holds the writer lock would
+        deadlock and raises :class:`TransactionError` instead.
+        """
+        if self._writer_thread == threading.get_ident():
+            raise TransactionError(
+                "cannot open a snapshot from inside a write (it would pin "
+                "mid-transaction state)"
+            )
+        with self._writer_lock:
+            handle = self.backend.open_snapshot()
+            epoch = self.stats.epoch
+            engine = self.engine  # built under the lock: consistent metadata
+        snap = Snapshot(self, handle, epoch, engine)
+        if self.hooks is not None:
+            self.hooks.fire("snapshot.acquire", epoch=epoch)
+        return snap
+
     # ---------------------------------------------------------------- load
 
     def load_graph(self, graph: Graph, top_k_stats: int = 1000) -> LoadReport:
         """Bulk load a graph (appends to any previously loaded data)."""
-        report = self.loader.bulk_load(graph)
-        self.direct_meta.merge(report.direct)
-        self.reverse_meta.merge(report.reverse)
-        fresh = DatasetStatistics.from_graph(graph, top_k=top_k_stats)
-        fresh.epoch = self.stats.epoch + 1  # bulk load invalidates cached plans
-        self.stats = fresh
-        self._engine = None
+        self._begin_write()
+        try:
+            report = self.loader.bulk_load(graph)
+            self.direct_meta.merge(report.direct)
+            self.reverse_meta.merge(report.reverse)
+            fresh = DatasetStatistics.from_graph(graph, top_k=top_k_stats)
+            fresh.epoch = self.stats.epoch + 1  # bulk load invalidates plans
+            self.stats = fresh
+            self._engine = None
+        except BaseException:
+            # Bulk load is not atomic (never was): keep whatever landed,
+            # the bracket exists for writer mutual exclusion only.
+            self._end_write(publish=True)
+            raise
+        self._end_write(publish=True)
         return report
 
     # --------------------------------------------------------------- writes
@@ -168,7 +245,7 @@ class RdfStore:
         Inside an open transaction this joins the batch; standalone it is
         its own single-write transaction (one epoch bump, journalled).
         Returns False for a duplicate no-op."""
-        if self._txn is not None:
+        if self._txn is not None and self._writer_thread == threading.get_ident():
             return self._txn.add(triple)
         with self.transaction() as txn:
             return txn.add(triple)
@@ -178,7 +255,7 @@ class RdfStore:
 
         Transactional exactly like :meth:`add` — a failed standalone delete
         commits empty and leaves cached plans warm."""
-        if self._txn is not None:
+        if self._txn is not None and self._writer_thread == threading.get_ident():
             return self._txn.remove(triple)
         with self.transaction() as txn:
             return txn.remove(triple)
@@ -186,16 +263,28 @@ class RdfStore:
     def transaction(self) -> Transaction:
         """Open an atomic write batch (one at a time per store).
 
-        Inside the batch every ``add``/``remove`` is visible to queries
-        immediately, but the statistics epoch — and with it plan-cache
-        invalidation — moves only at commit, once. Rollback restores the
-        pre-transaction state without touching the epoch."""
-        if self._txn is not None:
+        Inside the batch every ``add``/``remove`` is visible to this
+        writer's queries immediately — but never to concurrent snapshot
+        readers — and the statistics epoch (with it plan-cache
+        invalidation) moves only at commit, once. Rollback restores the
+        pre-transaction state without touching the epoch.
+
+        Writers serialize: opening a transaction while another thread's is
+        in flight blocks until that one commits or rolls back; a second
+        open on the *same* thread raises :class:`TransactionError` as
+        before (blocking would self-deadlock)."""
+        if self._txn is not None and self._writer_thread == threading.get_ident():
             raise TransactionError(
                 "a transaction is already open on this store"
             )
+        self._begin_write()
+        if self._txn is not None:  # pragma: no cover - defensive
+            self._end_write(publish=False)
+            raise TransactionError("a transaction is already open on this store")
         txn = Transaction(self)
         self._txn = txn
+        if self.hooks is not None:
+            self.hooks.fire("txn.begin")
         return txn
 
     def update(self, sparql, profile: bool = False) -> UpdateResult:
@@ -225,7 +314,7 @@ class RdfStore:
         else:
             with stage("parse"):
                 request = parse_update(sparql)
-        if self._txn is not None:
+        if self._txn is not None and self._writer_thread == threading.get_ident():
             return apply_update(request, self._txn, tracer=tracer)
         txn = self.transaction()
         try:
@@ -260,18 +349,25 @@ class RdfStore:
         else:
             wal = WriteAheadLog(path, sync=sync, max_record_bytes=max_record_bytes)
         replayed = 0
-        for _txn_id, ops in wal.replay():
-            for tag, subject_key, predicate, object_key in ops:
-                triple = Triple(
-                    term_from_key(subject_key),
-                    URI(predicate),
-                    term_from_key(object_key),
-                )
-                if tag == "+":
-                    self._apply_add(triple)
-                else:
-                    self._apply_remove(triple)
-                replayed += 1
+        self._begin_write()
+        try:
+            for _txn_id, ops in wal.replay():
+                for tag, subject_key, predicate, object_key in ops:
+                    triple = Triple(
+                        term_from_key(subject_key),
+                        URI(predicate),
+                        term_from_key(object_key),
+                    )
+                    if tag == "+":
+                        self._apply_add(triple)
+                    else:
+                        self._apply_remove(triple)
+                    replayed += 1
+        finally:
+            # Publish even on a partial replay: recovery keeps whatever
+            # records were intact (legacy semantics; the corrupt tail is
+            # truncated by WriteAheadLog itself).
+            self._end_write(publish=True)
         if replayed:
             self.stats.bump_epoch()
             self._engine = None

@@ -7,6 +7,7 @@ from typing import Any, Iterable, Sequence
 from . import ast
 from .errors import CatalogError
 from .index import HashIndex
+from .mvcc import MvccController
 from .table import Table, TableSchema
 from .types import ColumnType
 
@@ -22,6 +23,8 @@ class Database:
     def __init__(self) -> None:
         self.tables: dict[str, Table] = {}
         self.indexes: dict[str, HashIndex] = {}
+        #: snapshot-read version state shared by every table
+        self.mvcc = MvccController()
 
     # ------------------------------------------------------------------ DDL
 
@@ -37,6 +40,7 @@ class Database:
                 return self.tables[key]
             raise CatalogError(f"table {name!r} already exists")
         table = Table(TableSchema(name, columns))
+        self.mvcc.register(table)
         self.tables[key] = table
         return table
 
@@ -86,6 +90,7 @@ class Database:
         deadline: float | None = None,
         trace: Any = None,
         budget: Any = None,
+        version: int | None = None,
     ) -> "QueryResult":
         """Run a statement (AST node or SQL text); returns a QueryResult.
 
@@ -96,6 +101,8 @@ class Database:
         per-operator rows-in/rows-out and timings. ``budget`` is an
         optional guardrail object (duck-typed,
         ``repro.core.resilience.Budget``) ticked by every operator loop.
+        ``version`` pins every table scan to an MVCC snapshot version
+        (``None`` reads the latest state, pending writes included).
         """
         from .planner import run_statement  # deferred: planner imports catalog
 
@@ -104,11 +111,13 @@ class Database:
 
             results: QueryResult | None = None
             for parsed in parse_sql(statement):
-                results = run_statement(self, parsed, deadline, trace, budget)
+                results = run_statement(
+                    self, parsed, deadline, trace, budget, version
+                )
             if results is None:
                 raise CatalogError("empty SQL script")
             return results
-        return run_statement(self, statement, deadline, trace, budget)
+        return run_statement(self, statement, deadline, trace, budget, version)
 
 
 class QueryResult:

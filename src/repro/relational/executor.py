@@ -62,14 +62,19 @@ class Ticker:
                 raise QueryTimeout("query exceeded its deadline")
 
 
-def seq_scan(table: Table, ticker: Ticker) -> Iterator[Row]:
-    for row in table.scan():
+def seq_scan(
+    table: Table, ticker: Ticker, version: int | None = None
+) -> Iterator[Row]:
+    rows = table.scan() if version is None else table.scan_at(version)
+    for row in rows:
         ticker.tick()
         yield row
 
 
-def index_scan(index: HashIndex, key: tuple, ticker: Ticker) -> Iterator[Row]:
-    for row in index.lookup(key):
+def index_scan(
+    index: HashIndex, key: tuple, ticker: Ticker, version: int | None = None
+) -> Iterator[Row]:
+    for row in index.lookup(key, version):
         ticker.tick()
         yield row
 
@@ -141,6 +146,7 @@ def index_nested_loop_join(
     residual: Evaluator | None,
     outer: bool,
     ticker: Ticker,
+    version: int | None = None,
 ) -> Iterator[Row]:
     """Join by probing a hash index on the right table per left row.
 
@@ -153,7 +159,7 @@ def index_nested_loop_join(
         key = probe_key(left_row)
         matched = False
         if not any(value is None for value in key):
-            for right_row in index.lookup(key):
+            for right_row in index.lookup(key, version):
                 ticker.tick()
                 if right_filter is not None and right_filter(right_row) is not True:
                     continue

@@ -32,8 +32,11 @@ class HashIndex:
 
     def build(self, table: Table) -> None:
         self._buckets.clear()
-        for row_id, row in table.scan_with_ids():
-            self._buckets[self._key(row)].append(row_id)
+        # Raw row iteration (not scan_with_ids): logically-deleted rows
+        # retained for snapshot readers must stay reachable via the index.
+        for row_id, row in enumerate(table.rows):
+            if row is not None:
+                self._buckets[self._key(row)].append(row_id)
 
     def insert(self, row_id: int, row: tuple) -> None:
         self._buckets[self._key(row)].append(row_id)
@@ -46,13 +49,39 @@ class HashIndex:
             except ValueError:
                 pass
 
-    def lookup(self, key: tuple) -> Iterable[tuple]:
-        """Yield live rows whose indexed columns equal ``key``."""
+    def lookup(self, key: tuple, version: int | None = None) -> Iterable[tuple]:
+        """Yield rows whose indexed columns equal ``key``, visible at
+        ``version`` (``None`` = the latest state)."""
         self.probe_count += 1
-        for row_id in self._buckets.get(key, ()):
-            row = self.table.get(row_id)
-            if row is not None:
-                yield row
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        table = self.table
+        rows = table.rows
+        if version is None:
+            died = table.died
+            if not died:
+                for row_id in bucket:
+                    row = rows[row_id]
+                    if row is not None:
+                        yield row
+                return
+            for row_id in bucket:
+                row = rows[row_id]
+                if row is not None and row_id not in died:
+                    yield row
+            return
+        born, died = table.born, table.died
+        for row_id in bucket:
+            row = rows[row_id]
+            if row is None:
+                continue
+            if born.get(row_id, 0) > version:
+                continue
+            death = died.get(row_id)
+            if death is not None and death <= version:
+                continue
+            yield row
 
     def covers(self, column_names: Sequence[str]) -> bool:
         """True when this index can serve an equality lookup on ``column_names``.

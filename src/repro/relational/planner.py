@@ -51,6 +51,7 @@ def run_statement(
     deadline: float | None = None,
     trace: Any = None,
     budget: Any = None,
+    version: int | None = None,
 ) -> QueryResult:
     """Execute any statement against ``db``.
 
@@ -64,7 +65,7 @@ def run_statement(
     """
     if isinstance(statement, (ast.Select, ast.SetOp, ast.With)):
         return Planner(
-            db, deadline, trace=trace, budget=budget
+            db, deadline, trace=trace, budget=budget, version=version
         ).execute_query(statement)
     if isinstance(statement, ast.CreateTable):
         db.create_table(
@@ -163,6 +164,7 @@ class Planner:
         cte_env: dict[str, QueryResult] | None = None,
         trace: Any = None,
         budget: Any = None,
+        version: int | None = None,
     ) -> None:
         self.db = db
         self.ticker = Ticker(deadline, budget)
@@ -171,6 +173,8 @@ class Planner:
         self.cte_env: dict[str, QueryResult] = dict(cte_env or {})
         #: parent span for operators planned next (None = tracing off)
         self.trace = trace
+        #: MVCC snapshot version every table scan pins (None = latest)
+        self.version = version
 
     # ------------------------------------------------------------- queries
 
@@ -182,6 +186,7 @@ class Planner:
                 self.cte_env,
                 trace=self.trace,
                 budget=self.budget,
+                version=self.version,
             )
             for name, cte_query in query.ctes:
                 if inner.trace is not None:
@@ -476,8 +481,9 @@ class Planner:
             binding = item.binding
             scope = Scope([(binding, name) for name in table.schema.column_names])
             ticker = self.ticker
+            version = self.version
             factory = self._metered(
-                lambda: seq_scan(table, ticker),
+                lambda: seq_scan(table, ticker, version),
                 f"seq-scan {table.name}",
                 table_rows=len(table),
             )
@@ -508,7 +514,7 @@ class Planner:
             index_match = _find_const_index_lookup(planned.base, planned.scope, local)
             if index_match is not None:
                 index, key, leftovers = index_match
-                rows = index_scan(index, key, self.ticker)
+                rows = index_scan(index, key, self.ticker, self.version)
                 if self.trace is not None:
                     span = self.trace.child(
                         f"index-scan {planned.base.name}", index=index.name
@@ -684,6 +690,7 @@ class Planner:
             )
             ticker = self.ticker
             width = len(right.scope)
+            version = self.version
 
             def probe(left_rows, index=index, left_slot=left_slot):
                 return index_nested_loop_join(
@@ -695,6 +702,7 @@ class Planner:
                     combined_residual,
                     outer,
                     ticker,
+                    version,
                 )
 
             return probe

@@ -44,6 +44,12 @@ class Table:
     indexes stay stable; :meth:`compact` rebuilds storage when fragmentation
     grows. Indexes attach via :meth:`register_index` and are maintained by
     insert/delete.
+
+    When the owning database has pinned snapshots (``_mvcc.tag_writes``),
+    deletes become logical — ``died[row_id]`` records the write version and
+    the row stays physically present for snapshot readers — and inserts
+    record ``born[row_id]``. Both dicts stay empty with no snapshots open,
+    so the unversioned scan path is unchanged.
     """
 
     def __init__(self, schema: TableSchema) -> None:
@@ -51,6 +57,10 @@ class Table:
         self.rows: list[tuple | None] = []
         self.live_count = 0
         self._indexes: list[Any] = []  # HashIndex instances
+        #: version metadata, populated only while snapshots are pinned
+        self.born: dict[int, int] = {}
+        self.died: dict[int, int] = {}
+        self._mvcc: Any = None  # MvccController, set via register()
 
     @property
     def name(self) -> str:
@@ -78,6 +88,9 @@ class Table:
         row_id = len(self.rows)
         self.rows.append(row)
         self.live_count += 1
+        mvcc = self._mvcc
+        if mvcc is not None and mvcc.tag_writes:
+            self.born[row_id] = mvcc.write_version
         for index in self._indexes:
             index.insert(row_id, row)
         return row_id
@@ -91,7 +104,13 @@ class Table:
 
     def delete_row(self, row_id: int) -> None:
         row = self.rows[row_id]
-        if row is None:
+        if row is None or row_id in self.died:
+            return
+        mvcc = self._mvcc
+        if mvcc is not None and mvcc.tag_writes:
+            # Logical delete: pinned snapshots still need this version.
+            self.died[row_id] = mvcc.write_version
+            self.live_count -= 1
             return
         for index in self._indexes:
             index.delete(row_id, row)
@@ -100,12 +119,24 @@ class Table:
 
     def update_row(self, row_id: int, values: Sequence[Any]) -> None:
         old = self.rows[row_id]
-        if old is None:
+        if old is None or row_id in self.died:
             raise ExecutionError(f"row {row_id} of table {self.name!r} is deleted")
         new = tuple(
             column_type.coerce(value)
             for column_type, value in zip(self.schema.column_types, values)
         )
+        mvcc = self._mvcc
+        if mvcc is not None and mvcc.tag_writes:
+            # Old version stays for snapshot readers; new version is a
+            # fresh row id born at the write version.
+            write_version = mvcc.write_version
+            self.died[row_id] = write_version
+            new_id = len(self.rows)
+            self.rows.append(new)
+            self.born[new_id] = write_version
+            for index in self._indexes:
+                index.insert(new_id, new)
+            return
         for index in self._indexes:
             index.delete(row_id, old)
         self.rows[row_id] = new
@@ -116,19 +147,87 @@ class Table:
         return self.rows[row_id]
 
     def scan(self) -> Iterator[tuple]:
-        """Yield all live rows."""
-        for row in self.rows:
-            if row is not None:
+        """Yield all live rows (the latest state, pending writes included)."""
+        if not self.died:
+            for row in self.rows:
+                if row is not None:
+                    yield row
+            return
+        died = self.died
+        for row_id, row in enumerate(self.rows):
+            if row is not None and row_id not in died:
                 yield row
 
-    def scan_with_ids(self) -> Iterator[tuple[int, tuple]]:
+    def scan_at(self, version: int) -> Iterator[tuple]:
+        """Yield rows visible at snapshot ``version``."""
+        born, died = self.born, self.died
         for row_id, row in enumerate(self.rows):
-            if row is not None:
+            if row is None:
+                continue
+            if born.get(row_id, 0) > version:
+                continue
+            death = died.get(row_id)
+            if death is not None and death <= version:
+                continue
+            yield row
+
+    def scan_with_ids(self) -> Iterator[tuple[int, tuple]]:
+        if not self.died:
+            for row_id, row in enumerate(self.rows):
+                if row is not None:
+                    yield row_id, row
+            return
+        died = self.died
+        for row_id, row in enumerate(self.rows):
+            if row is not None and row_id not in died:
                 yield row_id, row
 
+    def visible_at(self, row_id: int, version: int | None) -> tuple | None:
+        """The row iff visible at ``version`` (``None`` version = latest)."""
+        row = self.rows[row_id]
+        if row is None:
+            return None
+        if version is None:
+            return None if row_id in self.died else row
+        if self.born.get(row_id, 0) > version:
+            return None
+        death = self.died.get(row_id)
+        if death is not None and death <= version:
+            return None
+        return row
+
+    def mvcc_gc(self, horizon: int) -> None:
+        """Physically drop versions dead at or before ``horizon``.
+
+        Called only from the MVCC controller with no pinned snapshots and
+        the writer lock held.
+        """
+        if self.died:
+            for row_id in [r for r, v in self.died.items() if v <= horizon]:
+                row = self.rows[row_id]
+                if row is not None:
+                    for index in self._indexes:
+                        index.delete(row_id, row)
+                    self.rows[row_id] = None
+                del self.died[row_id]
+        if self.born:
+            for row_id in [r for r, v in self.born.items() if v <= horizon]:
+                del self.born[row_id]
+
     def compact(self) -> None:
-        """Drop tombstones and rebuild all indexes."""
-        self.rows = [row for row in self.rows if row is not None]
+        """Drop tombstones and rebuild all indexes.
+
+        Unsafe while snapshots are pinned (row ids shift); callers compact
+        only from quiesced maintenance paths.
+        """
+        live = [
+            row
+            for row_id, row in enumerate(self.rows)
+            if row is not None and row_id not in self.died
+        ]
+        self.rows = live
+        self.born.clear()
+        self.died.clear()
         self.live_count = len(self.rows)
         for index in self._indexes:
             index.build(self)

@@ -1,0 +1,6 @@
+"""SPARQL 1.1 Protocol serving (asyncio HTTP endpoint over a store)."""
+
+from .app import SparqlServer
+from .http import HttpError, HttpRequest, HttpResponse
+
+__all__ = ["SparqlServer", "HttpError", "HttpRequest", "HttpResponse"]

@@ -1,0 +1,149 @@
+"""Minimal HTTP/1.1 wire handling for the SPARQL Protocol endpoint.
+
+Just enough of RFC 9112 for the protocol's needs — request line, headers,
+``Content-Length`` bodies, keep-alive — parsed straight off an asyncio
+stream. No chunked transfer coding (a 411 asks the client to send a
+length), no multipart. Header and body sizes are bounded so a hostile
+client cannot balloon memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: request line + headers must fit in this many bytes
+MAX_HEADER_BYTES = 64 * 1024
+#: request bodies (query/update text) are capped at this many bytes
+MAX_BODY_BYTES = 10 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    406: "Not Acceptable",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A malformed or unsupported request; maps to a status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: the line, lowercased headers, decoded target."""
+
+    method: str
+    target: str
+    path: str
+    params: dict[str, list[str]]
+    headers: dict[str, str]
+    body: bytes = b""
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    def form(self) -> dict[str, list[str]]:
+        """The urlencoded body as a parameter multidict."""
+        return parse_qs(self.body.decode("utf-8", "replace"), keep_blank_values=True)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = (self.header("connection") or "").lower()
+        return "close" not in connection
+
+
+@dataclass
+class HttpResponse:
+    """One response; :func:`render_response` turns it into wire bytes."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def text(
+        cls, status: int, text: str, content_type: str = "application/json"
+    ) -> "HttpResponse":
+        return cls(status, text.encode("utf-8"), content_type)
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` for malformed input (the caller answers with
+    the carried status and closes) and ``asyncio.IncompleteReadError`` when
+    the peer hangs up mid-request.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise HttpError(400, "truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(400, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(411, "chunked bodies are not supported; send Content-Length")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "malformed Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        if length:
+            body = await reader.readexactly(length)
+    split = urlsplit(target)
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path),
+        params=parse_qs(split.query, keep_blank_values=True),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(response: HttpResponse, keep_alive: bool) -> bytes:
+    """Serialize a response, setting Content-Length/-Type and Connection."""
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = dict(response.headers)
+    headers.setdefault("content-type", response.content_type)
+    headers.setdefault("content-length", str(len(response.body)))
+    headers.setdefault("connection", "keep-alive" if keep_alive else "close")
+    for name, value in headers.items():
+        lines.append(f"{name.title()}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + response.body

@@ -141,18 +141,21 @@ class SparqlEngine:
         return compiled, select, timings
 
     def compile_cached(
-        self, sparql: str, tracer: Tracer | None = None
+        self, sparql: str, tracer: Tracer | None = None, epoch: int | None = None
     ) -> CachedPlan:
         """Return the compiled plan for query text, reusing the plan cache.
 
         The key is the lexically canonicalized text plus the config
         fingerprint; a hit skips parse → dataflow → planbuild → merge →
         translate entirely. Entries compiled under an older stats epoch are
-        invalidated here.
+        invalidated here. ``epoch`` pins the lookup to a snapshot's epoch
+        instead of the live one, so snapshot readers neither reuse plans
+        from a future epoch nor clobber them.
         """
         key = canonicalize_sparql(sparql)
         fingerprint = self.config.fingerprint()
-        epoch = self.stats.epoch
+        if epoch is None:
+            epoch = self.stats.epoch
         if tracer is None:
             entry = self.cache.lookup(key, fingerprint, epoch)
         else:
@@ -232,17 +235,19 @@ class SparqlEngine:
         timeout: float | None = None,
         tracer: Tracer | None = None,
         budget: Any = None,
+        snapshot: Any = None,
+        epoch: int | None = None,
     ) -> SelectResult:
         if tracer is not None and tracer.enabled:
-            return self._query_traced(sparql, timeout, tracer, budget)
+            return self._query_traced(sparql, timeout, tracer, budget, snapshot, epoch)
         if isinstance(sparql, str) and self.cache.enabled:
-            plan = self.compile_cached(sparql)
+            plan = self.compile_cached(sparql, epoch=epoch)
             compiled, variables = plan.sql, list(plan.variables)
         else:
             compiled, select = self.compile(sparql)
             variables = select.projected_variables()
         columns, raw_rows = self.backend.execute(
-            compiled, timeout=timeout, budget=budget
+            compiled, timeout=timeout, budget=budget, snapshot=snapshot
         )
         if budget is not None:
             budget.enforce_output(len(raw_rows))
@@ -262,6 +267,8 @@ class SparqlEngine:
         timeout: float | None,
         tracer: Tracer,
         budget: Any = None,
+        snapshot: Any = None,
+        epoch: int | None = None,
     ) -> SelectResult:
         """The PROFILE path: same pipeline as :meth:`query`, with spans
         around compile / execute / decode and per-operator metering in the
@@ -269,7 +276,7 @@ class SparqlEngine:
         zero-overhead hot path."""
         with tracer.span("compile"):
             if isinstance(sparql, str) and self.cache.enabled:
-                plan = self.compile_cached(sparql, tracer)
+                plan = self.compile_cached(sparql, tracer, epoch=epoch)
                 compiled, variables = plan.sql, list(plan.variables)
             else:
                 compiled, select, _ = self._compile_stages(sparql, tracer)
@@ -277,7 +284,11 @@ class SparqlEngine:
         with tracer.span("execute", backend=self.backend.name) as span:
             try:
                 columns, raw_rows = self.backend.execute_profiled(
-                    compiled, timeout=timeout, tracer=tracer, budget=budget
+                    compiled,
+                    timeout=timeout,
+                    tracer=tracer,
+                    budget=budget,
+                    snapshot=snapshot,
                 )
             finally:
                 # Guardrail trips surface as span counters even when the

@@ -65,3 +65,85 @@ def project_rows(
         tuple(solution.get(variable) for variable in variables)
         for solution in solutions
     ]
+
+
+# ---------------------------------------------------------------------------
+# SPARQL 1.1 Protocol serialization (content negotiation for the server)
+# ---------------------------------------------------------------------------
+
+#: wire format name → response Content-Type
+CONTENT_TYPES = {
+    "json": "application/sparql-results+json",
+    "csv": "text/csv; charset=utf-8",
+    "tsv": "text/tab-separated-values; charset=utf-8",
+}
+
+#: media type (lowercased, parameters stripped) → wire format name
+_MEDIA_TYPES = {
+    "application/sparql-results+json": "json",
+    "application/json": "json",
+    "text/csv": "csv",
+    "text/tab-separated-values": "tsv",
+    "text/tsv": "tsv",
+    "*/*": "json",
+    "application/*": "json",
+    "text/*": "csv",
+}
+
+
+def negotiate_format(accept: str | None) -> str | None:
+    """Pick a result format from an HTTP ``Accept`` header.
+
+    Returns ``"json"`` / ``"csv"`` / ``"tsv"``, or ``None`` when every
+    offered media type is unsupported (the caller answers 406). A missing
+    or empty header means "anything": JSON, the protocol's richest format.
+    Quality values order the candidates; at equal q, more specific media
+    types win over ranges, then header order decides.
+    """
+    if accept is None or not accept.strip():
+        return "json"
+    candidates: list[tuple[float, int, int, str]] = []
+    for position, clause in enumerate(accept.split(",")):
+        parts = clause.strip().split(";")
+        media = parts[0].strip().lower()
+        if not media:
+            continue
+        quality = 1.0
+        for parameter in parts[1:]:
+            name, _, value = parameter.partition("=")
+            if name.strip().lower() == "q":
+                try:
+                    quality = float(value.strip())
+                except ValueError:
+                    quality = 0.0
+        fmt = _MEDIA_TYPES.get(media)
+        if fmt is None or quality <= 0.0:
+            continue
+        specificity = 0 if "*" in media else 1
+        candidates.append((quality, specificity, -position, fmt))
+    if not candidates:
+        return None
+    return max(candidates)[3]
+
+
+def serialize_select(result: SelectResult, fmt: str) -> str:
+    """Serialize a SELECT result in ``fmt`` (``json``/``csv``/``tsv``)."""
+    from . import serialize  # deferred: serialize imports this module
+
+    formatters = {
+        "json": serialize.to_json,
+        "csv": serialize.to_csv,
+        "tsv": serialize.to_tsv,
+    }
+    return formatters[fmt](result)
+
+
+def serialize_ask(value: bool, fmt: str) -> str:
+    """Serialize an ASK result: the W3C JSON boolean document, or a bare
+    ``true``/``false`` line for CSV/TSV (which the spec leaves undefined)."""
+    if fmt == "json":
+        import json
+
+        return json.dumps({"head": {}, "boolean": bool(value)})
+    text = "true" if value else "false"
+    return text + ("\r\n" if fmt == "csv" else "\n")

@@ -95,12 +95,25 @@ class Transaction:
         self._check_open()
         self.state = "committed"
         self.store._txn = None
-        if not self._ops:
-            return  # nothing changed: cached plans stay valid
-        if self.store._wal is not None:
-            self.store._wal.append(self._ops)
-        self.store.stats.bump_epoch()
-        self.store._engine = None
+        hooks = self.store.hooks
+        published = False
+        try:
+            if self._ops:
+                if hooks is not None:
+                    hooks.fire("commit.wal", ops=len(self._ops))
+                if self.store._wal is not None:
+                    self.store._wal.append(self._ops)
+                self.store.stats.bump_epoch()
+                self.store._engine = None
+                published = True
+            if hooks is not None:
+                hooks.fire("commit.publish.before", ops=len(self._ops))
+        finally:
+            # An empty batch aborts the backend bracket: no version is
+            # published, so snapshot GC horizons don't creep on no-ops.
+            self.store._end_write(publish=published)
+        if hooks is not None:
+            hooks.fire("commit.publish.after", ops=len(self._ops))
 
     def rollback(self) -> None:
         """Undo every effective write of this transaction, newest first.
@@ -110,11 +123,17 @@ class Transaction:
         self._check_open()
         self.state = "rolled-back"
         self.store._txn = None
-        for action, triple in reversed(self._undo):
-            if action == "add":
-                self.store._apply_add(triple)
-            else:
-                self.store._apply_remove(triple)
+        try:
+            for action, triple in reversed(self._undo):
+                if action == "add":
+                    self.store._apply_add(triple)
+                else:
+                    self.store._apply_remove(triple)
+        finally:
+            hooks = self.store.hooks
+            if hooks is not None:
+                hooks.fire("rollback", ops=len(self._ops))
+            self.store._end_write(publish=False)
 
     # ----------------------------------------------------- context manager
 

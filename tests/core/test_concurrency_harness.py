@@ -1,0 +1,97 @@
+"""The isolation harness: random writes, racing readers, committed states.
+
+Hypothesis generates update sequences (reusing the differential-testing
+statement generator); a shadow :class:`NativeMemoryStore` precomputes the
+probe answers after every committed prefix. Then a writer thread applies
+the sequence to the real store while reader threads race it, each reader
+taking *all* probes inside one snapshot. The isolation property under
+test: **every reader observation equals the store state at some committed
+epoch** — never a blend of two transactions, never a half-applied one.
+Runs against both backends; the OS scheduler provides the interleavings
+(the deterministic replays live in ``test_interleavings.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import RdfStore, SqliteBackend
+from repro.baselines.native_memory import NativeMemoryStore
+
+from ..conftest import figure1_graph
+from ..update.test_differential_updates import PROBES, statement
+
+READERS = 3
+
+
+def _probe_state(query) -> tuple:
+    """All probe answers as one hashable value (a committed-state key)."""
+    return tuple(tuple(query(probe).canonical()) for probe in PROBES)
+
+
+def _build_store(backend_name: str) -> RdfStore:
+    if backend_name == "sqlite":
+        return RdfStore.from_graph(figure1_graph(), backend=SqliteBackend())
+    return RdfStore.from_graph(figure1_graph())
+
+
+@pytest.mark.parametrize("backend_name", ["minirel", "sqlite"])
+@settings(max_examples=8, deadline=None)
+@given(statements=st.lists(statement(), min_size=1, max_size=5))
+def test_every_read_is_some_committed_state(backend_name, statements):
+    shadow = NativeMemoryStore.from_graph(figure1_graph())
+    committed = {_probe_state(shadow.query)}
+    for text in statements:
+        shadow.update(text)
+        committed.add(_probe_state(shadow.query))
+
+    store = _build_store(backend_name)
+    start = threading.Barrier(READERS + 1)
+    done = threading.Event()
+    observations: list[tuple] = []  # list.append is atomic under the GIL
+    failures: list[BaseException] = []
+
+    def observe_once() -> None:
+        with store.snapshot() as snap:
+            observations.append(_probe_state(snap.query))
+
+    def reader() -> None:
+        try:
+            start.wait(30)
+            while not done.is_set():
+                observe_once()
+            observe_once()  # one guaranteed read of the final state
+        except BaseException as exc:  # noqa: BLE001 - reported by the main thread
+            failures.append(exc)
+
+    def writer() -> None:
+        try:
+            start.wait(30)
+            for text in statements:
+                store.update(text)
+        except BaseException as exc:  # noqa: BLE001
+            failures.append(exc)
+        finally:
+            done.set()
+
+    threads = [threading.Thread(target=reader) for _ in range(READERS)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    assert not any(thread.is_alive() for thread in threads), "harness deadlocked"
+    assert not failures, failures
+
+    for observation in observations:
+        assert observation in committed, (
+            "a reader observed a state matching no committed prefix",
+            statements,
+            observation,
+        )
+    # Every reader's mandatory final read ran after the last commit: the
+    # terminal state is always among the observations.
+    assert _probe_state(store.query) in observations

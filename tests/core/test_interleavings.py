@@ -1,0 +1,241 @@
+"""Deterministic interleavings: known-nasty orderings, replayed exactly.
+
+The probabilistic harness finds races by racing; these tests *construct*
+the race. A :class:`ScriptedScheduler` registers gates on the store's
+hook points (``txn.begin``, ``commit.wal``, ``rollback``, …); a gate
+parks the thread that reaches it until the test releases it, so each
+scenario pins one thread at a precisely known instant — mid-commit with
+writes applied but unpublished, mid-rollback, inside the writer lock —
+while the test asserts what every other thread is allowed to see.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import RdfStore, SqliteBackend
+from repro.core.concurrency import StoreHooks
+
+from ..conftest import figure1_graph
+
+INDUSTRIES = "SELECT ?o WHERE { <Google> <industry> ?o }"
+INSERT = "INSERT DATA { <Google> <industry> <Robotics> }"
+DELETE = "DELETE DATA { <Google> <industry> <Software> }"
+
+WAIT = 10.0  # generous per-gate timeout: failure mode is a hang, not flake
+
+
+class Gate:
+    """A rendezvous point: the hooked thread parks until released."""
+
+    def __init__(self, point: str) -> None:
+        self.point = point
+        self.reached = threading.Event()
+        self.released = threading.Event()
+
+    def arrive(self) -> None:
+        self.reached.set()
+        if not self.released.wait(WAIT):
+            raise TimeoutError(f"gate {self.point!r} was never released")
+
+    def wait_reached(self) -> None:
+        if not self.reached.wait(WAIT):
+            raise TimeoutError(f"gate {self.point!r} was never reached")
+
+    def release(self) -> None:
+        self.released.set()
+
+
+class ScriptedScheduler:
+    """Installs gates on a store's hook points."""
+
+    def __init__(self, store: RdfStore) -> None:
+        store.hooks = StoreHooks()
+        self._hooks = store.hooks
+
+    def gate(self, point: str, occurrence: int = 1) -> Gate:
+        gate = Gate(point)
+        seen = [0]
+
+        def callback(_point: str, **_info) -> None:
+            seen[0] += 1
+            if seen[0] == occurrence:
+                gate.arrive()
+
+        self._hooks.on(point, callback)
+        return gate
+
+
+class Worker(threading.Thread):
+    """A thread that re-raises its exception at ``finish()``."""
+
+    def __init__(self, target) -> None:
+        super().__init__()
+        self._target_fn = target
+        self.error: BaseException | None = None
+
+    def run(self) -> None:
+        try:
+            self._target_fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in finish()
+            self.error = exc
+
+    def finish(self) -> None:
+        self.join(WAIT)
+        assert not self.is_alive(), "worker never finished"
+        if self.error is not None:
+            raise self.error
+
+
+def _values(result) -> set:
+    return {row[0] for row in result.key_rows()}
+
+
+@pytest.fixture(params=["minirel", "sqlite"])
+def store(request) -> RdfStore:
+    if request.param == "sqlite":
+        return RdfStore.from_graph(figure1_graph(), backend=SqliteBackend())
+    return RdfStore.from_graph(figure1_graph())
+
+
+def test_snapshot_requested_mid_commit_waits_for_a_whole_state(store):
+    """A snapshot acquired while a commit is in flight blocks on the
+    writer lock, then pins the *post*-commit state — never the torn one."""
+    scheduler = ScriptedScheduler(store)
+    mid_commit = scheduler.gate("commit.wal")
+    acquired = threading.Event()
+    seen: dict[str, set] = {}
+
+    def writer() -> None:
+        store.update(INSERT)
+
+    def reader() -> None:
+        with store.snapshot() as snap:
+            acquired.set()
+            seen["values"] = _values(snap.query(INDUSTRIES))
+
+    writer_thread = Worker(writer)
+    writer_thread.start()
+    mid_commit.wait_reached()  # writer parked: writes applied, unpublished
+    reader_thread = Worker(reader)
+    reader_thread.start()
+    assert not acquired.wait(0.3), (
+        "snapshot acquisition slipped past an in-flight commit"
+    )
+    mid_commit.release()
+    reader_thread.finish()
+    writer_thread.finish()
+    assert seen["values"] == {"Software", "Internet", "Robotics"}
+
+
+def test_snapshot_taken_before_commit_never_sees_it(store):
+    """Scripted commit-between-acquire-and-read: the snapshot was pinned
+    first, so the commit that completes in the gap is invisible to it."""
+    scheduler = ScriptedScheduler(store)
+    pinned = scheduler.gate("snapshot.acquire")
+    seen: dict[str, set] = {}
+
+    def reader() -> None:
+        with store.snapshot() as snap:  # parks in the acquire hook
+            seen["values"] = _values(snap.query(INDUSTRIES))
+
+    reader_thread = Worker(reader)
+    reader_thread.start()
+    pinned.wait_reached()
+    store.update(INSERT)  # a whole commit lands inside the gap
+    store.update(DELETE)  # and a second one
+    pinned.release()
+    reader_thread.finish()
+    assert seen["values"] == {"Software", "Internet"}
+    assert _values(store.query(INDUSTRIES)) == {"Internet", "Robotics"}
+
+
+def test_snapshot_reads_pre_state_while_writer_holds_applied_writes(store):
+    """The central isolation claim, scripted: a writer is parked
+    mid-commit with every row mutation already applied; a previously
+    pinned snapshot still answers with the pre-transaction state."""
+    scheduler = ScriptedScheduler(store)
+    mid_commit = scheduler.gate("commit.wal")
+    snap = store.snapshot()
+    writer_thread = Worker(lambda: store.update(DELETE))
+    writer_thread.start()
+    mid_commit.wait_reached()
+    try:
+        # The reader runs concurrently with the parked writer: snapshot
+        # reads never touch the writer lock.
+        assert _values(snap.query(INDUSTRIES)) == {"Software", "Internet"}
+    finally:
+        mid_commit.release()
+        writer_thread.finish()
+        snap.close()
+    assert _values(store.query(INDUSTRIES)) == {"Internet"}
+
+
+def test_rollback_after_snapshot_restores_both_views(store):
+    """A transaction applies writes, then rolls back while parked; the
+    snapshot (pinned before it) and the store (after it) agree the
+    transaction never happened."""
+    scheduler = ScriptedScheduler(store)
+    mid_rollback = scheduler.gate("rollback")
+    snap = store.snapshot()
+    before = store.query(INDUSTRIES)
+
+    def writer() -> None:
+        try:
+            with store.transaction():
+                store.update(INSERT)
+                store.update(DELETE)
+                raise RuntimeError("scripted failure")
+        except RuntimeError:
+            pass
+
+    writer_thread = Worker(writer)
+    writer_thread.start()
+    mid_rollback.wait_reached()  # undo replayed, bracket still held
+    try:
+        assert _values(snap.query(INDUSTRIES)) == _values(before)
+    finally:
+        mid_rollback.release()
+        writer_thread.finish()
+    assert _values(store.query(INDUSTRIES)) == _values(before)
+    with store.snapshot() as fresh:
+        assert _values(fresh.query(INDUSTRIES)) == _values(before)
+    snap.close()
+
+
+def test_two_writers_serialize_behind_the_lock(store):
+    """Writer B's transaction cannot begin until writer A's commits: the
+    ``txn.begin`` hook fires exactly once while A is parked inside its
+    bracket, and the commit order matches the begin order."""
+    scheduler = ScriptedScheduler(store)
+    a_begun = scheduler.gate("txn.begin", occurrence=1)
+    b_begun = scheduler.gate("txn.begin", occurrence=2)
+    b_begun.release()  # only A's begin is scripted
+    order: list[str] = []
+    b_started = threading.Event()
+
+    def writer_a() -> None:
+        store.update(INSERT)  # parks at txn.begin, lock held
+        order.append("a-committed")
+
+    def writer_b() -> None:
+        b_started.set()
+        store.update(DELETE)  # must queue behind A
+        order.append("b-committed")
+
+    thread_a = Worker(writer_a)
+    thread_a.start()
+    a_begun.wait_reached()
+    thread_b = Worker(writer_b)
+    thread_b.start()
+    assert b_started.wait(WAIT)
+    assert not b_begun.reached.wait(0.3), (
+        "writer B entered its transaction while A held the writer lock"
+    )
+    a_begun.release()
+    thread_a.finish()
+    thread_b.finish()
+    assert order == ["a-committed", "b-committed"]
+    assert _values(store.query(INDUSTRIES)) == {"Internet", "Robotics"}

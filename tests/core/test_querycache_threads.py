@@ -1,0 +1,105 @@
+"""Plan-cache counter exactness under concurrency.
+
+The counters were read-modify-write on the probing thread; two racing
+probes could lose an increment, leaving ``hits + misses + invalidations``
+short of the lookups actually served — a small lie that compounds in any
+dashboard fed by ``cache_info()``. Now a single lock makes each probe's
+classification and its counter bump one atomic step; these tests hammer
+the cache from many threads and assert the books balance to the op.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro import RdfStore
+from repro.core.querycache import CachedPlan, QueryCache
+
+from ..conftest import figure1_graph
+
+THREADS = 8
+OPS_PER_THREAD = 2_000
+
+
+def test_counters_balance_exactly_under_contention():
+    cache = QueryCache(maxsize=8)  # small: force evictions too
+    barrier = threading.Barrier(THREADS)
+
+    def hammer(seed: int) -> None:
+        rng = random.Random(seed)
+        barrier.wait()
+        for _ in range(OPS_PER_THREAD):
+            text = f"q{rng.randrange(12)}"
+            epoch = rng.randrange(3)
+            plan, outcome = cache.probe(text, (), epoch)
+            assert outcome in ("hit", "miss", "invalidated")
+            if plan is None:
+                cache.store(
+                    text, (), CachedPlan(sql=None, variables=(), epoch=epoch)
+                )
+
+    threads = [threading.Thread(target=hammer, args=(n,)) for n in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    assert not any(thread.is_alive() for thread in threads)
+
+    info = cache.info()
+    total = THREADS * OPS_PER_THREAD
+    assert info.hits + info.misses + info.invalidations == total
+    assert info.lookups == total
+    assert info.size <= info.maxsize
+
+
+def test_store_counters_stay_consistent_with_live_traffic():
+    store = RdfStore.from_graph(figure1_graph())
+    queries = [
+        "SELECT ?o WHERE { <Google> <industry> ?o }",
+        "SELECT ?s WHERE { ?s <industry> <Software> }",
+        "SELECT ?p ?o WHERE { <IBM> ?p ?o }",
+    ]
+    baseline = store.cache_info().lookups
+    per_reader = 40
+    readers = 4
+    barrier = threading.Barrier(readers + 1)
+    failures: list[BaseException] = []
+
+    def reader(seed: int) -> None:
+        rng = random.Random(seed)
+        try:
+            barrier.wait(30)
+            for i in range(per_reader):
+                text = queries[rng.randrange(len(queries))]
+                if i % 3 == 0:
+                    with store.snapshot() as snap:
+                        snap.query(text)
+                else:
+                    store.query(text)
+        except BaseException as exc:  # noqa: BLE001
+            failures.append(exc)
+
+    def writer() -> None:
+        try:
+            barrier.wait(30)
+            for i in range(10):
+                store.update(
+                    f"INSERT DATA {{ <W{i}> <fresh_pred> <V{i}> }}"
+                )
+        except BaseException as exc:  # noqa: BLE001
+            failures.append(exc)
+
+    threads = [threading.Thread(target=reader, args=(n,)) for n in range(readers)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    assert not any(thread.is_alive() for thread in threads)
+    assert not failures, failures
+
+    info = store.cache_info()
+    # Every query() above performs exactly one cache lookup; none lost.
+    assert info.lookups - baseline == readers * per_reader
+    assert info.hits + info.misses + info.invalidations == info.lookups
