@@ -1,0 +1,221 @@
+"""Vectorized-executor benchmark: batch sizes, query shapes, load overhead.
+
+Compares the batched, dictionary-encoded executor against the retained
+tuple-at-a-time baseline (``batch_size=0, intern_terms=False``) at the
+execution level: SQL is compiled and parsed once, then ``db.execute`` runs
+the prepared statement, so the measured time is operator work plus result
+materialization (dictionary decode included) with no compile noise.
+
+Three query shapes stress different operator mixes:
+
+* **star** — the paper's Section 2.1 entity stars: scan + multi-predicate
+  filters, where whole-chunk filter kernels and columnar projection
+  dominate. This is where vectorization pays the most.
+* **chain** — multi-hop ``?a next ?b . ?b next ?c`` paths: per-row hash
+  index probes dominate, which are inherently scalar work (one dict
+  lookup per left row), so the ceiling is much lower than for stars.
+* **lubm** — small LUBM-style lookups, reported for context only; most
+  return a handful of rows, so fixed per-query costs swamp the ratio.
+
+Dictionary-encode load overhead is measured on alternating full store
+builds (interning on / off) and reported as the median per-round ratio,
+which cancels slow machine drift that back-to-back means would absorb.
+
+Gated metrics (``check_regressions.py``): ``batch_speedup_star``,
+``batch_speedup_chain``, ``dict_encode_overhead``.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+import pytest
+from conftest import SCALE, record_metric, report, scaled
+
+from repro import RdfStore
+from repro.backends.minirel import MiniRelBackend
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Triple, URI
+from repro.relational.parser import parse_sql
+from repro.workloads import lubm, microbench
+
+#: chunk sizes under comparison (default DEFAULT_BATCH_SIZE is 256)
+BATCH_SIZES = (64, 256, 1024)
+DEFAULT_BATCH = 256
+
+CHAIN_BASE = "http://example.org/chain/"
+
+#: floors below which the measured ratios are fixed-cost noise, applied on
+#: top of REPRO_BENCH_SCALE so even smoke CI runs measure real work
+MIN_STAR_TRIPLES = 20_000
+MIN_CHAIN_ENTITIES = 4_000
+
+STAR_QUERY_NAMES = ("Q1", "Q2", "Q7", "Q10")
+
+
+def chain_graph(entities: int, seed: int = 7) -> Graph:
+    """A ring of ``next`` edges plus a 20-valued ``kind`` attribute."""
+    rng = random.Random(seed)
+    graph = Graph()
+    base = CHAIN_BASE
+    nxt, kind = URI(base + "next"), URI(base + "kind")
+    for i in range(entities):
+        subject = URI(f"{base}e{i}")
+        graph.add(Triple(subject, nxt, URI(f"{base}e{(i + 1) % entities}")))
+        graph.add(Triple(subject, kind, URI(f"{base}kind{rng.randrange(20)}")))
+    return graph
+
+
+def chain_queries() -> dict[str, str]:
+    b = CHAIN_BASE
+    return {
+        "C2": (
+            f"SELECT ?a ?c WHERE {{ ?a <{b}next> ?b . ?b <{b}next> ?c . "
+            f"?a <{b}kind> <{b}kind3> . }}"
+        ),
+        "C3": (
+            f"SELECT ?a ?d WHERE {{ ?a <{b}next> ?b . ?b <{b}next> ?c . "
+            f"?c <{b}next> ?d . ?a <{b}kind> <{b}kind3> . "
+            f"?d <{b}kind> <{b}kind7> . }}"
+        ),
+        "C2u": f"SELECT ?a ?c WHERE {{ ?a <{b}next> ?b . ?b <{b}next> ?c . }}",
+    }
+
+
+def prepare(store: RdfStore, sparql: str):
+    """Compile to SQL once and parse it: the reusable prepared statement."""
+    compiled, _ = store.engine.compile(sparql)
+    statements = list(parse_sql(store.backend.sql_text(compiled)))
+    assert len(statements) == 1
+    return statements[0]
+
+
+def best_exec(store: RdfStore, statement, repeats: int = 3):
+    """Best-of-N wall time of ``db.execute`` on a prepared statement."""
+    best = float("inf")
+    rows = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = store.backend.db.execute(statement)
+        best = min(best, time.perf_counter() - start)
+        rows = len(result.rows)
+    return best, rows
+
+
+def _speedup_table(graph, queries: dict[str, str]):
+    """Per-query speedups of every batch size over the scalar baseline.
+
+    Returns ``(table_text, {batch_size: {query: speedup}})``; asserts that
+    every configuration returns the same number of rows as the baseline.
+    """
+    baseline = RdfStore.from_graph(
+        graph, backend=MiniRelBackend(batch_size=0, intern_terms=False)
+    )
+    batched = {
+        size: RdfStore.from_graph(
+            graph, backend=MiniRelBackend(batch_size=size, intern_terms=True)
+        )
+        for size in BATCH_SIZES
+    }
+    speedups: dict[int, dict[str, float]] = {size: {} for size in BATCH_SIZES}
+    lines = [
+        f"{'query':8s} {'rows':>7s} {'base ms':>9s} "
+        + " ".join(f"b={size:<5d}" for size in BATCH_SIZES)
+    ]
+    for name, sparql in queries.items():
+        base_time, base_rows = best_exec(baseline, prepare(baseline, sparql))
+        cells = []
+        for size, store in batched.items():
+            fast_time, fast_rows = best_exec(store, prepare(store, sparql))
+            assert fast_rows == base_rows, (name, size, fast_rows, base_rows)
+            speedups[size][name] = base_time / fast_time
+            cells.append(f"{base_time / fast_time:6.2f}x")
+        lines.append(
+            f"{name:8s} {base_rows:7d} {base_time * 1e3:9.2f} " + " ".join(cells)
+        )
+    return "\n".join(lines), speedups
+
+
+def _geomean(values) -> float:
+    return statistics.geometric_mean(list(values))
+
+
+@pytest.fixture(scope="module")
+def star_graph():
+    return microbench.generate(
+        target_triples=max(MIN_STAR_TRIPLES, scaled(60_000))
+    ).graph
+
+
+def test_batch_star(star_graph):
+    queries = {
+        name: sparql
+        for name, sparql in microbench.queries().items()
+        if name in STAR_QUERY_NAMES
+    }
+    table, speedups = _speedup_table(star_graph, queries)
+    report("batch execution: star queries (speedup over tuple-at-a-time)", table)
+    record_metric(
+        "batch_speedup_star", round(_geomean(speedups[DEFAULT_BATCH].values()), 2)
+    )
+    best = max(BATCH_SIZES, key=lambda size: _geomean(speedups[size].values()))
+    record_metric("batch_best_size_star", best)
+
+
+def test_batch_chain():
+    graph = chain_graph(max(MIN_CHAIN_ENTITIES, int(8_000 * SCALE)))
+    table, speedups = _speedup_table(graph, chain_queries())
+    report("batch execution: chain queries (speedup over tuple-at-a-time)", table)
+    record_metric(
+        "batch_speedup_chain", round(_geomean(speedups[DEFAULT_BATCH].values()), 2)
+    )
+
+
+def test_batch_lubm():
+    universities = max(1, int(2 * SCALE))
+    data = lubm.generate(universities=universities)
+    queries = lubm.queries(universities=universities)
+    names = list(queries)[:4]
+    table, speedups = _speedup_table(
+        data.graph, {name: queries[name] for name in names}
+    )
+    report("batch execution: LUBM-style queries (context, not gated)", table)
+    record_metric(
+        "batch_speedup_lubm", round(_geomean(speedups[DEFAULT_BATCH].values()), 2)
+    )
+
+
+def test_dict_load_overhead(star_graph):
+    """Store-build overhead of dictionary interning, alternating rounds.
+
+    The collector is paused around each timed build: interning allocates
+    roughly twice the objects of a plain load, and with the large live
+    heap a bench session accumulates, cyclic-GC passes triggered by that
+    allocation rate would be billed (superlinearly) to the dictionary.
+    """
+    import gc
+
+    rounds = 5
+    ratios = []
+    for _ in range(rounds):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            RdfStore.from_graph(star_graph, backend=MiniRelBackend(intern_terms=True))
+            with_dict = time.perf_counter() - start
+            start = time.perf_counter()
+            RdfStore.from_graph(star_graph, backend=MiniRelBackend(intern_terms=False))
+            without = time.perf_counter() - start
+        finally:
+            gc.enable()
+        ratios.append(with_dict / without - 1.0)
+    overhead = statistics.median(ratios)
+    report(
+        "dictionary-encode load overhead",
+        f"median of {rounds} alternating rounds: {overhead * 100:+.1f}%\n"
+        f"rounds: {' '.join(f'{r * 100:+.1f}%' for r in ratios)}",
+    )
+    record_metric("dict_encode_overhead", round(overhead, 4))

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Append this run's smoke-benchmark metrics to the perf-trend history.
+
+CI calls this on every push to main after the smoke benches: it reads
+``benchmarks/out/results.json`` and appends one JSON line to
+``benchmarks/out/history.jsonl`` keyed by commit SHA and UTC timestamp.
+The history file itself is carried between runs by the workflow (cache
+restore → append → cache save) and published as an artifact, giving a
+greppable per-commit record of every gated and informational metric —
+enough to spot slow drift that the hard gates are too coarse to catch.
+
+Usage::
+
+    python benchmarks/perf_trend.py --sha "$GITHUB_SHA" [--scale 0.05]
+
+Stdlib only. Appending the same SHA twice is skipped (idempotent re-runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from datetime import datetime, timezone
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+RESULTS = OUT_DIR / "results.json"
+HISTORY = OUT_DIR / "history.jsonl"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sha", required=True, help="commit SHA for this run")
+    parser.add_argument("--scale", default=None, help="REPRO_BENCH_SCALE used")
+    parser.add_argument(
+        "--history", default=str(HISTORY), help="history file to append to"
+    )
+    args = parser.parse_args()
+
+    if not RESULTS.exists():
+        print(f"perf-trend: {RESULTS} missing — did the benches run?")
+        return 1
+    metrics = json.loads(RESULTS.read_text())
+
+    history = pathlib.Path(args.history)
+    history.parent.mkdir(parents=True, exist_ok=True)
+    if history.exists():
+        for line in history.read_text().splitlines():
+            try:
+                if json.loads(line).get("sha") == args.sha:
+                    print(f"perf-trend: {args.sha[:12]} already recorded, skipping")
+                    return 0
+            except ValueError:
+                continue  # tolerate a torn line from an interrupted run
+
+    record = {
+        "sha": args.sha,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scale": args.scale,
+        "metrics": metrics,
+    }
+    with open(history, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    entries = sum(1 for _ in open(history))
+    print(
+        f"perf-trend: appended {args.sha[:12]} "
+        f"({len(metrics)} metrics, {entries} entries total)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

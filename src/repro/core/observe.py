@@ -115,6 +115,44 @@ class Span:
 
         return counted()
 
+    def meter_batches(self, chunks: Iterable, key: str = "rows_out") -> Iterator:
+        """:meth:`meter` for the vectorized executor: each item is a *chunk*
+        (list of rows); counters record logical rows, so traces are
+        batch-size independent."""
+        def metered() -> Iterator:
+            iterator = iter(chunks)
+            produced = 0
+            elapsed = 0.0
+            try:
+                while True:
+                    started = perf_counter()
+                    try:
+                        chunk = next(iterator)
+                    except StopIteration:
+                        elapsed += perf_counter() - started
+                        return
+                    elapsed += perf_counter() - started
+                    produced += len(chunk)
+                    yield chunk
+            finally:
+                self.inc(key, produced)
+                self.seconds += elapsed
+
+        return metered()
+
+    def count_batches(self, chunks: Iterable, key: str) -> Iterator:
+        """:meth:`count` over chunks — counts logical rows, no timing."""
+        def counted() -> Iterator:
+            produced = 0
+            try:
+                for chunk in chunks:
+                    produced += len(chunk)
+                    yield chunk
+            finally:
+                self.inc(key, produced)
+
+        return counted()
+
     # ----------------------------------------------------------- traversal
 
     def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:

@@ -12,6 +12,7 @@ indexes and as members of interference-graph node sets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Union
 
 # Well-known datatype URIs used for literal coercion.
@@ -138,8 +139,14 @@ def term_key(term: Term) -> str:
     return term.n3()
 
 
+@lru_cache(maxsize=65536)
 def term_from_key(key: str) -> Term:
-    """Inverse of :func:`term_key` (best effort for literals)."""
+    """Inverse of :func:`term_key` (best effort for literals).
+
+    Memoized: result decoding calls this once per value of every result
+    row, and real workloads repeat the same entities across rows and
+    queries. Terms are immutable, so sharing instances is safe.
+    """
     if key.startswith("_:"):
         return BNode(key[2:])
     if key.startswith('"'):

@@ -5,11 +5,15 @@ from __future__ import annotations
 from typing import Any, Iterable, Sequence
 
 from . import ast
+from .dictionary import StringDictionary
 from .errors import CatalogError
 from .index import HashIndex
 from .mvcc import MvccController
 from .table import Table, TableSchema
 from .types import ColumnType
+
+#: default rows per execution batch (0 = tuple-at-a-time)
+DEFAULT_BATCH_SIZE = 256
 
 
 class Database:
@@ -18,13 +22,28 @@ class Database:
     This is the top-level object of the relational substrate. It can be used
     standalone (``db.execute("SELECT ...")`` with SQL text) or programmatically
     with AST statements, which is how the RDF store drives it.
+
+    ``batch_size`` selects the vectorized executor: operators stream lists
+    of up to that many rows instead of single tuples (0 restores the
+    tuple-at-a-time pipeline, kept as the measured baseline).
+    ``intern_strings`` dictionary-encodes every TEXT value at insert time;
+    results are decoded back to text at this ``execute`` boundary, so
+    callers never observe ids (late materialization).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        intern_strings: bool = True,
+    ) -> None:
         self.tables: dict[str, Table] = {}
         self.indexes: dict[str, HashIndex] = {}
         #: snapshot-read version state shared by every table
         self.mvcc = MvccController()
+        self.batch_size = batch_size
+        self.dictionary: StringDictionary | None = (
+            StringDictionary() if intern_strings else None
+        )
 
     # ------------------------------------------------------------------ DDL
 
@@ -40,6 +59,8 @@ class Database:
                 return self.tables[key]
             raise CatalogError(f"table {name!r} already exists")
         table = Table(TableSchema(name, columns))
+        if self.dictionary is not None:
+            table.set_dictionary(self.dictionary)
         self.mvcc.register(table)
         self.tables[key] = table
         return table
@@ -116,8 +137,34 @@ class Database:
                 )
             if results is None:
                 raise CatalogError("empty SQL script")
-            return results
-        return run_statement(self, statement, deadline, trace, budget, version)
+            return self._materialize(results)
+        return self._materialize(
+            run_statement(self, statement, deadline, trace, budget, version)
+        )
+
+    def _materialize(self, result: "QueryResult") -> "QueryResult":
+        """Decode dictionary ids back to text at the result boundary."""
+        if self.dictionary is None:
+            return result
+        # Decoded rows no longer honor affinity claims ("TEXT slots hold
+        # only ids"); drop them so stale claims cannot leak into planning.
+        result.column_types = None
+        # Exact-type check against this database's EncodedString subclass:
+        # every id in these rows was minted by our dictionary, and type()
+        # is measurably cheaper than isinstance() on this per-value path.
+        # Decoding runs column-at-a-time: transpose once (zip is a C loop),
+        # decode each column in one comprehension, transpose back — instead
+        # of detect-and-rebuild tuple work per row.
+        cls = self.dictionary.cls
+        lexicon = cls.lexicon
+        rows = result.rows
+        if rows and rows[0]:
+            decoded = [
+                [lexicon[v] if type(v) is cls else v for v in column]
+                for column in zip(*rows)
+            ]
+            rows[:] = zip(*decoded)
+        return result
 
 
 class QueryResult:
@@ -126,6 +173,9 @@ class QueryResult:
     def __init__(self, columns: list[str], rows: list[tuple]) -> None:
         self.columns = columns
         self.rows = rows
+        #: per-column affinities inferred by the planner (None = unknown);
+        #: consumed by filter kernels when this result is scanned as a CTE
+        self.column_types: list | None = None
 
     def __iter__(self):
         return iter(self.rows)

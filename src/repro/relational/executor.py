@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Iterable, Iterator
 
+from .dictionary import EncodedString
 from .errors import QueryTimeout
 from .expressions import Evaluator
 from .index import HashIndex
@@ -54,6 +55,31 @@ class Ticker:
         if self.deadline is None:
             return
         self._count += 1
+        if self._count >= self.CHECK_EVERY:
+            self._count = 0
+            if time.monotonic() > self.deadline:
+                if budget is not None:
+                    budget.trip("timeout")
+                raise QueryTimeout("query exceeded its deadline")
+
+    def tick_batch(self, count: int) -> None:
+        """Account ``count`` logical rows at once (the batched executor's
+        per-chunk equivalent of ``count`` scalar ticks).
+
+        Row budgets count *rows inside the batch*, not batches: a 1-row
+        ``max_intermediate_rows`` budget trips on the first chunk of a
+        larger scan, exactly as the tuple-at-a-time pipeline would."""
+        if not self.active or count <= 0:
+            return
+        budget = self.budget
+        if budget is not None:
+            budget.ticks += count
+            cap = budget.max_intermediate_rows
+            if cap is not None and budget.ticks > cap:
+                budget.trip("intermediate")
+        if self.deadline is None:
+            return
+        self._count += count
         if self._count >= self.CHECK_EVERY:
             self._count = 0
             if time.monotonic() > self.deadline:
@@ -232,6 +258,8 @@ class AggregateState:
             self.seen.add(value)
         self.count += 1
         if self.func in ("SUM", "AVG"):
+            if isinstance(value, EncodedString):
+                value = value.lexicon[value]
             numeric = float(value) if not isinstance(value, (int, float)) else value
             self.total = numeric if self.total is None else self.total + numeric
         elif self.func == "MIN":

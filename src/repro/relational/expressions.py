@@ -15,6 +15,7 @@ import re
 from typing import Any, Callable, Sequence
 
 from . import ast
+from .dictionary import EncodedString
 from .errors import ExecutionError, PlanError
 from .types import compare, tv_and, tv_not, tv_or
 
@@ -80,7 +81,9 @@ class Scope:
 def _numeric(value: Any, op: str) -> float | int:
     if isinstance(value, bool):
         return int(value)
-    if isinstance(value, (int, float)):
+    if isinstance(value, EncodedString):
+        value = value.lexicon[value]  # text semantics, never the raw id
+    elif isinstance(value, (int, float)):
         return value
     if isinstance(value, str):
         try:
@@ -344,10 +347,30 @@ def _compile_func(expr: ast.FuncCall, scope: Scope) -> Evaluator:
 
     if name in CUSTOM_FUNCTIONS:
         fn = CUSTOM_FUNCTIONS[name]
+        # Custom functions (the RDF_* term helpers) receive lexical forms,
+        # never dictionary ids.
         if len(args) == 1:
             (arg,) = args
-            return lambda row: fn(arg(row))
-        return lambda row: fn(*(arg(row) for arg in args))
+
+            def call1(row: Row) -> Any:
+                value = arg(row)
+                if isinstance(value, EncodedString):
+                    value = value.lexicon[value]
+                return fn(value)
+
+            return call1
+
+        def call_n(row: Row) -> Any:
+            return fn(
+                *(
+                    value.lexicon[value]
+                    if isinstance(value := arg(row), EncodedString)
+                    else value
+                    for arg in args
+                )
+            )
+
+        return call_n
 
     raise PlanError(f"unsupported function {expr.name!r}")
 

@@ -25,10 +25,19 @@ class HashIndex:
         self._buckets: dict[tuple, list[int]] = defaultdict(list)
         #: number of probes served (observability for plan tests/tuning)
         self.probe_count = 0
+        # Almost every index is single-column (the paper's entry indexes),
+        # and _key runs once per inserted row: specialize that case.
+        if len(self.positions) == 1:
+            position = self.positions[0]
+
+            def single_key(row: tuple) -> tuple:
+                return (row[position],)
+
+            self._key = single_key
         table.register_index(self)
 
     def _key(self, row: tuple) -> tuple:
-        return tuple(row[position] for position in self.positions)
+        return tuple([row[position] for position in self.positions])
 
     def build(self, table: Table) -> None:
         self._buckets.clear()

@@ -13,6 +13,18 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
 from . import ast
+from .batch import (
+    chunk_list,
+    chunked,
+    compile_filter_kernel,
+    compile_projection_kernel,
+    filter_batches,
+    flatten,
+    hash_join_batches,
+    index_join_batches,
+    index_scan_batches,
+    seq_scan_batches,
+)
 from .catalog import Database, QueryResult
 from .errors import PlanError
 from .executor import (
@@ -29,7 +41,7 @@ from .executor import (
 from .expressions import Scope, compile_expr, contains_aggregate, expr_columns
 from .index import HashIndex, find_index
 from .table import Table
-from .types import sort_key
+from .types import ColumnType, sort_key
 
 Row = tuple
 RowsFactory = Callable[[], Iterator[Row]]
@@ -43,6 +55,9 @@ class PlannedUnit:
     scope: Scope
     factory: RowsFactory
     base: Table | None
+    #: per-slot column affinities aligned with ``scope`` (None entries =
+    #: unknown provenance); lets filter kernels pick exact equality forms
+    types: list[ColumnType | None] | None = None
 
 
 def run_statement(
@@ -175,6 +190,10 @@ class Planner:
         self.trace = trace
         #: MVCC snapshot version every table scan pins (None = latest)
         self.version = version
+        #: rows per chunk for the vectorized pipeline (0 = tuple-at-a-time);
+        #: when set, every FROM source streams chunks and operators use the
+        #: batched equivalents from :mod:`batch`
+        self.batch = db.batch_size or 0
 
     # ------------------------------------------------------------- queries
 
@@ -254,12 +273,33 @@ class Planner:
         columns = left.columns or right.columns
         rows = self._order_output(rows, columns, query.order_by)
         rows = _apply_limit(rows, query.limit, query.offset)
-        return QueryResult(columns, rows)
+        result = QueryResult(columns, rows)
+        # Affinity meet: a slot keeps its claim only when both branches
+        # agree (every output row came from one of them).
+        left_types = getattr(left, "column_types", None)
+        right_types = getattr(right, "column_types", None)
+        if (
+            left_types is not None
+            and right_types is not None
+            and len(left_types) == len(right_types)
+        ):
+            meet = [
+                a if a is b else None
+                for a, b in zip(left_types, right_types)
+            ]
+            if any(m is not None for m in meet):
+                result.column_types = meet
+        return result
 
     # -------------------------------------------------------------- select
 
     def _execute_select(self, select: ast.Select) -> QueryResult:
-        scope, rows = self._plan_from_where(select)
+        scope, scope_types, rows = self._plan_from_where(select)
+        if self.batch:
+            # The pipeline streamed chunks; downstream consumers (aggregate
+            # loop, materialization) take rows. chain.from_iterable is a
+            # C-level flatten, so this keeps the batched wins.
+            rows = flatten(rows)
 
         is_aggregate = (
             bool(select.group_by)
@@ -270,6 +310,7 @@ class Planner:
             )
         )
         if is_aggregate:
+            base_scope = scope
             if self.trace is None:
                 scope, rows = self._aggregate(select, scope, rows)
             else:
@@ -279,6 +320,7 @@ class Planner:
                         select, scope, span.count(rows, "rows_in")
                     )
                     span.set("rows_out", len(rows))
+            scope_types = self._extend_agg_types(scope_types, base_scope)
             if select.having is not None:
                 condition = compile_expr(
                     _rewrite_with_index(select.having, self._agg_index), scope
@@ -292,6 +334,19 @@ class Planner:
                 _rewrite_with_index(expr, self._agg_index) for expr in item_exprs
             ]
         evaluators = [compile_expr(expr, scope) for expr in item_exprs]
+        # Batch mode: project whole row lists through a compiled kernel
+        # (itemgetter / generated comprehension) when the items allow it.
+        kernel = (
+            compile_projection_kernel(item_exprs, scope) if self.batch else None
+        )
+
+        def project(rows_list: list[Row]) -> list[Row]:
+            if kernel is not None:
+                return kernel(rows_list)
+            return [
+                tuple(evaluator(row) for evaluator in evaluators)
+                for row in rows_list
+            ]
 
         needs_scope_sort = False
         order_plan: list[tuple[str, Any, bool]] = []  # (kind, key, ascending)
@@ -306,23 +361,55 @@ class Planner:
             materialized = self._sort_scope_rows(
                 materialized, order_plan, evaluators, scope
             )
-            projected = [
-                tuple(evaluator(row) for evaluator in evaluators)
-                for row in materialized
-            ]
+            projected = project(materialized)
             if select.distinct:
                 projected = self._distinct(projected)
         else:
-            projected = [
-                tuple(evaluator(row) for evaluator in evaluators)
-                for row in materialized
-            ]
+            projected = project(materialized)
             if select.distinct:
                 projected = self._distinct(projected)
             if order_plan:
                 projected = _sort_projected(projected, order_plan)
         projected = _apply_limit(projected, select.limit, select.offset)
-        return QueryResult(column_names, projected)
+        if self.db.dictionary is not None and (
+            is_aggregate
+            or any(not isinstance(expr, ast.Column) for expr in item_exprs)
+        ):
+            # Pure-column projections are canonical by induction (base TEXT
+            # columns are interned; CTE/subquery results were canonicalized
+            # when produced); only computed items — or aggregates over
+            # computed arguments — can mint plain strings.
+            _canonicalize_rows(projected, self.db.dictionary.lookup)
+        result = QueryResult(column_names, projected)
+        # Affinity inference for downstream kernels: a CTE scanning this
+        # result knows which slots hold only interned TEXT ids.
+        result.column_types = _output_affinities(item_exprs, scope, scope_types)
+        return result
+
+    def _extend_agg_types(
+        self,
+        scope_types: list[ColumnType | None] | None,
+        base_scope: Scope,
+    ) -> list[ColumnType | None] | None:
+        """Affinities for the aggregate-extended scope: the representative
+        row keeps the input slots' affinities; MIN/MAX of a column carry
+        its affinity through (they return a stored value or NULL)."""
+        extra: list[ColumnType | None] = []
+        for aggregate, _ in sorted(self._agg_index.items(), key=lambda kv: kv[1]):
+            affinity = None
+            if aggregate.func.upper() in ("MIN", "MAX") and isinstance(
+                aggregate.arg, ast.Column
+            ):
+                affinity = _infer_affinity(aggregate.arg, base_scope, scope_types)
+            extra.append(affinity)
+        if scope_types is None and not any(a is not None for a in extra):
+            return None
+        base = (
+            scope_types
+            if scope_types is not None
+            else [None] * len(base_scope)
+        )
+        return list(base) + extra
 
     def _distinct(self, projected: list[Row]) -> list[Row]:
         deduped = list(dict.fromkeys(projected))
@@ -389,14 +476,20 @@ class Planner:
 
     # ---------------------------------------------------------- FROM/WHERE
 
-    def _plan_from_where(self, select: ast.Select) -> tuple[Scope, Iterable[Row]]:
+    def _plan_from_where(
+        self, select: ast.Select
+    ) -> tuple[Scope, list[ColumnType | None] | None, Iterable[Row]]:
+        """Plan FROM/WHERE; returns (scope, per-slot affinities, rows)."""
         if select.from_ is None:
             scope = Scope([])
             rows: Iterable[Row] = [()]
             if select.where is not None:
                 condition = compile_expr(select.where, scope)
                 rows = [row for row in rows if condition(row) is True]
-            return scope, rows
+            if self.batch:
+                chunk = list(rows)
+                return scope, [], iter([chunk] if chunk else [])
+            return scope, [], rows
 
         units = _flatten_from(select.from_)
         remaining = ast.split_conjuncts(select.where)
@@ -404,6 +497,7 @@ class Planner:
         first_item, _, _ = units[0]
         planned = self._plan_unit(first_item)
         scope = planned.scope
+        types = planned.types
         rows: Iterable[Row] = None  # type: ignore[assignment]
         rows, remaining, used_base_index = self._apply_local(
             planned, remaining
@@ -426,7 +520,8 @@ class Planner:
                 for conjunct in pulled:
                     remaining.remove(conjunct)
                 candidates.extend(pulled)
-            rows = self._join(scope, rows, right, candidates, outer)
+            rows = self._join(scope, types, rows, right, candidates, outer)
+            types = _merge_types(types, len(scope), right.types, len(right.scope))
             scope = merged
             if not outer:
                 # conjuncts that became resolvable only now (rare) were pulled
@@ -440,9 +535,12 @@ class Planner:
                 raise PlanError(f"cannot resolve WHERE condition {conjunct!r}")
             leftovers.append(conjunct)
         if leftovers:
-            condition = compile_expr(ast.conjoin(leftovers), scope)
-            rows = self._filtered(rows, condition)
-        return scope, rows
+            conjoined = ast.conjoin(leftovers)
+            condition = compile_expr(conjoined, scope)
+            rows = self._filtered(
+                rows, condition, expr=conjoined, scope=scope, column_types=types
+            )
+        return scope, types, rows
 
     def _metered(self, factory: RowsFactory, name: str, **attrs) -> RowsFactory:
         """Wrap a row-source factory in an operator span when tracing.
@@ -455,17 +553,21 @@ class Planner:
             return factory
         parent = self.trace
         state: dict[str, Any] = {}
+        batched = self.batch > 0
 
         def wrapped() -> Iterator[Row]:
             span = state.get("span")
             if span is None:
                 span = parent.child(name, **attrs)
                 state["span"] = span
+            if batched:
+                return _meter_chunks(span, factory(), batched)
             return span.meter(factory())
 
         return wrapped
 
     def _plan_unit(self, item: ast.FromItem) -> PlannedUnit:
+        batch = self.batch
         if isinstance(item, ast.TableRef):
             key = item.name.lower()
             if key in self.cte_env:
@@ -474,31 +576,52 @@ class Planner:
                 scope = Scope([(binding, name) for name in result.columns])
                 rows_list = result.rows
                 factory = self._metered(
-                    lambda: iter(rows_list), f"cte-scan {item.name}"
+                    (lambda: chunk_list(rows_list, batch))
+                    if batch
+                    else (lambda: iter(rows_list)),
+                    f"cte-scan {item.name}",
                 )
-                return PlannedUnit(scope, factory, None)
+                return PlannedUnit(
+                    scope, factory, None, getattr(result, "column_types", None)
+                )
             table = self.db.table(item.name)
             binding = item.binding
             scope = Scope([(binding, name) for name in table.schema.column_names])
             ticker = self.ticker
             version = self.version
             factory = self._metered(
-                lambda: seq_scan(table, ticker, version),
+                (lambda: seq_scan_batches(table, ticker, version, batch))
+                if batch
+                else (lambda: seq_scan(table, ticker, version)),
                 f"seq-scan {table.name}",
                 table_rows=len(table),
             )
-            return PlannedUnit(scope, factory, table)
+            return PlannedUnit(
+                scope, factory, table, list(table.schema.column_types)
+            )
         if isinstance(item, ast.SubqueryRef):
             result = self.execute_query(item.query)
             scope = Scope([(item.alias, name) for name in result.columns])
             rows_list = result.rows
-            return PlannedUnit(scope, lambda: iter(rows_list), None)
+            result_types = getattr(result, "column_types", None)
+            if batch:
+                return PlannedUnit(
+                    scope, lambda: chunk_list(rows_list, batch), None, result_types
+                )
+            return PlannedUnit(scope, lambda: iter(rows_list), None, result_types)
         if isinstance(item, ast.Join):
             # A parenthesized join subtree: plan it as a nested pipeline.
             sub_select = ast.Select(items=(ast.SelectItem.star(),), from_=item)
-            sub_scope, sub_rows = self._plan_from_where(sub_select)
+            sub_scope, sub_types, sub_rows = self._plan_from_where(sub_select)
+            if batch:
+                rows_list = [row for chunk in sub_rows for row in chunk]
+                return PlannedUnit(
+                    sub_scope, lambda: chunk_list(rows_list, batch), None, sub_types
+                )
             rows_list = list(sub_rows)
-            return PlannedUnit(sub_scope, lambda: iter(rows_list), None)
+            return PlannedUnit(
+                sub_scope, lambda: iter(rows_list), None, sub_types
+            )
         raise PlanError(f"cannot plan FROM item {item!r}")
 
     def _apply_local(
@@ -514,12 +637,21 @@ class Planner:
             index_match = _find_const_index_lookup(planned.base, planned.scope, local)
             if index_match is not None:
                 index, key, leftovers = index_match
-                rows = index_scan(index, key, self.ticker, self.version)
+                if self.batch:
+                    rows = index_scan_batches(
+                        index, key, self.ticker, self.version, self.batch
+                    )
+                else:
+                    rows = index_scan(index, key, self.ticker, self.version)
                 if self.trace is not None:
                     span = self.trace.child(
                         f"index-scan {planned.base.name}", index=index.name
                     )
-                    rows = span.meter(rows)
+                    rows = (
+                        _meter_chunks(span, rows, self.batch)
+                        if self.batch
+                        else span.meter(rows)
+                    )
                 local = leftovers
                 used_index = True
             else:
@@ -527,28 +659,70 @@ class Planner:
         else:
             rows = planned.factory()
         if local:
-            condition = compile_expr(ast.conjoin(local), planned.scope)
-            rows = self._filtered(rows, condition)
+            conjoined = ast.conjoin(local)
+            condition = compile_expr(conjoined, planned.scope)
+            rows = self._filtered(
+                rows,
+                condition,
+                expr=conjoined,
+                scope=planned.scope,
+                column_types=planned.types,
+            )
         return rows, rest, used_index
 
-    def _filtered(self, rows: Iterable[Row], condition: Any) -> Iterable[Row]:
-        """A filter operator, metered (rows-in/rows-out/time) when tracing."""
+    def _filtered(
+        self,
+        rows: Iterable[Row],
+        condition: Any,
+        expr: ast.Expr | None = None,
+        scope: Scope | None = None,
+        column_types: list[ColumnType] | None = None,
+    ) -> Iterable[Row]:
+        """A filter operator, metered (rows-in/rows-out/time) when tracing.
+
+        In batch mode ``rows`` is a chunk iterator; when the predicate AST
+        (``expr`` + ``scope``) is supplied, a whole-chunk kernel is compiled
+        for the supported subset, otherwise the scalar ``condition`` runs
+        per row inside each chunk."""
+        if not self.batch:
+            if self.trace is None:
+                return filter_rows(rows, condition, self.ticker)
+            span = self.trace.child("filter")
+            return span.meter(
+                filter_rows(span.count(rows, "rows_in"), condition, self.ticker)
+            )
+        kernel = None
+        if expr is not None and scope is not None:
+            kernel = compile_filter_kernel(
+                expr, scope, self.db.dictionary, column_types
+            )
         if self.trace is None:
-            return filter_rows(rows, condition, self.ticker)
+            return filter_batches(rows, kernel, condition, self.ticker)
         span = self.trace.child("filter")
-        return span.meter(
-            filter_rows(span.count(rows, "rows_in"), condition, self.ticker)
+        return _meter_chunks(
+            span,
+            filter_batches(
+                _count_chunks(span, rows, "rows_in", self.batch),
+                kernel,
+                condition,
+                self.ticker,
+            ),
+            self.batch,
         )
 
     def _join(
         self,
         left_scope: Scope,
+        left_types: list[ColumnType | None] | None,
         left_rows: Iterable[Row],
         right: PlannedUnit,
         candidates: list[ast.Expr],
         outer: bool,
     ) -> Iterator[Row]:
         merged = left_scope.merged_with(right.scope)
+        merged_types = _merge_types(
+            left_types, len(left_scope), right.types, len(right.scope)
+        )
         right_only: list[ast.Expr] = []
         equi_pairs: list[tuple[ast.Column, ast.Column]] = []
         residual: list[ast.Expr] = []
@@ -563,6 +737,28 @@ class Planner:
             else:
                 raise PlanError(f"cannot resolve join condition {conjunct!r}")
 
+        # Inner-join residuals are equivalent to a post-join WHERE; running
+        # them as a dedicated filter makes them kernel-eligible (the hot
+        # COALESCE compat conditions in generated SQL land here) instead of
+        # a per-row closure inside the join. Outer joins must keep the
+        # residual inside: its failure produces the NULL-padded row.
+        post_residual: list[ast.Expr] = []
+        if residual and not outer:
+            post_residual = residual
+            residual = []
+
+        def _finish(joined: Iterable[Row]) -> Iterable[Row]:
+            if not post_residual:
+                return joined
+            conjoined = ast.conjoin(post_residual)
+            return self._filtered(
+                joined,
+                compile_expr(conjoined, merged),
+                expr=conjoined,
+                scope=merged,
+                column_types=merged_types,
+            )
+
         residual_eval = (
             compile_expr(ast.conjoin(residual), merged) if residual else None
         )
@@ -572,26 +768,76 @@ class Planner:
         # constant-equality column from right_only.
         if right.base is not None:
             probe = self._try_index_probe(
-                left_scope, right, equi_pairs, right_only, residual_eval, outer
+                left_scope,
+                right,
+                equi_pairs,
+                right_only,
+                residual_eval,
+                outer,
+                defer=None if outer else post_residual,
             )
             if probe is not None:
                 if self.trace is None:
-                    return probe(left_rows)
+                    return _finish(probe(left_rows))
                 span = self.trace.child(
                     f"index-join {right.base.name}", outer=outer
                 )
-                return span.meter(probe(span.count(left_rows, "rows_in_left")))
+                if self.batch:
+                    return _finish(
+                        _meter_chunks(
+                            span,
+                            probe(
+                                _count_chunks(
+                                    span, left_rows, "rows_in_left", self.batch
+                                )
+                            ),
+                            self.batch,
+                        )
+                    )
+                return _finish(
+                    span.meter(probe(span.count(left_rows, "rows_in_left")))
+                )
 
         if equi_pairs:
             left_slots = [left_scope.resolve(left_col) for left_col, _ in equi_pairs]
             right_slots = [right.scope.resolve(right_col) for _, right_col in equi_pairs]
             right_rows: Iterable[Row] = right.factory()
             if right_only:
-                right_condition = compile_expr(ast.conjoin(right_only), right.scope)
-                right_rows = self._filtered(right_rows, right_condition)
+                right_conjoined = ast.conjoin(right_only)
+                right_condition = compile_expr(right_conjoined, right.scope)
+                right_rows = self._filtered(
+                    right_rows,
+                    right_condition,
+                    expr=right_conjoined,
+                    scope=right.scope,
+                    column_types=right.types,
+                )
             span = None if self.trace is None else self.trace.child(
                 "hash-join", outer=outer
             )
+            if self.batch:
+                if span is not None:
+                    left_rows = _count_chunks(
+                        span, left_rows, "rows_in_left", self.batch
+                    )
+                    right_rows = _count_chunks(
+                        span, right_rows, "rows_in_right", self.batch
+                    )
+                joined = hash_join_batches(
+                    left_rows,
+                    right_rows,
+                    left_slots,
+                    right_slots,
+                    len(right.scope),
+                    residual_eval,
+                    outer,
+                    self.ticker,
+                )
+                return _finish(
+                    joined if span is None else _meter_chunks(
+                        span, joined, self.batch
+                    )
+                )
             if span is not None:
                 left_rows = span.count(left_rows, "rows_in_left")
                 right_rows = span.count(right_rows, "rows_in_right")
@@ -605,15 +851,26 @@ class Planner:
                 outer,
                 self.ticker,
             )
-            return joined if span is None else span.meter(joined)
+            return _finish(joined if span is None else span.meter(joined))
 
-        # No equi keys: nested loop with the full condition.
+        # No equi keys: nested loop with the full condition. In batch mode
+        # the scalar operator is reused (this is the rare non-equi path):
+        # both sides are flattened to rows and the output is re-chunked.
         condition_parts = residual[:]
-        right_factory = right.factory
+        if self.batch:
+            left_rows = flatten(left_rows)
+            chunk_factory = right.factory
+
+            def _flat_right() -> Iterator[Row]:
+                return flatten(chunk_factory())
+
+            right_factory = _flat_right
+        else:
+            right_factory = right.factory
         if right_only:
             right_condition = compile_expr(ast.conjoin(right_only), right.scope)
             ticker = self.ticker
-            base_factory = right.factory
+            base_factory = right_factory
 
             def _filtered_right() -> Iterator[Row]:
                 return filter_rows(base_factory(), right_condition, ticker)
@@ -643,7 +900,9 @@ class Planner:
             outer,
             self.ticker,
         )
-        return joined if span is None else span.meter(joined)
+        if span is not None:
+            joined = span.meter(joined)
+        return _finish(chunked(joined, self.batch) if self.batch else joined)
 
     def _try_index_probe(
         self,
@@ -653,7 +912,12 @@ class Planner:
         right_only: list[ast.Expr],
         residual_eval,
         outer: bool,
+        defer: list[ast.Expr] | None = None,
     ):
+        """``defer`` (inner joins only): extra equality conjuncts beyond the
+        probed index key are appended there for the caller's post-join
+        kernel filter instead of running as a per-row closure inside the
+        probe."""
         assert right.base is not None
         for pair_position, (left_col, right_col) in enumerate(equi_pairs):
             index = find_index(right.base, [right_col.name])
@@ -667,6 +931,16 @@ class Planner:
             extra_residuals = [
                 ast.BinOp("=", lhs, rhs) for lhs, rhs in other_pairs
             ]
+            if defer is not None:
+                # Inner join: the probed key is the only work the index can
+                # save; every other conjunct — extra equi pairs and
+                # right-side constant filters — emits through to the
+                # post-join kernel filter, which runs whole-chunk instead
+                # of one closure call per candidate row.
+                defer.extend(extra_residuals)
+                defer.extend(right_only)
+                extra_residuals = []
+                right_only = []
             combined_residual = residual_eval
             if extra_residuals:
                 extra_eval = compile_expr(ast.conjoin(extra_residuals), merged)
@@ -691,6 +965,22 @@ class Planner:
             ticker = self.ticker
             width = len(right.scope)
             version = self.version
+            if self.batch:
+
+                def probe(left_chunks, index=index, left_slot=left_slot):
+                    return index_join_batches(
+                        left_chunks,
+                        index,
+                        left_slot,
+                        width,
+                        right_filter,
+                        combined_residual,
+                        outer,
+                        ticker,
+                        version,
+                    )
+
+                return probe
 
             def probe(left_rows, index=index, left_slot=left_slot):
                 return index_nested_loop_join(
@@ -818,6 +1108,105 @@ class Planner:
         return result
 
 
+def _merge_types(
+    left_types: list[ColumnType | None] | None,
+    left_width: int,
+    right_types: list[ColumnType | None] | None,
+    right_width: int,
+) -> list[ColumnType | None] | None:
+    """Concatenate per-slot affinities across a join (None = unknown)."""
+    if left_types is None and right_types is None:
+        return None
+    left = left_types if left_types is not None else [None] * left_width
+    right = right_types if right_types is not None else [None] * right_width
+    return list(left) + list(right)
+
+
+def _infer_affinity(
+    expr: ast.Expr,
+    scope: Scope,
+    types: list[ColumnType | None] | None,
+) -> ColumnType | None:
+    """The affinity of a projected expression, or None when unknown.
+
+    Only claims an affinity when the expression provably passes stored
+    values through unchanged: a column reference, or a COALESCE whose
+    branches all share one affinity. Anything computed (functions, string
+    literals, arithmetic) stays unknown — its values may be plain strings
+    that equal an interned value lexically without sharing its id."""
+    if types is None:
+        return None
+    if isinstance(expr, ast.Column):
+        try:
+            slot = scope.resolve(expr)
+        except PlanError:
+            return None
+        return types[slot] if slot < len(types) else None
+    if (
+        isinstance(expr, ast.FuncCall)
+        and expr.name.upper() == "COALESCE"
+        and expr.args
+    ):
+        affinities = [_infer_affinity(arg, scope, types) for arg in expr.args]
+        first = affinities[0]
+        if first is not None and all(a is first for a in affinities):
+            return first
+        return None
+    return None
+
+
+def _output_affinities(
+    item_exprs: list[ast.Expr],
+    scope: Scope,
+    types: list[ColumnType | None] | None,
+) -> list[ColumnType | None] | None:
+    if types is None:
+        return None
+    out = [_infer_affinity(expr, scope, types) for expr in item_exprs]
+    return out if any(a is not None for a in out) else None
+
+
+def _canonicalize_rows(rows: list[Row], lookup: Any) -> None:
+    """Give every interned string one representation in result rows.
+
+    Projections can emit plain strings (literals, function results) next to
+    dictionary-encoded column values. Downstream consumers that compare raw
+    values — set operations, DISTINCT over a CTE scan, hash joins on
+    derived columns — need equal strings to be *identical* values, so any
+    plain string the dictionary knows is replaced by its id (in place;
+    lookup never allocates, and a string without an id has no encoded twin
+    anywhere, so leaving it plain is exact)."""
+    for position, row in enumerate(rows):
+        for value in row:
+            if type(value) is str and lookup(value) is not None:
+                rows[position] = tuple(
+                    encoded
+                    if type(v) is str and (encoded := lookup(v)) is not None
+                    else v
+                    for v in row
+                )
+                break
+
+
+def _meter_chunks(span: Any, chunks: Iterable, size: int = 256) -> Iterable:
+    """``span.meter`` for chunk streams (counts logical rows).
+
+    Spans are duck-typed; one without ``meter_batches`` gets the scalar
+    meter over a flattened stream, re-chunked for the pipeline."""
+    metered = getattr(span, "meter_batches", None)
+    if metered is not None:
+        return metered(chunks)
+    return chunked(span.meter(flatten(chunks)), size)
+
+
+def _count_chunks(span: Any, chunks: Iterable, key: str, size: int = 256) -> Iterable:
+    """``span.count`` for chunk streams (counts logical rows)."""
+    counted = getattr(span, "count_batches", None)
+    if counted is not None:
+        return counted(chunks, key)
+    return chunked(span.count(flatten(chunks), key), size)
+
+
 def _sort_projected(
     rows: list[Row], order_plan: list[tuple[str, Any, bool]]
 ) -> list[Row]:
@@ -902,11 +1291,39 @@ def _find_const_index_lookup(
             continue
         names = [c.lower() for c in index.column_names]
         if all(name in const_eq for name in names):
-            key = tuple(const_eq[name] for name in names)
+            key = tuple(
+                _encode_probe_value(table, name, const_eq[name])
+                for name in names
+            )
             used = {sources[name] for name in names}
             leftovers = [c for c in conjuncts if c not in used]
             return index, key, leftovers
     return None
+
+
+def _encode_probe_value(table: Table, column_name: str, value: Any) -> Any:
+    """Translate an index-probe constant into the stored representation.
+
+    With string interning on, TEXT columns hold dictionary ids, so the
+    probe key must be the constant's id. A constant the dictionary has
+    never seen — or a non-text constant probing a TEXT column — cannot
+    match any stored value; an unmatchable sentinel keeps the probe (and
+    its empty result) instead of falling back to a scan."""
+    dictionary = table.dictionary
+    if dictionary is None:
+        return value
+    position = table.schema.position(column_name)
+    if table.schema.column_types[position] is not ColumnType.TEXT:
+        return value
+    if isinstance(value, str):
+        encoded = dictionary.lookup(value)
+        if encoded is not None:
+            return encoded
+    return _NEVER_MATCHES
+
+
+#: hashable sentinel that equals nothing stored in any index bucket
+_NEVER_MATCHES = object()
 
 
 def _rewrite_aggregates(

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Sequence
 
+from .dictionary import StringDictionary
 from .errors import CatalogError, ExecutionError
 from .types import ColumnType
 
@@ -61,6 +62,36 @@ class Table:
         self.born: dict[int, int] = {}
         self.died: dict[int, int] = {}
         self._mvcc: Any = None  # MvccController, set via register()
+        #: string dictionary for TEXT columns (None = store plain strings)
+        self.dictionary: StringDictionary | None = None
+        #: per-column coerce (+encode for TEXT when interning) callables
+        self._column_ops: list[Any] = [t.coerce for t in schema.column_types]
+        #: count of physical tombstones (None slots) in ``rows``
+        self.tombstones = 0
+
+    def set_dictionary(self, dictionary: StringDictionary) -> None:
+        """Intern TEXT values of this table through ``dictionary``."""
+        self.dictionary = dictionary
+        # Bulk load runs this op once per TEXT cell, so the coerce + encode
+        # pipeline is fused into a single closure: one Python call per cell,
+        # with the interning dict probed directly (allocation only on miss).
+        ids_get = dictionary._ids.get
+        encode = dictionary.encode
+
+        def text_op(value: Any) -> Any:
+            if type(value) is str:
+                encoded = ids_get(value)
+                return encoded if encoded is not None else encode(value)
+            if value is None or isinstance(value, str):
+                return value  # NULL, or str subclass stored as-is (lax)
+            value = str(value)
+            encoded = ids_get(value)
+            return encoded if encoded is not None else encode(value)
+
+        self._column_ops = [
+            text_op if t is ColumnType.TEXT else t.coerce
+            for t in self.schema.column_types
+        ]
 
     @property
     def name(self) -> str:
@@ -81,10 +112,7 @@ class Table:
                 f"table {self.name!r} expects {len(self.schema)} values, "
                 f"got {len(values)}"
             )
-        row = tuple(
-            column_type.coerce(value)
-            for column_type, value in zip(self.schema.column_types, values)
-        )
+        row = tuple(op(value) for op, value in zip(self._column_ops, values))
         row_id = len(self.rows)
         self.rows.append(row)
         self.live_count += 1
@@ -96,10 +124,35 @@ class Table:
         return row_id
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk :meth:`insert`: one loop with everything hoisted.
+
+        Loading dominates store construction, so this path avoids the
+        per-row method call, re-resolving column ops, and the MVCC
+        attribute checks that :meth:`insert` performs for each row.
+        """
+        ops = self._column_ops
+        width = len(ops)
+        store = self.rows
+        indexes = self._indexes
+        mvcc = self._mvcc
+        tagged = mvcc is not None and mvcc.tag_writes
+        born = self.born
         count = 0
         for values in rows:
-            self.insert(values)
+            if len(values) != width:
+                raise ExecutionError(
+                    f"table {self.name!r} expects {width} values, "
+                    f"got {len(values)}"
+                )
+            row = tuple([op(value) for op, value in zip(ops, values)])
+            row_id = len(store)
+            store.append(row)
+            if tagged:
+                born[row_id] = mvcc.write_version
+            for index in indexes:
+                index.insert(row_id, row)
             count += 1
+        self.live_count += count
         return count
 
     def delete_row(self, row_id: int) -> None:
@@ -115,16 +168,14 @@ class Table:
         for index in self._indexes:
             index.delete(row_id, row)
         self.rows[row_id] = None
+        self.tombstones += 1
         self.live_count -= 1
 
     def update_row(self, row_id: int, values: Sequence[Any]) -> None:
         old = self.rows[row_id]
         if old is None or row_id in self.died:
             raise ExecutionError(f"row {row_id} of table {self.name!r} is deleted")
-        new = tuple(
-            column_type.coerce(value)
-            for column_type, value in zip(self.schema.column_types, values)
-        )
+        new = tuple(op(value) for op, value in zip(self._column_ops, values))
         mvcc = self._mvcc
         if mvcc is not None and mvcc.tag_writes:
             # Old version stays for snapshot readers; new version is a
@@ -171,6 +222,48 @@ class Table:
                 continue
             yield row
 
+    def scan_batches(self, size: int) -> Iterator[list[tuple]]:
+        """Yield live rows in lists of up to ``size``.
+
+        The common case — no logical deletes, no tombstones — degenerates to
+        plain list slices, which is what makes batched scans cheap: no
+        per-row Python-level work at all.
+        """
+        rows = self.rows
+        if not self.died:
+            if not self.tombstones:
+                for start in range(0, len(rows), size):
+                    yield rows[start:start + size]
+                return
+            for start in range(0, len(rows), size):
+                chunk = [row for row in rows[start:start + size] if row is not None]
+                if chunk:
+                    yield chunk
+            return
+        died = self.died
+        chunk = []
+        for row_id, row in enumerate(rows):
+            if row is not None and row_id not in died:
+                chunk.append(row)
+                if len(chunk) >= size:
+                    yield chunk
+                    chunk = []
+        if chunk:
+            yield chunk
+
+    def scan_at_batches(self, version: int, size: int) -> Iterator[list[tuple]]:
+        """Batched :meth:`scan_at` (snapshot visibility checked per row)."""
+        scan = self.scan_at(version)
+        while True:
+            chunk = []
+            for row in scan:
+                chunk.append(row)
+                if len(chunk) >= size:
+                    break
+            if not chunk:
+                return
+            yield chunk
+
     def scan_with_ids(self) -> Iterator[tuple[int, tuple]]:
         if not self.died:
             for row_id, row in enumerate(self.rows):
@@ -209,6 +302,7 @@ class Table:
                     for index in self._indexes:
                         index.delete(row_id, row)
                     self.rows[row_id] = None
+                    self.tombstones += 1
                 del self.died[row_id]
         if self.born:
             for row_id in [r for r, v in self.born.items() if v <= horizon]:
@@ -228,6 +322,7 @@ class Table:
         self.rows = live
         self.born.clear()
         self.died.clear()
+        self.tombstones = 0
         self.live_count = len(self.rows)
         for index in self._indexes:
             index.build(self)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from enum import Enum
 from typing import Any
 
+from .dictionary import EncodedString
+
 
 class ColumnType(Enum):
     """Declared column affinities (validated on insert, SQLite-style lax)."""
@@ -82,6 +84,8 @@ def _class_rank(value: Any) -> int:
     """Storage-class ordering rank: NULL(0) < numeric(1) < text(2)."""
     if value is None:
         return 0
+    if isinstance(value, EncodedString):
+        return 2  # dictionary-encoded text compares as text, not as its id
     if isinstance(value, (int, float)) and not isinstance(value, bool):
         return 1
     if isinstance(value, bool):
@@ -104,6 +108,17 @@ def compare(a: Any, b: Any) -> int | None:
     if ra == 1:
         fa, fb = float(a), float(b)
         return (fa > fb) - (fa < fb)
+    if type(a) is not type(b):
+        # Mixed encoded/plain text (e.g. a CTE-projected constant against a
+        # stored column): order by lexical form.
+        if isinstance(a, EncodedString):
+            a = a.lexicon[a]
+        if isinstance(b, EncodedString):
+            b = b.lexicon[b]
+    elif isinstance(a, EncodedString):
+        if a == b:
+            return 0
+        a, b = a.lexicon[a], b.lexicon[b]
     return (a > b) - (a < b)
 
 
@@ -114,6 +129,8 @@ def sort_key(value: Any) -> tuple[int, Any]:
         return (0, 0)
     if rank == 1:
         return (1, float(value))
+    if isinstance(value, EncodedString):
+        return (2, value.lexicon[value])
     return (2, value)
 
 

@@ -513,15 +513,29 @@ class Db2RdfEmitter(TripleEmitter):
                     )
                 )
             if pred_is_bound:
-                bound_col = sql.Column("I", ctx.col(predicate.name))
-                where.append(
-                    compat_condition(sql.Column("T", pred_col(i)), bound_col, pred_maybe)
-                )
-                replacement = compat_projection(
-                    sql.Column("T", pred_col(i)), bound_col, pred_maybe
-                )
-                if replacement is not None:
-                    overrides[predicate.name] = replacement
+                prior = overrides.get(predicate.name)
+                if prior is not None:
+                    # Subject and predicate are the same maybe-bound variable:
+                    # the entity position already reconciled it to a never-NULL
+                    # expression, so equate against that — a NULL-compat check
+                    # on the raw incoming column would be vacuous for rows the
+                    # prior pattern left unbound, dropping the intra-pattern
+                    # entry == pred_i constraint.
+                    where.append(
+                        sql.BinOp("=", sql.Column("T", pred_col(i)), prior)
+                    )
+                else:
+                    bound_col = sql.Column("I", ctx.col(predicate.name))
+                    where.append(
+                        compat_condition(
+                            sql.Column("T", pred_col(i)), bound_col, pred_maybe
+                        )
+                    )
+                    replacement = compat_projection(
+                        sql.Column("T", pred_col(i)), bound_col, pred_maybe
+                    )
+                    if replacement is not None:
+                        overrides[predicate.name] = replacement
             elif pred_is_entity:
                 where.append(
                     sql.BinOp(
