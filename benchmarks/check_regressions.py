@@ -30,6 +30,11 @@ Reads ``benchmarks/out/results.json`` (written by the benches through
   their ceiling is far lower than stars: the floor is 1.5× (measured
   ~2-3×). A drop below it means batching regressed on probe-heavy
   plans, not that the 5× star target moved.
+* ``plan_regret_geomean`` — the cost-based join orderer's chosen plans
+  must stay within 1.3× (geomean) of the best enumerated alternative's
+  measured work on the plan battery, counted in deterministic
+  intermediate-row ticks (measured ~1.0×; the meter cannot flake on
+  CI load because it counts rows, not seconds).
 * ``dict_encode_overhead`` — dictionary-interning TEXT values during
   store build must cost at most 10% over a plain-string load (the
   encode path is fused into the per-cell column op; measured ~0-5%,
@@ -52,6 +57,7 @@ MAX_SERVE_P50_MS = 150.0
 MIN_BATCH_SPEEDUP_STAR = 5.0
 MIN_BATCH_SPEEDUP_CHAIN = 1.5
 MAX_DICT_ENCODE_OVERHEAD = 0.10
+MAX_PLAN_REGRET_GEOMEAN = 1.3
 
 RESULTS = pathlib.Path(__file__).parent / "out" / "results.json"
 
@@ -198,6 +204,26 @@ def main() -> int:
     serve_qps = metrics.get("serve_throughput_qps")
     if serve_qps is not None:  # informational, not gated
         print(f"info: serve_throughput_qps {serve_qps:.0f}")
+
+    regret = metrics.get("plan_regret_geomean")
+    if regret is None:
+        failures.append("plan_regret_geomean was not recorded")
+    elif regret > MAX_PLAN_REGRET_GEOMEAN:
+        failures.append(
+            f"plan_regret_geomean {regret:.3f}x > "
+            f"{MAX_PLAN_REGRET_GEOMEAN:.1f}x ceiling"
+        )
+    else:
+        print(f"ok: plan_regret_geomean {regret:.3f}x "
+              f"(ceiling {MAX_PLAN_REGRET_GEOMEAN:.1f}x)")
+
+    regret_max = metrics.get("plan_regret_max")
+    if regret_max is not None:  # informational, not gated
+        print(f"info: plan_regret_max {regret_max:.3f}x")
+
+    cost_fraction = metrics.get("plan_cost_fraction")
+    if cost_fraction is not None:  # informational, not gated
+        print(f"info: plan_cost_fraction {cost_fraction * 100:.0f}%")
 
     lubm_speedup = metrics.get("batch_speedup_lubm")
     if lubm_speedup is not None:  # informational, not gated

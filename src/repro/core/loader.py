@@ -22,6 +22,7 @@ from ..rdf.terms import Triple, term_key
 from ..relational import ast
 from .errors import LoadError
 from .mapping import PredicateMapper
+from .stats import DatasetStatistics, StatsCollector
 from .schema import (
     DB2RDFSchema,
     DIRECT_LID_PREFIX,
@@ -69,6 +70,9 @@ class LoadReport:
     triples: int
     direct: SideMetadata
     reverse: SideMetadata
+    #: statistics collected during shredding (same pass, no rescan); the
+    #: store merges these into its dataset statistics on append
+    stats: DatasetStatistics | None = None
 
 
 def _check_key(key: str) -> str:
@@ -181,8 +185,17 @@ class Loader:
 
     # ------------------------------------------------------------ bulk load
 
-    def bulk_load(self, graph: Graph, batch_size: int = 5000) -> LoadReport:
-        """Shred a whole graph into both directions (the §2.3 bulk path)."""
+    def bulk_load(
+        self, graph: Graph, batch_size: int = 5000, top_k_stats: int = 1000
+    ) -> LoadReport:
+        """Shred a whole graph into both directions (the §2.3 bulk path).
+
+        The loader already visits every entity group while shredding, so
+        dataset statistics (counts, top-k constants, per-predicate
+        distincts and sketches) are collected in the same pass and shipped
+        on the report — no second scan of the graph.
+        """
+        collector = StatsCollector(top_k=top_k_stats)
         direct = self._load_side(
             _group_direct(graph),
             self.schema.dph,
@@ -192,6 +205,7 @@ class Loader:
             self.direct_lids,
             batch_size,
             self.bulk_direct_preds,
+            collector.direct_entity,
         )
         reverse = self._load_side(
             _group_reverse(graph),
@@ -202,8 +216,14 @@ class Loader:
             self.reverse_lids,
             batch_size,
             self.bulk_reverse_preds,
+            collector.reverse_entity,
         )
-        return LoadReport(triples=len(graph), direct=direct, reverse=reverse)
+        return LoadReport(
+            triples=len(graph),
+            direct=direct,
+            reverse=reverse,
+            stats=collector.finish(),
+        )
 
     def _load_side(
         self,
@@ -215,6 +235,7 @@ class Loader:
         lids: _LidAllocator,
         batch_size: int,
         seen_predicates: set[str] | None = None,
+        profile=None,
     ) -> SideMetadata:
         meta = SideMetadata()
         primary_batch: list[list] = []
@@ -223,6 +244,8 @@ class Loader:
             meta.entities += 1
             if seen_predicates is not None:
                 seen_predicates.update(grouped)
+            if profile is not None:
+                profile(entry, {p: len(vs) for p, vs in grouped.items()})
             pred_values: dict[str, str] = {}
             for predicate, values in grouped.items():
                 if len(values) > 1:

@@ -229,13 +229,23 @@ class RdfStore:
     # ---------------------------------------------------------------- load
 
     def load_graph(self, graph: Graph, top_k_stats: int = 1000) -> LoadReport:
-        """Bulk load a graph (appends to any previously loaded data)."""
+        """Bulk load a graph (appends to any previously loaded data).
+
+        Dataset statistics come out of the loader's shredding pass; on an
+        appending load they are *merged* into the existing statistics (the
+        old behaviour replaced them, silently forgetting the first batch),
+        and the epoch bump invalidates plans costed under the old numbers.
+        """
         self._begin_write()
         try:
-            report = self.loader.bulk_load(graph)
+            report = self.loader.bulk_load(graph, top_k_stats=top_k_stats)
             self.direct_meta.merge(report.direct)
             self.reverse_meta.merge(report.reverse)
-            fresh = DatasetStatistics.from_graph(graph, top_k=top_k_stats)
+            fresh = report.stats
+            if fresh is None:  # pragma: no cover - loader always collects
+                fresh = DatasetStatistics.from_graph(graph, top_k=top_k_stats)
+            if self.stats.total_triples or self.stats.predicate_counts:
+                fresh = self.stats.merged_with(fresh)
             fresh.epoch = self.stats.epoch + 1  # bulk load invalidates plans
             self.stats = fresh
             self._engine = None

@@ -76,7 +76,10 @@ def parse_line(line: str) -> Triple | None:
 
 def parse(source: TextIO | str) -> Iterator[Triple]:
     """Yield triples from an N-Triples document (string or file object)."""
-    lines = source.splitlines() if isinstance(source, str) else source
+    # Split on newlines only: str.splitlines() also breaks on U+2028/U+2029
+    # (and other Unicode line boundaries), which are legal *inside* literal
+    # values and must not terminate a triple line.
+    lines = source.split("\n") if isinstance(source, str) else source
     for number, line in enumerate(lines, start=1):
         try:
             triple = parse_line(line)

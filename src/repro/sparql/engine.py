@@ -33,7 +33,10 @@ from .optimizer.dataflow import build_data_flow_graph, optimal_flow_tree
 from .optimizer.merge import MergeContext, merge_execution_tree
 from .optimizer.planbuilder import (
     ExecNode,
+    JoinOrderPlan,
     build_execution_tree,
+    enumerate_join_orders,
+    flow_from_order,
     textual_execution_tree,
 )
 from .parser import parse_sparql
@@ -50,11 +53,17 @@ class EngineConfig:
     ``EngineConfig`` (e.g. via ``dataclasses.replace``) instead of mutating.
     """
 
-    optimizer: str = "hybrid"  # "hybrid" (flow-guided) or "naive" (textual)
+    #: "hybrid" (flow-guided heuristic), "cost" (statistics-driven join-order
+    #: enumeration with heuristic fallback), or "naive" (textual order)
+    optimizer: str = "hybrid"
     merge: bool = True  # star-query node merging on/off
     methods: tuple[str, ...] = ALL_METHODS
     use_statistics: bool = True  # False: cost-blind flow (heuristics only)
     cache_size: int = DEFAULT_CACHE_SIZE  # plan-cache entries; <= 0 disables
+    #: "cost" only: below this plan confidence the enumerator's pick is
+    #: discarded for the heuristic hybrid plan (estimates built on empty or
+    #: heavily decayed statistics should not steer join order)
+    min_plan_confidence: float = 0.4
 
     def __post_init__(self) -> None:
         # Accept any iterable of methods but store a tuple: the fingerprint
@@ -65,7 +74,13 @@ class EngineConfig:
     def fingerprint(self) -> tuple:
         """The plan-cache key component: every knob that changes compiled
         SQL. Plans compiled under different knobs never cross-contaminate."""
-        return (self.optimizer, self.merge, self.methods, self.use_statistics)
+        return (
+            self.optimizer,
+            self.merge,
+            self.methods,
+            self.use_statistics,
+            self.min_plan_confidence,
+        )
 
 
 def _stage(tracer: Tracer | None, name: str, **attrs):
@@ -105,17 +120,19 @@ class SparqlEngine:
         """Translate SPARQL (text or an already parsed/rewritten query
         object) to a SQL query; returns (sql, normalized query). Always
         compiles from scratch — :meth:`query` adds the cached fast path."""
-        compiled, select, _ = self._compile_stages(sparql)
+        compiled, select, _, _ = self._compile_stages(sparql)
         return compiled, select
 
     def _compile_stages(
         self,
         sparql: "str | SelectQuery | AskQuery",
         tracer: Tracer | None = None,
-    ) -> tuple[sql.Query, SelectQuery, dict[str, float]]:
+    ) -> tuple[sql.Query, SelectQuery, dict[str, float], dict[str, Any]]:
         """The full pipeline with per-stage wall timings (parse / plan /
-        translate) for the cache's compile-cost accounting. With a tracer,
-        every stage (and the planner's sub-stages) also opens a span."""
+        translate) for the cache's compile-cost accounting, plus the
+        planner's decision record (which planner produced the join order,
+        its confidence and estimates). With a tracer, every stage (and the
+        planner's sub-stages) also opens a span."""
         started = time.perf_counter()
         with _stage(tracer, "parse"):
             parsed = parse_sparql(sparql) if isinstance(sparql, str) else sparql
@@ -126,7 +143,7 @@ class SparqlEngine:
             select = normalize(select)
         parsed_at = time.perf_counter()
         with _stage(tracer, "plan", optimizer=self.config.optimizer):
-            plan = self._plan(select, tracer)
+            plan, info = self._plan(select, tracer)
         planned_at = time.perf_counter()
         with _stage(tracer, "translate"):
             translator = PipelineTranslator(self.emitter)
@@ -138,7 +155,7 @@ class SparqlEngine:
             "translate": done - planned_at,
             "total": done - started,
         }
-        return compiled, select, timings
+        return compiled, select, timings, info
 
     def compile_cached(
         self, sparql: str, tracer: Tracer | None = None, epoch: int | None = None
@@ -164,12 +181,13 @@ class SparqlEngine:
                 span.set("outcome", outcome)
         if entry is not None:
             return entry
-        compiled, select, timings = self._compile_stages(sparql, tracer)
+        compiled, select, timings, info = self._compile_stages(sparql, tracer)
         plan = CachedPlan(
             sql=compiled,
             variables=tuple(select.projected_variables()),
             epoch=epoch,
             compile_seconds=timings["total"],
+            planner=str(info.get("planner", self.config.optimizer)),
         )
         self.cache.store(key, fingerprint, plan)
         self.cache.record_timings(**timings)
@@ -181,9 +199,10 @@ class SparqlEngine:
 
     def _plan(
         self, select: SelectQuery, tracer: Tracer | None = None
-    ) -> ExecNode:
+    ) -> tuple[ExecNode, dict[str, Any]]:
         pattern_tree = PatternTree.build(select.where)
         triples = select.triples()
+        info: dict[str, Any] = {"planner": self.config.optimizer}
         if self.config.optimizer == "naive":
             with _stage(tracer, "planbuild", mode="textual"):
                 execution_tree = textual_execution_tree(
@@ -197,11 +216,40 @@ class SparqlEngine:
                     total_triples=1, distinct_subjects=1, distinct_objects=1
                 )
             )
-            with _stage(tracer, "dataflow", triples=len(triples)):
-                graph = build_data_flow_graph(
-                    triples, pattern_tree, stats, self.config.methods
-                )
-                flow = optimal_flow_tree(graph)
+            flow = None
+            if self.config.optimizer == "cost":
+                with _stage(tracer, "enumerate", triples=len(triples)):
+                    plans = enumerate_join_orders(
+                        triples, pattern_tree, stats, self.config.methods
+                    )
+                chosen = plans[0] if plans else None
+                threshold = self.config.min_plan_confidence
+                if chosen is not None and chosen.confidence >= threshold:
+                    flow = flow_from_order(chosen)
+                    info.update(
+                        planner="cost",
+                        confidence=chosen.confidence,
+                        est_rows=chosen.rows,
+                        est_cost=chosen.cost,
+                        alternatives=len(plans),
+                    )
+                else:
+                    # Low-confidence estimates (empty stats, variable
+                    # predicates, decayed sketches): keep the paper's
+                    # heuristic order rather than trusting guesswork.
+                    info.update(
+                        planner="cost-fallback",
+                        confidence=(
+                            chosen.confidence if chosen is not None else 0.0
+                        ),
+                        alternatives=len(plans),
+                    )
+            if flow is None:
+                with _stage(tracer, "dataflow", triples=len(triples)):
+                    graph = build_data_flow_graph(
+                        triples, pattern_tree, stats, self.config.methods
+                    )
+                    flow = optimal_flow_tree(graph)
             with _stage(tracer, "planbuild", mode="flow"):
                 execution_tree = build_execution_tree(select.where, flow)
         if self.config.merge and self.emitter.supports_merge:
@@ -209,8 +257,8 @@ class SparqlEngine:
                 ctx = MergeContext.build(
                     pattern_tree, triples, self.spill_direct, self.spill_reverse
                 )
-                return merge_execution_tree(execution_tree, ctx)
-        return execution_tree
+                return merge_execution_tree(execution_tree, ctx), info
+        return execution_tree, info
 
     def _textual_method_chooser(
         self, triple: TriplePattern, bound: frozenset[str]
@@ -279,7 +327,7 @@ class SparqlEngine:
                 plan = self.compile_cached(sparql, tracer, epoch=epoch)
                 compiled, variables = plan.sql, list(plan.variables)
             else:
-                compiled, select, _ = self._compile_stages(sparql, tracer)
+                compiled, select, _, _ = self._compile_stages(sparql, tracer)
                 variables = select.projected_variables()
         with tracer.span("execute", backend=self.backend.name) as span:
             try:
@@ -323,10 +371,13 @@ class SparqlEngine:
         return self.backend.sql_text(compiled)
 
     def explain_plan(self, sparql: str) -> str:
-        """EXPLAIN: compile configuration, generated SQL, and — when the
-        backend can describe its own access plan (sqlite's ``EXPLAIN QUERY
-        PLAN``) — the backend plan. Compiles but never executes."""
-        compiled, select = self.compile(sparql)
+        """EXPLAIN: compile configuration, generated SQL, planner cost
+        annotations (for the ``cost`` optimizer: chosen plan's estimated
+        rows, cost, confidence, and whether it fell back to the
+        heuristic), and — when the backend can describe its own access plan
+        (sqlite's ``EXPLAIN QUERY PLAN``) — the backend plan. Compiles but
+        never executes."""
+        compiled, select, _, info = self._compile_stages(sparql)
         config = self.config
         lines = [
             f"-- backend: {self.backend.name}",
@@ -335,10 +386,70 @@ class SparqlEngine:
             f" statistics={'on' if config.use_statistics else 'off'})",
             f"-- methods: {', '.join(config.methods)}",
             f"-- projection: {', '.join(select.projected_variables())}",
-            self.backend.sql_text(compiled),
         ]
+        if info.get("planner") == "cost":
+            lines.append(
+                "-- plan: cost-based"
+                f" (est_rows={info['est_rows']:.1f},"
+                f" est_cost={info['est_cost']:.1f},"
+                f" confidence={info['confidence']:.2f},"
+                f" alternatives={info['alternatives']})"
+            )
+        elif info.get("planner") == "cost-fallback":
+            lines.append(
+                "-- plan: heuristic fallback"
+                f" (confidence={info['confidence']:.2f}"
+                f" < min_plan_confidence={config.min_plan_confidence})"
+            )
+        lines.append(self.backend.sql_text(compiled))
         explain_backend = getattr(self.backend, "explain_query_plan", None)
         if callable(explain_backend):
             lines.append("-- backend plan:")
             lines.extend("--   " + line for line in explain_backend(compiled))
         return "\n".join(lines)
+
+    # --------------------------------------------- plan-quality instruments
+
+    def plan_alternatives(
+        self, sparql: "str | SelectQuery", limit: int = 8
+    ) -> tuple[SelectQuery, list[JoinOrderPlan]]:
+        """Parse once and enumerate up to ``limit`` ranked join orders.
+
+        The instrument behind the plan-quality battery: each returned
+        order can be compiled with :meth:`compile_with_order` (sharing
+        this one parsed/normalized select) and executed to measure the
+        chosen plan's regret against the best alternative.
+        """
+        parsed = parse_sparql(sparql) if isinstance(sparql, str) else sparql
+        if isinstance(parsed, AskQuery):
+            parsed = SelectQuery(variables=None, where=parsed.where, limit=1)
+        select = normalize(parsed)
+        pattern_tree = PatternTree.build(select.where)
+        plans = enumerate_join_orders(
+            select.triples(),
+            pattern_tree,
+            self.stats,
+            self.config.methods,
+            limit=limit,
+        )
+        return select, plans
+
+    def compile_with_order(
+        self, select: SelectQuery, plan: JoinOrderPlan
+    ) -> sql.Query:
+        """Compile an already-normalized select under a specific enumerated
+        join order (the rest of the pipeline — plan build, merge,
+        translation — is the production one)."""
+        flow = flow_from_order(plan)
+        execution_tree = build_execution_tree(select.where, flow)
+        if self.config.merge and self.emitter.supports_merge:
+            pattern_tree = PatternTree.build(select.where)
+            ctx = MergeContext.build(
+                pattern_tree,
+                select.triples(),
+                self.spill_direct,
+                self.spill_reverse,
+            )
+            execution_tree = merge_execution_tree(execution_tree, ctx)
+        translator = PipelineTranslator(self.emitter)
+        return translator.translate(execution_tree, select)

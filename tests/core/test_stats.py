@@ -39,6 +39,22 @@ class TestCardinalities:
         stats = DatasetStatistics.from_graph(fig1_graph)
         assert stats.subject_cardinality(None) == stats.avg_triples_per_subject
 
+    def test_unknown_constant_capped_by_predicate_total(self, fig1_graph):
+        """Outside the top-k the fallback is min(average, exact predicate
+        total): an unseen subject cannot contribute more ``died`` triples
+        than the single ``died`` triple the dataset holds."""
+        stats = DatasetStatistics.from_graph(fig1_graph, top_k=1)
+        assert stats.avg_triples_per_subject == 4.2
+        assert stats.subject_cardinality(URI("never-seen"), "died") == 1.0
+        assert stats.object_cardinality(URI("never-seen"), "died") == 1.0
+        # A huge predicate doesn't inflate the estimate: the average wins.
+        assert stats.subject_cardinality(URI("never-seen"), "industry") == 4.2
+        # An unknown predicate leaves the plain average untouched.
+        assert (
+            stats.subject_cardinality(URI("never-seen"), "no-such-pred")
+            == stats.avg_triples_per_subject
+        )
+
     def test_scan_is_total(self, fig1_graph):
         stats = DatasetStatistics.from_graph(fig1_graph)
         assert stats.scan_cardinality() == 21.0

@@ -1,0 +1,52 @@
+"""Shared fixtures for the plan-quality battery.
+
+One battery graph, loaded once per session into the stores the harnesses
+compare: the cost-based planner, the heuristic hybrid planner, and a
+sqlite-backed baseline.
+"""
+
+import pytest
+
+from repro import EngineConfig, RdfStore, SqliteBackend
+from repro.workloads import planbattery
+
+
+@pytest.fixture(scope="session")
+def battery_data():
+    return planbattery.generate()
+
+
+@pytest.fixture(scope="session")
+def battery_queries():
+    return planbattery.queries()
+
+
+@pytest.fixture(scope="session")
+def cost_store(battery_data):
+    return RdfStore.from_graph(
+        battery_data.graph,
+        use_coloring=False,
+        config=EngineConfig(optimizer="cost"),
+    )
+
+
+@pytest.fixture(scope="session")
+def hybrid_store(battery_data):
+    return RdfStore.from_graph(battery_data.graph, use_coloring=False)
+
+
+@pytest.fixture(scope="session")
+def sqlite_store(battery_data):
+    return RdfStore.from_graph(
+        battery_data.graph, backend=SqliteBackend(), use_coloring=False
+    )
+
+
+@pytest.fixture(scope="session")
+def sqlite_cost_store(battery_data):
+    return RdfStore.from_graph(
+        battery_data.graph,
+        backend=SqliteBackend(),
+        use_coloring=False,
+        config=EngineConfig(optimizer="cost"),
+    )

@@ -1,0 +1,76 @@
+"""Differential proof that cost-based planning never changes answers.
+
+For every battery query, four stores must return identical canonical
+results: the cost-based planner and the heuristic hybrid planner on the
+minirel backend, and the same pair on sqlite (PR 1's cross-engine idiom,
+here crossed with the planner axis). Warm (plan-cache hit) runs must match
+cold runs, and the cache books must balance afterwards.
+"""
+
+import pytest
+
+from repro import EngineConfig, RdfStore
+from repro.workloads import planbattery
+
+_QUERIES = sorted(planbattery.queries())
+
+
+@pytest.mark.parametrize("name", _QUERIES)
+def test_planners_and_backends_agree(
+    name,
+    battery_queries,
+    cost_store,
+    hybrid_store,
+    sqlite_store,
+    sqlite_cost_store,
+):
+    sparql = battery_queries[name]
+    stores = {
+        "minirel-cost": cost_store,
+        "minirel-hybrid": hybrid_store,
+        "sqlite-hybrid": sqlite_store,
+        "sqlite-cost": sqlite_cost_store,
+    }
+    results = {label: s.query(sparql).canonical() for label, s in stores.items()}
+    reference = results["minirel-hybrid"]
+    for label, rows in results.items():
+        assert rows == reference, f"{name}: {label} diverged"
+    # Warm runs (served from the plan cache) must be byte-identical.
+    for label, store in stores.items():
+        assert store.query(sparql).canonical() == reference, (
+            f"{name}: warm {label} diverged"
+        )
+
+
+def test_cost_planner_was_actually_used(cost_store, battery_queries):
+    """The agreement above is vacuous if the cost store silently fell back
+    on everything — assert most battery plans came from the enumerator."""
+    engine = cost_store.engine
+    planners = {
+        name: engine.compile_cached(sparql).planner
+        for name, sparql in battery_queries.items()
+    }
+    assert set(planners.values()) <= {"cost", "cost-fallback"}
+    cost_planned = [n for n, p in planners.items() if p == "cost"]
+    assert len(cost_planned) >= len(planners) * 3 // 4, planners
+
+
+def test_cache_books_balance(battery_data, battery_queries):
+    """Fresh cost store: cold pass is all misses, warm pass all hits, and
+    hits + misses + invalidations == lookups exactly."""
+    store = RdfStore.from_graph(
+        battery_data.graph,
+        use_coloring=False,
+        config=EngineConfig(optimizer="cost"),
+    )
+    for sparql in battery_queries.values():
+        store.query(sparql)
+    cold = store.cache_info()
+    assert cold.misses == len(battery_queries)
+    assert cold.hits == 0
+    for sparql in battery_queries.values():
+        store.query(sparql)
+    warm = store.cache_info()
+    assert warm.hits == len(battery_queries)
+    assert warm.misses == cold.misses
+    assert warm.lookups == warm.hits + warm.misses + warm.invalidations

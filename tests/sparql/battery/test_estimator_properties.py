@@ -1,0 +1,131 @@
+"""Property tests for the cardinality estimator (hypothesis).
+
+The contracts the enumerator relies on:
+
+* estimates are **non-negative** and confidences stay in ``[0, 1]``, for
+  single triples and for every join extension;
+* exact estimation paths are **monotone under data growth** — adding
+  triples never shrinks a scan estimate or a top-k constant's count;
+* constants inside the statistics' top-k are **exact** (the Figure 6b
+  contract: the outer-join fringe is priced from true counts);
+* estimation is **seed-stable** — statistics built twice from the same
+  graph, in any insertion order, price every pattern identically.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.stats import DatasetStatistics
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Triple, URI
+from repro.sparql.ast import TriplePattern, Var
+from repro.sparql.optimizer.cost import CardinalityEstimator
+
+BASE = "http://example.org/est/"
+PREDICATES = [f"{BASE}p{i}" for i in range(3)]
+
+# Small random edge lists: (subject index, predicate index, object index).
+edges = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def make_graph(edge_list) -> Graph:
+    graph = Graph()
+    for s, p, o in edge_list:
+        graph.add(Triple(URI(f"{BASE}s{s}"), URI(PREDICATES[p]), URI(f"{BASE}o{o}")))
+    return graph
+
+
+def some_patterns(edge_list) -> list[TriplePattern]:
+    s, p, o = edge_list[0]
+    subject, predicate, obj = URI(f"{BASE}s{s}"), URI(PREDICATES[p]), URI(f"{BASE}o{o}")
+    return [
+        TriplePattern(Var("x"), predicate, Var("y")),
+        TriplePattern(subject, predicate, Var("y")),
+        TriplePattern(Var("x"), predicate, obj),
+        TriplePattern(subject, Var("p"), Var("y")),
+        TriplePattern(Var("x"), Var("p"), obj),
+        TriplePattern(Var("x"), Var("p"), Var("y")),
+        TriplePattern(Var("x"), URI(f"{BASE}unseen"), Var("y")),
+    ]
+
+
+@given(edges)
+@settings(max_examples=80, deadline=None)
+def test_estimates_non_negative_and_confidence_bounded(edge_list):
+    estimator = CardinalityEstimator(
+        DatasetStatistics.from_graph(make_graph(edge_list))
+    )
+    state = estimator.fresh_state()
+    for triple in some_patterns(edge_list):
+        est = estimator.triple_estimate(triple)
+        assert est.rows >= 0.0
+        assert 0.0 <= est.confidence <= 1.0
+        state = estimator.extend(state, triple)
+        assert state.rows >= 0.0
+        assert 0.0 <= state.confidence <= 1.0
+
+
+@given(edges, edges)
+@settings(max_examples=60, deadline=None)
+def test_exact_paths_monotone_under_growth(base_edges, extra_edges):
+    """Exact estimation paths (predicate scans, top-k constants, full
+    scans) never shrink when the dataset grows."""
+    small = CardinalityEstimator(DatasetStatistics.from_graph(make_graph(base_edges)))
+    big = CardinalityEstimator(
+        DatasetStatistics.from_graph(make_graph(base_edges + extra_edges))
+    )
+    s, p, _ = base_edges[0]
+    probes = [
+        TriplePattern(Var("x"), URI(PREDICATES[p]), Var("y")),
+        TriplePattern(Var("x"), Var("p"), Var("y")),
+        TriplePattern(URI(f"{BASE}s{s}"), Var("p"), Var("y")),
+    ]
+    for triple in probes:
+        assert (
+            big.triple_estimate(triple).rows >= small.triple_estimate(triple).rows
+        )
+
+
+@given(edges)
+@settings(max_examples=80, deadline=None)
+def test_top_k_constants_are_exact(edge_list):
+    """Figure 6b: a constant inside the retained top-k is priced at its
+    true count, with full confidence, when the predicate is unconstrained."""
+    graph = make_graph(edge_list)
+    estimator = CardinalityEstimator(DatasetStatistics.from_graph(graph))
+    s, _, o = edge_list[0]
+    subject, obj = URI(f"{BASE}s{s}"), URI(f"{BASE}o{o}")
+    true_subject = sum(1 for _ in graph.triples_for_subject(subject))
+    true_object = sum(1 for _ in graph.triples_for_object(obj))
+
+    est = estimator.triple_estimate(TriplePattern(subject, Var("p"), Var("y")))
+    assert est.rows == true_subject
+
+    est = estimator.triple_estimate(TriplePattern(Var("x"), Var("p"), obj))
+    assert est.rows == true_object
+
+
+@given(edges)
+@settings(max_examples=60, deadline=None)
+def test_estimates_seed_stable(edge_list):
+    """Same data, independent builds, reversed insertion order: every
+    estimate (rows and confidence) is bit-identical. This is the property
+    that makes plans reproducible across processes."""
+    first = CardinalityEstimator(DatasetStatistics.from_graph(make_graph(edge_list)))
+    second = CardinalityEstimator(
+        DatasetStatistics.from_graph(make_graph(list(reversed(edge_list))))
+    )
+    for triple in some_patterns(edge_list):
+        a = first.triple_estimate(triple)
+        b = second.triple_estimate(triple)
+        assert (a.rows, a.confidence) == (b.rows, b.confidence)
+        left = first.extend(first.fresh_state(), triple)
+        right = second.extend(second.fresh_state(), triple)
+        assert (left.rows, left.confidence) == (right.rows, right.confidence)
