@@ -14,6 +14,7 @@ Two claims to demonstrate on the §2.1 micro-benchmark store:
 
 from __future__ import annotations
 
+import statistics
 import time
 
 from repro import RdfStore, Triple, URI
@@ -139,3 +140,59 @@ def test_wal_append_overhead(benchmark, tmp_path):
         f"({overhead * 100:+.1f}%)",
     )
     record_metric("update_wal_overhead", overhead)
+
+
+def test_wal_flush_overhead(benchmark, tmp_path):
+    """Durability ``flush`` vs ``none`` on batched commits (gated ≤5%).
+
+    ``flush`` writes each framed record straight through an unbuffered
+    handle, so a crashed *process* loses nothing; the claim is that with
+    group commit the extra syscall per transaction is noise next to the
+    store-apply work the commit already does. Modes alternate round by
+    round and the gate compares medians, cancelling machine drift the
+    same way the dictionary-encode gate does: each round times the two
+    modes back to back (order alternating), the per-round *paired* ratio
+    cancels whatever state the machine was in that round, and the gate
+    reads the median pair. The workload is floored at 200 inserts so the
+    smoke scale still measures real apply work."""
+    data = microbench.generate(target_triples=scaled(2_000))
+    n = max(scaled(400), 200)
+    commits = 8
+    rounds = 7
+    triples = _fresh_triples(n)
+    batches = [triples[i::commits] for i in range(commits)]
+
+    def timed(durability: str, attempt: int) -> float:
+        store = RdfStore.from_graph(data.graph)
+        store.attach_wal(
+            tmp_path / f"{durability}-{attempt}.wal", durability=durability
+        )
+        start = time.perf_counter()
+        for batch in batches:
+            with store.transaction() as txn:
+                for triple in batch:
+                    txn.add(triple)
+        return time.perf_counter() - start
+
+    def run():
+        ratios = []
+        totals = {"none": 0.0, "flush": 0.0}
+        for attempt in range(rounds):
+            order = ("none", "flush") if attempt % 2 == 0 else ("flush", "none")
+            pair = {mode: timed(mode, attempt) for mode in order}
+            ratios.append(pair["flush"] / pair["none"] - 1.0)
+            for mode, seconds in pair.items():
+                totals[mode] += seconds
+        return statistics.median(ratios), totals["none"], totals["flush"]
+
+    overhead, none_seconds, flush_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(
+        f"E14 — WAL flush-mode overhead "
+        f"({n} inserts, {commits} commits, median pair of {rounds})",
+        f"durability=none {none_seconds:.3f}s total, "
+        f"durability=flush {flush_seconds:.3f}s total "
+        f"(median paired overhead {overhead * 100:+.1f}%)",
+    )
+    record_metric("wal_flush_overhead", overhead)

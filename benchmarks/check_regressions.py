@@ -39,6 +39,10 @@ Reads ``benchmarks/out/results.json`` (written by the benches through
   store build must cost at most 10% over a plain-string load (the
   encode path is fused into the per-cell column op; measured ~0-5%,
   reported as a median of alternating rounds to cancel machine drift).
+* ``wal_flush_overhead`` — the default ``flush`` durability level
+  (unbuffered framed writes, crash-safe against process death) must
+  cost at most 5% over ``durability=none`` on batched commits; the
+  bench takes best-of-three per mode to cancel machine drift.
 
 Stdlib only; exits nonzero with one line per failure.
 """
@@ -58,6 +62,7 @@ MIN_BATCH_SPEEDUP_STAR = 5.0
 MIN_BATCH_SPEEDUP_CHAIN = 1.5
 MAX_DICT_ENCODE_OVERHEAD = 0.10
 MAX_PLAN_REGRET_GEOMEAN = 1.3
+MAX_WAL_FLUSH_OVERHEAD = 0.05
 
 RESULTS = pathlib.Path(__file__).parent / "out" / "results.json"
 
@@ -176,6 +181,18 @@ def main() -> int:
     else:
         print(f"ok: dict_encode_overhead {encode * 100:+.1f}% "
               f"(ceiling {MAX_DICT_ENCODE_OVERHEAD * 100:.0f}%)")
+
+    flush = metrics.get("wal_flush_overhead")
+    if flush is None:
+        failures.append("wal_flush_overhead was not recorded")
+    elif flush > MAX_WAL_FLUSH_OVERHEAD:
+        failures.append(
+            f"wal_flush_overhead {flush * 100:.1f}% > "
+            f"{MAX_WAL_FLUSH_OVERHEAD * 100:.0f}% ceiling"
+        )
+    else:
+        print(f"ok: wal_flush_overhead {flush * 100:+.1f}% "
+              f"(ceiling {MAX_WAL_FLUSH_OVERHEAD * 100:.0f}%)")
 
     on_overhead = metrics.get("profile_on_overhead")
     if on_overhead is not None:  # informational, not gated

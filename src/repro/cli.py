@@ -7,6 +7,8 @@ Usage examples::
     python -m repro explain data.nt query.rq
     python -m repro info data.nt --no-coloring
     python -m repro shell data.ttl
+    python -m repro wal info j.wal
+    python -m repro checkpoint data.nt --wal j.wal
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ from .sparql.parser import SparqlSyntaxError
 from .sparql.results import SelectResult
 from .sparql.serialize import FORMATTERS
 from .update.errors import WalError
+from .update.wal import inspect_wal
 
 #: typed-error exit codes — stable, scriptable contract (documented in README)
 EXIT_SYNTAX = 2
@@ -66,8 +69,16 @@ def build_store(args: argparse.Namespace) -> RdfStore:
         use_coloring=not args.no_coloring,
         max_columns=args.max_columns,
         config=config,
-        wal_path=getattr(args, "wal", None),
     )
+    wal_path = getattr(args, "wal", None)
+    if wal_path is not None:
+        # Attached after the bulk load so journalled incremental writes
+        # replay on top of the loaded data.
+        store.attach_wal(
+            wal_path,
+            durability=getattr(args, "durability", None),
+            recovery=getattr(args, "recovery", None) or "strict",
+        )
     elapsed = time.perf_counter() - started
     if not args.quiet:
         report = store.report()
@@ -181,6 +192,10 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"multi-valued (reverse): {len(report.reverse.multivalued)}")
     print(f"online-assigned preds: {len(report.direct.online_assignments)}")
     print(f"distinct predicates:  {len(store.stats.predicate_counts)}")
+    if store.wal is not None:
+        print(f"wal segments:         {report.wal_segments}")
+        print(f"wal last txn:         {report.wal_last_txn}")
+        print(f"wal records dropped:  {report.wal_records_dropped}")
     top = sorted(
         store.stats.predicate_counts.items(), key=lambda kv: -kv[1]
     )[:10]
@@ -208,6 +223,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         default_timeout=args.timeout,
         default_max_rows=args.max_rows,
+        drain_timeout=args.drain_timeout,
     )
 
     class _Announce(threading.Event):
@@ -220,9 +236,64 @@ def cmd_serve(args: argparse.Namespace) -> int:
             super().set()
 
     try:
-        server.run(ready=None if args.quiet else _Announce())
+        server.run(
+            ready=None if args.quiet else _Announce(), install_signals=True
+        )
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def cmd_wal_info(args: argparse.Namespace) -> int:
+    """``repro wal info``: verify a journal's checksums and print its
+    shape. Read-only — never repairs or truncates anything. Exits
+    ``EXIT_WAL`` (5) when the journal holds real corruption."""
+    status = inspect_wal(args.path)
+    print(f"path:             {status.path}")
+    print(f"format:           {status.format}")
+    if status.format == "absent":
+        print("status:           no journal at this path")
+        return 0
+    print(f"segments:         {status.segments}")
+    print(f"records:          {status.records}")
+    print(f"last txn:         {status.last_txn}")
+    if status.checkpoint_txn:
+        print(f"checkpoint:       txn {status.checkpoint_txn} "
+              f"({status.checkpoint_ops} consolidated ops)")
+    else:
+        print("checkpoint:       none")
+    if status.tail_torn:
+        print("tail:             torn final record "
+              "(expected crash footprint; truncated on next open)")
+    if status.ok:
+        print("checksums:        ok")
+        return 0
+    print(f"checksums:        CORRUPT — {status.error}")
+    print(f"error (wal): {status.error}", file=sys.stderr)
+    return EXIT_WAL
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """``repro checkpoint``: consolidate the journal's committed prefix
+    into a durable checkpoint and compact the covered segments."""
+    if getattr(args, "wal", None) is None:
+        print("error: checkpoint requires --wal PATH", file=sys.stderr)
+        return 2
+    store = build_store(args)
+    info = store.checkpoint()
+    if info.txn == 0:
+        print("# journal is empty: nothing to checkpoint", file=sys.stderr)
+        return 0
+    print(
+        f"# checkpoint at txn {info.txn}: {info.ops} consolidated op(s), "
+        f"{info.segments_removed} segment(s) compacted",
+        file=sys.stderr,
+    )
+    if not args.quiet:
+        summary = store.wal_summary()
+        print(f"# journal now: {summary['segments']} segment(s), "
+              f"{summary['records']} record(s) past the checkpoint",
+              file=sys.stderr)
     return 0
 
 
@@ -325,6 +396,18 @@ def make_parser() -> argparse.ArgumentParser:
             "--wal", default=None, metavar="PATH",
             help="replay (and keep journalling to) a write-ahead log",
         )
+        _wal_tuning(p)
+
+    def _wal_tuning(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--durability", choices=["none", "flush", "fsync"], default=None,
+            help="journal durability per commit (default: flush)",
+        )
+        p.add_argument(
+            "--recovery", choices=["strict", "tolerate_tail"], default=None,
+            help="corrupt-journal policy: strict refuses (exit 5), "
+                 "tolerate_tail truncates at the first bad record",
+        )
 
     query_parser = sub.add_parser("query", help="run a SPARQL query")
     common(query_parser)
@@ -357,6 +440,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--wal", default=None, metavar="PATH",
         help="write-ahead journal: replay it after load, append the commit",
     )
+    _wal_tuning(update_parser)
     update_parser.add_argument(
         "--profile", action="store_true",
         help="trace parse/apply/commit stages and print the profile",
@@ -396,7 +480,31 @@ def make_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="query worker threads (default: max-concurrent, floor 2)",
     )
+    serve_parser.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds to let in-flight requests finish on SIGTERM/SIGINT "
+             "before closing (the WAL is flushed either way)",
+    )
     serve_parser.set_defaults(func=cmd_serve)
+
+    wal_parser = sub.add_parser(
+        "wal", help="inspect a write-ahead journal"
+    )
+    wal_sub = wal_parser.add_subparsers(dest="wal_command", required=True)
+    wal_info_parser = wal_sub.add_parser(
+        "info",
+        help="verify checksums and print segment/record/txn counts "
+             "(read-only; exit 5 on corruption)",
+    )
+    wal_info_parser.add_argument("path", help="journal directory or file")
+    wal_info_parser.set_defaults(func=cmd_wal_info)
+
+    checkpoint_parser = sub.add_parser(
+        "checkpoint",
+        help="consolidate the journal into a checkpoint and compact it",
+    )
+    common(checkpoint_parser, with_query=False)
+    checkpoint_parser.set_defaults(func=cmd_checkpoint)
     return parser
 
 

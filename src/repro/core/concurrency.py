@@ -38,7 +38,10 @@ class StoreHooks:
 
     Fire points: ``txn.begin``, ``commit.wal``, ``commit.publish.before``,
     ``commit.publish.after``, ``rollback``, ``snapshot.acquire``,
-    ``snapshot.release``. Callbacks registered under ``"*"`` receive every
+    ``snapshot.release``, ``checkpoint`` (after a successful
+    :meth:`~repro.core.store.RdfStore.checkpoint`), ``backup`` (after a
+    verified :meth:`~repro.core.store.RdfStore.backup`). Callbacks
+    registered under ``"*"`` receive every
     point. Callbacks run on the firing thread while it may hold the writer
     lock — a callback that blocks stalls that writer, which is exactly what
     the interleaving tests exploit.

@@ -20,12 +20,15 @@ importantly — the machinery to *prove* them:
   (carrying breaker state) instead of hammering a sick backend.
 * **Deterministic fault injection.** A :class:`FaultPlan` is a seeded
   schedule of :class:`Fault` rules — fail the Nth ``insert_many``, raise
-  on ``fsync``, kill (or tear) WAL record K — and :class:`ChaosBackend`
+  on ``fsync``, kill (or tear) WAL record K, fill the disk, lose the
+  unsynced suffix of a record at power loss — and :class:`ChaosBackend`
   implements the backend interface while consulting the plan before every
   delegated operation. The crash-matrix test in
   ``tests/update/test_crash_matrix.py`` drives these through every step
-  boundary of commit and WAL append and asserts recovery always lands on
-  exactly the pre- or post-transaction state.
+  boundary of commit and WAL append, the disk-fault matrix in
+  ``tests/update/test_disk_faults.py`` adds torn writes, bit flips,
+  partial fsync, ENOSPC and rename-step crashes, and both assert recovery
+  always lands on exactly the pre- or post-transaction state.
 
 The relational substrate never imports this module: a :class:`Budget` is
 handed down duck-typed (like tracing spans) and raises its own typed
@@ -35,6 +38,8 @@ Ticker`.
 
 from __future__ import annotations
 
+import errno
+import os
 import random
 import time
 from collections import Counter
@@ -433,19 +438,37 @@ class Fault:
 
     ``op`` names a backend operation (``"execute"``, ``"insert_many"``,
     ``"create_table"``, ``"create_index"``, or ``"any"`` to count every
-    operation) or a WAL append step (``"append.start"``,
-    ``"append.write"``, ``"append.flush"``, ``"append.fsync"``). ``at``
-    is the 1-based occurrence of that op at which the fault fires.
-    ``kind`` is ``"transient"`` (retryable :class:`TransientFaultError`)
-    or ``"crash"`` (:class:`SimulatedCrash`). ``torn_bytes`` applies to
-    ``append.write`` crashes: that many bytes of the record are written
-    before the process dies, modelling a torn journal tail.
+    operation) or a WAL step — the append steps ``"append.start"`` /
+    ``"append.write"`` / ``"append.flush"`` / ``"append.fsync"``, the
+    rotation step ``"rotate.seal"``, and the
+    checkpoint/compaction steps ``"checkpoint.write"`` /
+    ``"checkpoint.sync"`` / ``"checkpoint.rename"`` /
+    ``"manifest.write"`` / ``"manifest.rename"`` / ``"compact.unlink"``.
+    ``at`` is the 1-based occurrence of that op at which the fault fires.
+
+    ``kind`` selects what happens:
+
+    * ``"transient"`` — retryable :class:`TransientFaultError`;
+    * ``"crash"`` — :class:`SimulatedCrash` (process death);
+    * ``"enospc"`` — ``OSError(ENOSPC)``, the disk filling up mid-write;
+      the journal reacts by truncating the partial record and raising
+      :class:`~repro.update.errors.WalWriteError`, which the transaction
+      unwinds — the process survives.
+
+    ``torn_bytes`` applies to ``append.write`` crashes: that many bytes
+    of the record are written before the process dies, modelling a torn
+    journal tail. ``durable_bytes`` applies to ``append.fsync`` crashes:
+    the file is truncated back to that many bytes past the record's start
+    offset before dying, modelling a *partial fsync* — the OS accepted
+    the whole write but only a prefix reached stable storage when power
+    was lost.
     """
 
     op: str
     at: int
     kind: str = "transient"
     torn_bytes: int | None = None
+    durable_bytes: int | None = None
 
 
 class FaultPlan:
@@ -473,6 +496,10 @@ class FaultPlan:
         self.fired.append(fault)
         if fault.kind == "crash":
             raise SimulatedCrash(f"injected crash at {where}")
+        if fault.kind == "enospc":
+            raise OSError(
+                errno.ENOSPC, f"injected disk-full fault at {where}"
+            )
         raise TransientFaultError(f"injected transient fault at {where}")
 
     @classmethod
@@ -504,9 +531,12 @@ class FaultPlan:
 
     def wal_hook(self) -> Callable[[str, dict], None]:
         """A :class:`~repro.update.wal.WriteAheadLog` fault hook driven by
-        this plan: counts append steps and fires matching faults. A
-        ``torn_bytes`` crash on ``append.write`` writes that prefix of
-        the record (and flushes it) before dying, leaving a torn tail."""
+        this plan: counts journal steps (append, rotation, checkpoint,
+        manifest, compaction) and fires matching faults. A ``torn_bytes``
+        crash on ``append.write`` writes that prefix of the record (and
+        flushes it) before dying, leaving a torn tail. A ``durable_bytes``
+        crash on ``append.fsync`` truncates the file so only that prefix
+        of the record survives — a partial fsync at power loss."""
         counts: Counter[str] = Counter()
 
         def hook(step: str, payload: dict) -> None:
@@ -522,6 +552,16 @@ class FaultPlan:
             ):
                 payload["handle"].write(payload["data"][: fault.torn_bytes])
                 payload["handle"].flush()
+            if (
+                fault.kind == "crash"
+                and fault.durable_bytes is not None
+                and step == "append.fsync"
+            ):
+                handle = payload["handle"]
+                handle.flush()
+                os.ftruncate(
+                    handle.fileno(), payload["offset"] + fault.durable_bytes
+                )
             self.fire(fault, f"wal {step} #{counts[step]}")
 
         return hook

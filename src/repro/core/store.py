@@ -31,7 +31,7 @@ from ..update.ast import UpdateRequest
 from ..update.errors import TransactionError
 from ..update.parser import parse_update
 from ..update.transaction import Transaction
-from ..update.wal import WriteAheadLog
+from ..update.wal import CheckpointInfo, WalStatus, WriteAheadLog, inspect_wal
 from .coloring import color_graph_for_store
 from .concurrency import Snapshot, StoreHooks
 from .loader import Loader, LoadReport, SideMetadata
@@ -48,13 +48,20 @@ MAX_COLORING_COLUMNS = 100
 
 @dataclass
 class StoreReport:
-    """Load statistics exposed for the Table 4 / §2.3 experiments."""
+    """Load statistics exposed for the Table 4 / §2.3 experiments,
+    plus journal health when a WAL is attached."""
 
     triples: int
     direct: SideMetadata
     reverse: SideMetadata
     direct_columns: int
     reverse_columns: int
+    #: journal records discarded during recovery (0 = clean history)
+    wal_records_dropped: int = 0
+    #: live journal segments (0 when no WAL is attached)
+    wal_segments: int = 0
+    #: last committed transaction id (0 when no WAL / empty journal)
+    wal_last_txn: int = 0
 
 
 class RdfStore:
@@ -351,6 +358,12 @@ class RdfStore:
         path: str | os.PathLike,
         sync: bool = False,
         max_record_bytes: int | None = None,
+        durability: str | None = None,
+        recovery: str = "strict",
+        segment_max_bytes: int | None = None,
+        checkpoint_every_bytes: int | None = None,
+        checkpoint_every_records: int | None = None,
+        group_fsync_interval: int = 1,
     ) -> int:
         """Attach a write-ahead journal and replay any committed records.
 
@@ -359,15 +372,30 @@ class RdfStore:
         its base data first) and call this to recover every committed
         write. ``max_record_bytes`` bounds any single journal record during
         replay (a corrupt or hostile journal cannot balloon memory).
+
+        ``durability`` (``"none"``/``"flush"``/``"fsync"``), ``recovery``
+        (``"strict"``/``"tolerate_tail"``), ``segment_max_bytes`` and the
+        ``checkpoint_every_*`` auto-checkpoint policy pass straight through
+        to :class:`~repro.update.wal.WriteAheadLog`; ``sync=True`` is the
+        legacy spelling of ``durability="fsync"``. Records the journal
+        dropped during recovery are logged by the journal itself and
+        surfaced as ``wal_records_dropped`` in :meth:`report`.
+
         Returns the number of replayed operations."""
         if self._txn is not None:
             raise TransactionError("cannot attach a journal mid-transaction")
         if self._wal is not None:
             raise TransactionError("a journal is already attached")
-        if max_record_bytes is None:
-            wal = WriteAheadLog(path, sync=sync)
-        else:
-            wal = WriteAheadLog(path, sync=sync, max_record_bytes=max_record_bytes)
+        kwargs: dict = {"sync": sync, "durability": durability,
+                        "recovery": recovery,
+                        "checkpoint_every_bytes": checkpoint_every_bytes,
+                        "checkpoint_every_records": checkpoint_every_records,
+                        "group_fsync_interval": group_fsync_interval}
+        if max_record_bytes is not None:
+            kwargs["max_record_bytes"] = max_record_bytes
+        if segment_max_bytes is not None:
+            kwargs["segment_max_bytes"] = segment_max_bytes
+        wal = WriteAheadLog(path, **kwargs)
         replayed = 0
         self._begin_write()
         try:
@@ -385,14 +413,101 @@ class RdfStore:
                     replayed += 1
         finally:
             # Publish even on a partial replay: recovery keeps whatever
-            # records were intact (legacy semantics; the corrupt tail is
-            # truncated by WriteAheadLog itself).
+            # records were intact (the journal truncated any tolerated
+            # damage during its own open, with a logged warning).
             self._end_write(publish=True)
         if replayed:
             self.stats.bump_epoch()
             self._engine = None
         self._wal = wal
         return replayed
+
+    # ------------------------------------------------------------ durability
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The attached journal, if any (read-only introspection)."""
+        return self._wal
+
+    def _checkpoint_meta(self) -> dict:
+        """Context stamped into a checkpoint (observability only)."""
+        return {"epoch": self.stats.epoch,
+                "triples": self.stats.total_triples}
+
+    def checkpoint(self) -> CheckpointInfo:
+        """Consolidate the journal's committed prefix and compact it.
+
+        Runs under the writer bracket, so it serializes against
+        transactions; concurrent snapshot readers are unaffected. After it
+        returns, reopening the store replays only the checkpoint plus
+        post-checkpoint segments. Raises :class:`TransactionError` when no
+        journal is attached or a transaction is open on this thread."""
+        wal = self._require_wal()
+        self._begin_write()
+        try:
+            info = wal.checkpoint(meta=self._checkpoint_meta())
+        finally:
+            self._end_write(publish=False)
+        if self.hooks is not None:
+            self.hooks.fire("checkpoint", txn=info.txn, ops=info.ops)
+        return info
+
+    def backup(self, dest: str | os.PathLike) -> WalStatus:
+        """Copy the journal to ``dest`` as a consistent, verified backup.
+
+        Takes the writer bracket for the duration of the copy — commits
+        wait, snapshot readers keep reading — then verifies every checksum
+        in the copy. Restore by attaching the backup directory to a store
+        rebuilt from the same base data:
+        ``RdfStore.from_graph(base, wal_path=dest)``."""
+        wal = self._require_wal()
+        self._begin_write()
+        try:
+            status = wal.backup_to(dest)
+        finally:
+            self._end_write(publish=False)
+        if self.hooks is not None:
+            self.hooks.fire("backup", dest=str(dest))
+        return status
+
+    def flush_wal(self) -> None:
+        """Force everything journalled so far onto stable storage (used by
+        graceful shutdown; a no-op when no journal is attached)."""
+        if self._wal is not None:
+            self._wal.sync_to_disk()
+
+    def wal_summary(self) -> dict | None:
+        """Journal health for ``report()`` consumers and the server's
+        ``/health`` endpoint; None when no journal is attached."""
+        if self._wal is None:
+            return None
+        return {
+            "path": str(self._wal.path),
+            "durability": self._wal.durability,
+            "recovery": self._wal.recovery,
+            "segments": self._wal.segment_count,
+            "records": self._wal.record_count,
+            "last_txn": self._wal.last_txn,
+            "checkpoint_txn": self._wal.checkpoint_txn,
+            "records_dropped": self._wal.records_dropped,
+        }
+
+    def verify_wal(self) -> WalStatus | None:
+        """Re-scan the attached journal's files read-only, verifying every
+        checksum; None when no journal is attached."""
+        if self._wal is None:
+            return None
+        self.flush_wal()
+        return inspect_wal(self._wal.path, self._wal.max_record_bytes)
+
+    def _require_wal(self) -> WriteAheadLog:
+        if self._wal is None:
+            raise TransactionError("no journal is attached to this store")
+        if self._txn is not None and self._writer_thread == threading.get_ident():
+            raise TransactionError(
+                "cannot checkpoint or backup mid-transaction"
+            )
+        return self._wal
 
     # Raw single-triple writes: no transaction, no epoch bump. These are the
     # primitives Transaction (and WAL replay) build on; everything public
@@ -541,11 +656,16 @@ class RdfStore:
     # ----------------------------------------------------------- reporting
 
     def report(self) -> StoreReport:
-        """Load statistics: entities, spills, multi-valued predicates."""
+        """Load statistics: entities, spills, multi-valued predicates —
+        and, when a journal is attached, its recovery/compaction health."""
+        wal = self._wal
         return StoreReport(
             triples=self.stats.total_triples,
             direct=self.direct_meta,
             reverse=self.reverse_meta,
             direct_columns=self.schema.direct_columns,
             reverse_columns=self.schema.reverse_columns,
+            wal_records_dropped=wal.records_dropped if wal else 0,
+            wal_segments=wal.segment_count if wal else 0,
+            wal_last_txn=wal.last_txn if wal else 0,
         )

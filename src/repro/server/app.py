@@ -26,6 +26,7 @@ from __future__ import annotations
 import asyncio
 import json
 import re
+import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any
@@ -113,6 +114,7 @@ class SparqlServer:
         workers: int | None = None,
         default_timeout: float | None = None,
         default_max_rows: int | None = None,
+        drain_timeout: float = 10.0,
     ) -> None:
         self.store = store
         self.host = host
@@ -120,6 +122,8 @@ class SparqlServer:
         self.max_concurrent = max_concurrent
         self.default_timeout = default_timeout
         self.default_max_rows = default_max_rows
+        self.drain_timeout = drain_timeout
+        self._draining = False
         self._executor = ThreadPoolExecutor(
             max_workers=workers or max(2, max_concurrent),
             thread_name_prefix="sparql-worker",
@@ -146,19 +150,40 @@ class SparqlServer:
         await self._stopping.wait()
         await self.close()
 
-    def run(self, ready: threading.Event | None = None) -> None:
+    def run(
+        self,
+        ready: threading.Event | None = None,
+        install_signals: bool = False,
+    ) -> None:
         """Blocking entry point: own loop, serve until :meth:`shutdown`.
 
         ``ready`` (if given) is set once the port is bound — the test
-        fixture's cue that requests will connect."""
+        fixture's cue that requests will connect. With ``install_signals``
+        SIGTERM and SIGINT trigger the same graceful drain as
+        :meth:`shutdown`: stop accepting, finish in-flight requests up to
+        ``drain_timeout`` seconds, flush the journal, return normally."""
         loop = asyncio.new_event_loop()
         try:
             loop.run_until_complete(self.start())
+            if install_signals:
+                self._install_signal_handlers(loop)
             if ready is not None:
                 ready.set()
             loop.run_until_complete(self.serve_forever())
         finally:
             loop.close()
+
+    def _install_signal_handlers(self, loop: asyncio.AbstractEventLoop) -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.shutdown)
+            except (NotImplementedError, ValueError, RuntimeError):
+                # Non-main thread or platform without loop signal support:
+                # fall back to the classic handler where possible.
+                try:
+                    signal.signal(signum, lambda *_: self.shutdown())
+                except ValueError:  # pragma: no cover - non-main thread
+                    pass
 
     def shutdown(self) -> None:
         """Request shutdown from any thread (idempotent)."""
@@ -168,11 +193,20 @@ class SparqlServer:
         loop.call_soon_threadsafe(stopping.set)
 
     async def close(self) -> None:
+        """Graceful teardown: stop accepting, drain, flush the journal."""
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        deadline = asyncio.get_running_loop().time() + self.drain_timeout
+        while self._active > 0 and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.02)
         self._executor.shutdown(wait=False)
+        try:
+            self.store.flush_wal()
+        except OSError:  # pragma: no cover - flush is best-effort at exit
+            pass
 
     # --------------------------------------------------------- connection
 
@@ -194,7 +228,9 @@ class SparqlServer:
                 if request is None:
                     return
                 response = await self._dispatch(request)
-                keep_alive = request.keep_alive
+                # A draining server answers the in-flight request but ends
+                # the connection so keep-alive clients cannot pin the drain.
+                keep_alive = request.keep_alive and not self._draining
                 writer.write(render_response(response, keep_alive))
                 await writer.drain()
                 if not keep_alive:
@@ -228,11 +264,13 @@ class SparqlServer:
             )
         cache = self.store.cache_info()
         payload = {
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "backend": getattr(self.store.backend, "name", "unknown"),
             "epoch": self.store.stats.epoch,
             "in_flight": self._active,
+            "draining": self._draining,
             "plan_cache": {"hits": cache.hits, "misses": cache.misses},
+            "wal": self.store.wal_summary(),
         }
         return HttpResponse.text(200, json.dumps(payload))
 

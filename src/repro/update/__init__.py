@@ -10,8 +10,9 @@ pieces a real write path needs:
 * :mod:`repro.update.transaction` — atomic batches with an undo log and
   group commit (the stats epoch bumps once per transaction, so cached
   plans survive until commit);
-* :mod:`repro.update.wal` — an append-only JSONL journal of committed
-  deltas that a reopened store replays for crash recovery;
+* :mod:`repro.update.wal` — a checksummed, segmented journal of committed
+  deltas (durable checkpoints, compaction, corruption-aware recovery)
+  that a reopened store replays for crash recovery;
 * :mod:`repro.update.apply` — the executor mapping update operations onto
   any store-like target (the DB2RDF store and the native-memory baseline
   share it, so differential testing covers writes).
@@ -26,12 +27,20 @@ from .ast import (
     UpdateOperation,
     UpdateRequest,
 )
-from .errors import TransactionError, UpdateError, UpdateSyntaxError, WalError
+from .errors import (
+    TransactionError,
+    UpdateError,
+    UpdateSyntaxError,
+    WalCorruptionError,
+    WalError,
+    WalWriteError,
+)
 from .parser import parse_update
 from .transaction import Transaction
-from .wal import WriteAheadLog
+from .wal import CheckpointInfo, WalStatus, WriteAheadLog, inspect_wal
 
 __all__ = [
+    "CheckpointInfo",
     "DeleteData",
     "DeleteWhere",
     "InsertData",
@@ -43,8 +52,12 @@ __all__ = [
     "UpdateRequest",
     "UpdateResult",
     "UpdateSyntaxError",
+    "WalCorruptionError",
     "WalError",
+    "WalStatus",
+    "WalWriteError",
     "WriteAheadLog",
     "apply_update",
+    "inspect_wal",
     "parse_update",
 ]

@@ -27,6 +27,37 @@ class TransactionError(UpdateError):
 
 
 class WalError(UpdateError):
-    """The write-ahead journal is unreadable (corrupt interior record or
-    unknown operation tag). A torn *final* line is tolerated silently — it
-    is the expected shape of a crash mid-append."""
+    """Base class for write-ahead-journal failures (corruption, failed
+    writes, unusable layout). A torn *final* record is not an error — it
+    is the expected footprint of a crash mid-append and is truncated (with
+    a logged warning) on recovery."""
+
+
+class WalCorruptionError(WalError):
+    """The journal holds damage that is not a torn tail: a checksum
+    mismatch, a mangled frame, or a gap in the committed-transaction
+    sequence. Carries the location so operators can find the damage:
+    ``segment`` (file path), ``offset`` (byte offset of the bad record),
+    and ``index`` (1-based record number within that segment); any of the
+    three may be None when the damage is structural (e.g. a missing
+    segment rather than a bad record)."""
+
+    def __init__(
+        self,
+        message: str,
+        segment: str | None = None,
+        offset: int | None = None,
+        index: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.segment = segment
+        self.offset = offset
+        self.index = index
+
+
+class WalWriteError(WalError):
+    """Appending to the journal failed (disk full, I/O error, failed
+    fsync). The partial record is truncated away before this is raised,
+    so the journal stays valid; the transaction layer reacts by unwinding
+    its in-memory effects — the commit never happened."""
+

@@ -15,16 +15,19 @@ all: failed deletes and duplicate inserts keep the plan cache warm.
 
 from __future__ import annotations
 
+import logging
 from typing import TYPE_CHECKING
 
 from ..rdf.terms import Triple, term_key
 from ..sparql.ast import SelectQuery
 from ..sparql.results import SelectResult
-from .errors import TransactionError
+from .errors import TransactionError, WalError
 from .wal import WalOp
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.store import RdfStore
+
+logger = logging.getLogger("repro.update.transaction")
 
 
 class Transaction:
@@ -91,7 +94,13 @@ class Transaction:
         A crash anywhere before the journal record is complete recovers to
         the pre-transaction state on replay; once the record is durable,
         recovery yields the post-transaction state — never anything in
-        between."""
+        between.
+
+        A *survivable* journal failure (:class:`WalError` — disk full, I/O
+        error) is a different matter from a crash: the process lives on,
+        so memory and journal must not diverge. The journal truncates its
+        partial record, this method unwinds the in-memory effects via the
+        undo log, and the error propagates — the commit never happened."""
         self._check_open()
         self.state = "committed"
         self.store._txn = None
@@ -101,11 +110,31 @@ class Transaction:
             if self._ops:
                 if hooks is not None:
                     hooks.fire("commit.wal", ops=len(self._ops))
-                if self.store._wal is not None:
-                    self.store._wal.append(self._ops)
+                wal = self.store._wal
+                if wal is not None:
+                    try:
+                        wal.append(self._ops)
+                    except WalError:
+                        self.state = "failed"
+                        self._unwind()
+                        raise
                 self.store.stats.bump_epoch()
                 self.store._engine = None
                 published = True
+                if wal is not None and wal.should_checkpoint():
+                    # Policy-triggered compaction rides the commit while the
+                    # writer bracket is still held. The record above is
+                    # already durable, so a checkpoint *failure* must not
+                    # fail the commit — but an injected SimulatedCrash is
+                    # not an error and propagates untouched.
+                    try:
+                        wal.checkpoint(meta=self.store._checkpoint_meta())
+                    except (WalError, OSError) as exc:
+                        logger.warning(
+                            "auto-checkpoint after txn %d failed "
+                            "(will retry on a later commit): %s",
+                            wal.last_txn, exc,
+                        )
             if hooks is not None:
                 hooks.fire("commit.publish.before", ops=len(self._ops))
         finally:
@@ -124,16 +153,20 @@ class Transaction:
         self.state = "rolled-back"
         self.store._txn = None
         try:
-            for action, triple in reversed(self._undo):
-                if action == "add":
-                    self.store._apply_add(triple)
-                else:
-                    self.store._apply_remove(triple)
+            self._unwind()
         finally:
             hooks = self.store.hooks
             if hooks is not None:
                 hooks.fire("rollback", ops=len(self._ops))
             self.store._end_write(publish=False)
+
+    def _unwind(self) -> None:
+        """Reverse every effective write of this batch, newest first."""
+        for action, triple in reversed(self._undo):
+            if action == "add":
+                self.store._apply_add(triple)
+            else:
+                self.store._apply_remove(triple)
 
     # ----------------------------------------------------- context manager
 

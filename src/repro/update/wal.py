@@ -1,35 +1,85 @@
-"""An append-only write-ahead journal of committed transactions.
+"""A checksummed, segmented write-ahead journal with durable checkpoints.
 
 The journal is a commit log, not a redo-before-write log: a transaction's
-net delta is appended in one line *at commit time*, after the in-memory
-apply succeeded. A store reopened against the same path replays every
-committed record to reconstruct its write history; anything that never
-reached ``append`` simply never happened, which is exactly the rollback
-semantics the transaction layer promises.
+net delta is appended as one framed record *at commit time*, after the
+in-memory apply succeeded. A store reopened against the same path replays
+the checkpoint (if any) plus every committed record to reconstruct its
+write history; anything that never reached ``append`` simply never
+happened, which is exactly the rollback semantics the transaction layer
+promises.
 
-Format: one JSON object per line —
+Layout — ``path`` is a directory::
 
-    {"txn": 3, "ops": [["+", "<s-key>", "<p-iri>", "<o-key>"], ...]}
+    <path>/
+      MANIFEST.json            # layout summary, updated via atomic rename
+      wal-00000001.seg         # sealed segment (rotated at segment_max_bytes)
+      wal-00000002.seg         # active segment (appends go here)
+      checkpoint-00000042.ckpt # consolidated prefix of the journal
 
-Terms are serialized with :func:`~repro.rdf.terms.term_key` (URIs bare,
-literals in N3), the same canonical encoding the dictionary tables and
-cross-engine comparisons use. A torn *final* line — the footprint of a
-crash mid-append — is tolerated and ignored on replay; a corrupt interior
-record means real damage and raises :class:`~repro.update.errors.WalError`.
+Each segment record is one line::
 
-Replay streams the journal record by record: memory is bounded by the
-largest single record, never the journal size, and ``max_record_bytes``
-caps even that so a corrupt length cannot balloon the process.
+    W1 <payload-bytes> <crc32c-hex8> {"txn":3,"ops":[["+","s","p","o"],...]}\\n
+
+The CRC32C covers the JSON payload; the declared length lets recovery
+distinguish a torn tail (incomplete final line — the expected footprint of
+a crash mid-append, truncated with a warning) from real damage (checksum
+mismatch, mangled frame, or a gap in the transaction sequence). What
+happens on real damage is the ``recovery`` policy's call:
+
+* ``"strict"`` (default) raises :class:`WalCorruptionError` naming the
+  segment, byte offset, and record index;
+* ``"tolerate_tail"`` truncates at the first bad record, drops everything
+  after it, and records what was dropped (surfaced via
+  :attr:`WriteAheadLog.dropped` and the store's ``wal_records_dropped``).
+
+Durability is configurable per journal: ``"none"`` buffers appends in the
+process (fastest; survives only a clean close), ``"flush"`` (default)
+pushes every record to the OS (survives process death), ``"fsync"``
+forces it to stable storage (survives power loss), optionally batched via
+``group_fsync_interval``.
+
+A checkpoint consolidates the journal's committed prefix — the net
+surviving delta of every record up to transaction N — into one
+checksummed file, after which the covered segments are deleted
+(compaction) and recovery replays only post-checkpoint segments. The
+manifest and checkpoint files are published with write-temp / fsync /
+atomic-rename discipline, and recovery treats the *directory scan* as
+authoritative (the manifest is an observability cache), so a crash
+between any two steps of checkpoint publication recovers exactly the
+committed-prefix state.
+
+Transaction ids are assigned contiguously, one record per transaction, so
+recovery can detect holes: a surviving record whose txn id skips past the
+expected successor means an interior segment was lost, which no policy
+tolerates.
+
+``fault_hook``, when set, is called as ``hook(step, payload)`` at every
+step boundary of the write path — ``append.start`` / ``append.write`` /
+``append.flush`` / ``append.fsync``, ``rotate.seal``,
+``checkpoint.write`` / ``checkpoint.sync`` / ``checkpoint.rename``,
+``manifest.write`` / ``manifest.rename``, ``compact.unlink`` — and may
+raise to simulate a crash or disk fault at exactly that point; this is
+the seam the crash/disk-fault matrices drive.
+
+Replay streams one record at a time: memory is bounded by the largest
+single record, never the journal size, and ``max_record_bytes`` caps even
+that so a corrupt length field cannot balloon the process.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
+import shutil
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Sequence
 
-from .errors import WalError
+from .crc import crc32c
+from .errors import WalCorruptionError, WalError, WalWriteError
+
+logger = logging.getLogger("repro.update.wal")
 
 #: one journalled operation: ("+"/"-", subject key, predicate IRI, object key)
 WalOp = tuple[str, str, str, str]
@@ -38,18 +88,431 @@ WalOp = tuple[str, str, str, str]
 #: commit, low enough that a corrupt record cannot exhaust memory on replay
 DEFAULT_MAX_RECORD_BYTES = 16 * 1024 * 1024
 
+#: default segment rotation threshold
+DEFAULT_SEGMENT_MAX_BYTES = 4 * 1024 * 1024
+
+MANIFEST_NAME = "MANIFEST.json"
+_RECORD_MAGIC = b"W1"
+_CHECKPOINT_MAGIC = b"C1"
+#: generous headroom over max_record_bytes for the frame header
+_FRAME_OVERHEAD = 64
+
+DURABILITY_LEVELS = ("none", "flush", "fsync")
+RECOVERY_POLICIES = ("strict", "tolerate_tail")
+
+
+def _segment_name(seq: int) -> str:
+    return f"wal-{seq:08d}.seg"
+
+
+def _checkpoint_name(txn: int) -> str:
+    return f"checkpoint-{txn:08d}.ckpt"
+
+
+def _frame(magic: bytes, payload: bytes) -> bytes:
+    return b"%s %d %08x " % (magic, len(payload), crc32c(payload)) + payload + b"\n"
+
+
+def _fsync_dir(path: Path) -> None:
+    """Make a directory entry change (create/rename/unlink) durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+# ------------------------------------------------------------------ metadata
+
+
+@dataclass(frozen=True)
+class DroppedRecord:
+    """One discarded journal record, kept for observability."""
+
+    segment: str  #: segment file path
+    offset: int  #: byte offset where the bad data starts
+    index: int  #: 1-based record number within the segment
+    reason: str
+
+
+@dataclass
+class SegmentInfo:
+    """Verified shape of one on-disk segment."""
+
+    seq: int
+    path: Path
+    records: int = 0
+    size: int = 0
+    first_txn: int | None = None
+    last_txn: int | None = None
+
+
+@dataclass
+class RecoveryInfo:
+    """What the last open/replay saw — the checkpoint-bounding proof."""
+
+    checkpoint_txn: int = 0
+    checkpoint_ops: int = 0
+    segment_records: int = 0  #: records replayed from segments
+    records_skipped: int = 0  #: segment records covered by the checkpoint
+    records_dropped: int = 0
+    dropped: list[DroppedRecord] = field(default_factory=list)
+
+
+@dataclass
+class CheckpointInfo:
+    """Result of one :meth:`WriteAheadLog.checkpoint` call."""
+
+    txn: int  #: last transaction the checkpoint covers
+    ops: int  #: consolidated operations it holds
+    segments_removed: int
+    path: str
+
+
+@dataclass
+class WalStatus:
+    """Read-only health summary (see :func:`inspect_wal`)."""
+
+    path: str
+    format: str  #: "segmented-v1" | "legacy-v0" | "absent"
+    segments: int = 0
+    records: int = 0
+    last_txn: int = 0
+    checkpoint_txn: int = 0
+    checkpoint_ops: int = 0
+    tail_torn: bool = False
+    ok: bool = True
+    error: str | None = None
+
+
+class _ScanProblem(Exception):
+    """Internal: a segment scan hit a bad record.
+
+    ``torn`` means an incomplete final line at EOF — the one shape of
+    damage that is an expected crash footprint rather than corruption.
+    """
+
+    def __init__(self, offset: int, index: int, reason: str, torn: bool) -> None:
+        super().__init__(reason)
+        self.offset = offset
+        self.index = index
+        self.reason = reason
+        self.torn = torn
+
+
+@dataclass(frozen=True)
+class _Record:
+    txn: int
+    ops: list[WalOp]
+    offset: int
+    index: int
+
+
+# ----------------------------------------------------------------- scanning
+
+
+def _parse_ops(raw: Any) -> list[WalOp]:
+    ops = [(str(tag), str(s), str(p), str(o)) for tag, s, p, o in raw]
+    for op in ops:
+        if op[0] not in ("+", "-"):
+            raise ValueError(f"unknown operation tag {op[0]!r}")
+    return ops
+
+
+def _read_frame(
+    handle: Any, magic: bytes, max_record_bytes: int, offset: int, index: int
+) -> bytes | None:
+    """Read and verify one framed line; returns the payload bytes.
+
+    Returns None at clean EOF; raises :class:`_ScanProblem` on damage.
+    """
+    cap = max_record_bytes + _FRAME_OVERHEAD
+    line = handle.readline(cap + 1)
+    if not line:
+        return None
+    if not line.endswith(b"\n"):
+        rest = handle.read(1)
+        if len(line) > cap or rest:
+            raise _ScanProblem(
+                offset, index,
+                f"record exceeds max_record_bytes={max_record_bytes}",
+                torn=False,
+            )
+        raise _ScanProblem(offset, index, "incomplete record at end of file",
+                           torn=True)
+    parts = line.split(b" ", 3)
+    if len(parts) != 4 or parts[0] != magic:
+        raise _ScanProblem(offset, index, "mangled record frame", torn=False)
+    try:
+        declared = int(parts[1])
+        checksum = int(parts[2], 16)
+    except ValueError:
+        raise _ScanProblem(offset, index, "mangled record header",
+                           torn=False) from None
+    if declared > max_record_bytes:
+        raise _ScanProblem(
+            offset, index,
+            f"record of {declared} bytes exceeds "
+            f"max_record_bytes={max_record_bytes}",
+            torn=False,
+        )
+    payload = parts[3][:-1]
+    if len(payload) != declared:
+        raise _ScanProblem(
+            offset, index,
+            f"record length mismatch (declared {declared}, "
+            f"found {len(payload)})",
+            torn=False,
+        )
+    if crc32c(payload) != checksum:
+        raise _ScanProblem(
+            offset, index,
+            f"checksum mismatch (expected {checksum:08x}, "
+            f"computed {crc32c(payload):08x})",
+            torn=False,
+        )
+    return payload
+
+
+class _SegmentScan:
+    """Stream the verified records of one segment file.
+
+    After iteration, ``problem`` holds the first damage hit (or None) and
+    ``clean_bytes`` the offset where it starts (== file size when clean).
+    """
+
+    def __init__(self, path: Path, max_record_bytes: int) -> None:
+        self.path = path
+        self.max_record_bytes = max_record_bytes
+        self.problem: _ScanProblem | None = None
+        self.clean_bytes = 0
+        self.count = 0
+
+    def records(self) -> Iterator[_Record]:
+        with open(self.path, "rb") as handle:
+            offset = 0
+            index = 0
+            while True:
+                index += 1
+                try:
+                    payload = _read_frame(
+                        handle, _RECORD_MAGIC, self.max_record_bytes,
+                        offset, index,
+                    )
+                except _ScanProblem as problem:
+                    self.problem = problem
+                    return
+                if payload is None:
+                    return
+                try:
+                    decoded = json.loads(payload)
+                    record = _Record(
+                        txn=int(decoded["txn"]),
+                        ops=_parse_ops(decoded["ops"]),
+                        offset=offset,
+                        index=index,
+                    )
+                except (ValueError, KeyError, TypeError) as exc:
+                    # The CRC matched, so this is a writer bug or hand
+                    # edit, not bit rot — still damage, never a torn tail.
+                    self.problem = _ScanProblem(
+                        offset, index, f"undecodable record: {exc}", torn=False
+                    )
+                    return
+                offset = handle.tell()
+                self.clean_bytes = offset
+                self.count += 1
+                yield record
+
+
+# ---------------------------------------------------------------- inspection
+
+
+def inspect_wal(
+    path: str | os.PathLike,
+    max_record_bytes: int = DEFAULT_MAX_RECORD_BYTES,
+) -> WalStatus:
+    """Read-only health check: never repairs, never raises.
+
+    Scans the full journal (legacy single-file or segmented layout),
+    verifying every frame and checksum, and reports what it found — the
+    engine behind ``repro wal info`` and backup verification.
+    """
+    target = Path(path)
+    if not target.exists():
+        return WalStatus(path=str(target), format="absent")
+    if target.is_file():
+        return _inspect_legacy(target, max_record_bytes)
+    status = WalStatus(path=str(target), format="segmented-v1")
+    ckpt_txn, ckpt_path, ckpt_ops, corrupt_ckpts = _find_checkpoint(
+        target, max_record_bytes
+    )
+    status.checkpoint_txn = ckpt_txn
+    status.checkpoint_ops = ckpt_ops
+    if corrupt_ckpts and ckpt_path is None:
+        status.ok = False
+        status.error = f"corrupt checkpoint file {corrupt_ckpts[0].name}"
+    last_txn = ckpt_txn
+    for seg_path in _segment_paths(target):
+        status.segments += 1
+        scan = _SegmentScan(seg_path, max_record_bytes)
+        for record in scan.records():
+            status.records += 1
+            last_txn = max(last_txn, record.txn)
+        if scan.problem is not None:
+            if scan.problem.torn:
+                status.tail_torn = True
+            else:
+                status.ok = False
+                status.error = (
+                    f"{seg_path.name}: {scan.problem.reason} "
+                    f"(offset {scan.problem.offset}, "
+                    f"record {scan.problem.index})"
+                )
+                break
+    status.last_txn = last_txn
+    return status
+
+
+def _inspect_legacy(path: Path, max_record_bytes: int) -> WalStatus:
+    status = WalStatus(path=str(path), format="legacy-v0")
+    try:
+        for txn_id, _ops in _replay_legacy(path, max_record_bytes):
+            status.records += 1
+            status.last_txn = max(status.last_txn, txn_id)
+    except WalError as exc:
+        status.ok = False
+        status.error = str(exc)
+    return status
+
+
+def _segment_paths(directory: Path) -> list[Path]:
+    return sorted(directory.glob("wal-*.seg"))
+
+
+def _checkpoint_paths(directory: Path) -> list[Path]:
+    return sorted(directory.glob("checkpoint-*.ckpt"))
+
+
+def _read_checkpoint(
+    path: Path, max_record_bytes: int
+) -> tuple[int, list[WalOp], dict[str, Any]]:
+    """Verify and decode a checkpoint file: (txn, ops, meta)."""
+    with open(path, "rb") as handle:
+        try:
+            payload = _read_frame(
+                handle, _CHECKPOINT_MAGIC, max(max_record_bytes, 1 << 30), 0, 1
+            )
+        except _ScanProblem as problem:
+            raise WalCorruptionError(
+                f"corrupt checkpoint {path}: {problem.reason}",
+                segment=str(path), offset=problem.offset, index=problem.index,
+            ) from None
+    if payload is None:
+        raise WalCorruptionError(
+            f"corrupt checkpoint {path}: empty file", segment=str(path)
+        )
+    try:
+        decoded = json.loads(payload)
+        return (
+            int(decoded["txn"]),
+            _parse_ops(decoded["ops"]),
+            dict(decoded.get("meta", {})),
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        raise WalCorruptionError(
+            f"corrupt checkpoint {path}: {exc}", segment=str(path)
+        ) from exc
+
+
+def _find_checkpoint(
+    directory: Path, max_record_bytes: int
+) -> tuple[int, Path | None, int, list[Path]]:
+    """The newest *valid* checkpoint, newest-first fallback.
+
+    Falling back to an older valid checkpoint is always safe: segments it
+    covers are only deleted after a newer checkpoint is fully durable, and
+    replay's txn filter skips covered records — the transaction-sequence
+    continuity check catches the one unrecoverable case (newest corrupt
+    with its predecessors already compacted away).
+    """
+    corrupt: list[Path] = []
+    for path in reversed(_checkpoint_paths(directory)):
+        try:
+            txn, ops, _meta = _read_checkpoint(path, max_record_bytes)
+        except WalCorruptionError:
+            corrupt.append(path)
+            continue
+        return txn, path, len(ops), corrupt
+    return 0, None, 0, corrupt
+
+
+# ------------------------------------------------------------- legacy format
+
+
+def _replay_legacy(
+    path: Path, max_record_bytes: int
+) -> Iterator[tuple[int, list[WalOp]]]:
+    """Replay a v0 journal: loose JSONL, no checksums, torn tail tolerated."""
+    limit = max_record_bytes
+    with open(path, "r", encoding="utf-8") as handle:
+        index = 0
+        while True:
+            line = handle.readline(limit + 1)
+            if not line:
+                return
+            index += 1
+            if len(line) > limit and not line.endswith("\n"):
+                raise WalError(
+                    f"journal record at {path}:{index} exceeds "
+                    f"max_record_bytes={limit}"
+                )
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+                txn_id = int(record["txn"])
+                ops = _parse_ops(record["ops"])
+            except (ValueError, KeyError, TypeError) as exc:
+                if _rest_is_blank(handle):
+                    return  # torn tail: the crash the journal exists for
+                raise WalCorruptionError(
+                    f"corrupt journal record at {path}:{index}: {exc}",
+                    segment=str(path), index=index,
+                ) from exc
+            yield txn_id, ops
+
+
+def _rest_is_blank(handle: Any) -> bool:
+    position = handle.tell()
+    try:
+        while True:
+            chunk = handle.read(8192)
+            if not chunk:
+                return True
+            if chunk.strip():
+                return False
+    finally:
+        handle.seek(position)
+
+
+# -------------------------------------------------------------------- journal
+
 
 class WriteAheadLog:
-    """A durable, replayable journal at ``path``.
+    """A durable, replayable, checksummed journal rooted at ``path``.
 
-    ``sync=True`` adds an ``fsync`` per append for true crash durability;
-    the default flushes only, which survives process death but not power
-    loss — the right trade for tests and benchmarks.
+    ``path`` is the journal *directory* (created on first use); a
+    pre-existing v0 single-file journal at the same path is migrated into
+    the segmented layout on open. ``sync=True`` is accepted for backward
+    compatibility and means ``durability="fsync"``.
 
-    ``fault_hook``, when set, is called as ``hook(step, payload)`` at each
-    append step boundary (``append.start`` / ``append.write`` /
-    ``append.flush`` / ``append.fsync``) and may raise to simulate a crash
-    at exactly that point — the seam the crash-consistency harness drives.
+    ``checkpoint_every_bytes`` / ``checkpoint_every_records`` arm
+    :meth:`should_checkpoint`, which the transaction layer consults after
+    each commit to trigger automatic checkpoint + compaction.
     """
 
     def __init__(
@@ -58,98 +521,584 @@ class WriteAheadLog:
         sync: bool = False,
         max_record_bytes: int = DEFAULT_MAX_RECORD_BYTES,
         fault_hook: Callable[[str, dict[str, Any]], None] | None = None,
+        durability: str | None = None,
+        recovery: str = "strict",
+        segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+        checkpoint_every_bytes: int | None = None,
+        checkpoint_every_records: int | None = None,
+        group_fsync_interval: int = 1,
     ) -> None:
         self.path = Path(path)
-        self.sync = sync
+        if durability is None:
+            durability = "fsync" if sync else "flush"
+        if durability not in DURABILITY_LEVELS:
+            raise ValueError(
+                f"unknown durability {durability!r} (use one of "
+                f"{'/'.join(DURABILITY_LEVELS)})"
+            )
+        if recovery not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"unknown recovery policy {recovery!r} (use one of "
+                f"{'/'.join(RECOVERY_POLICIES)})"
+            )
+        if group_fsync_interval < 1:
+            raise ValueError("group_fsync_interval must be >= 1")
+        self.durability = durability
+        self.sync = durability == "fsync"  # legacy-compatible alias
+        self.recovery = recovery
         self.max_record_bytes = max_record_bytes
+        self.segment_max_bytes = segment_max_bytes
+        self.checkpoint_every_bytes = checkpoint_every_bytes
+        self.checkpoint_every_records = checkpoint_every_records
+        self.group_fsync_interval = group_fsync_interval
         self.fault_hook = fault_hook
+
         self._next_txn = 1
-        if self.path.exists():
-            for txn_id, _ in self.replay():
-                self._next_txn = txn_id + 1
+        self._segments: list[SegmentInfo] = []
+        self._checkpoint_txn = 0
+        self._checkpoint_path: Path | None = None
+        self._checkpoint_ops = 0
+        self._handle: Any = None
+        self._unsynced_appends = 0
+        #: every record discarded by recovery, in discovery order
+        self.dropped: list[DroppedRecord] = []
+        self.last_recovery = RecoveryInfo()
+        # Recovery is not a fault-injection surface (the matrices damage
+        # files directly); the hook sees only steady-state write steps.
+        hook, self.fault_hook = self.fault_hook, None
+        try:
+            self._open_journal()
+        finally:
+            self.fault_hook = hook
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def last_txn(self) -> int:
+        """Id of the most recently committed transaction (0 when empty)."""
+        return self._next_txn - 1
+
+    @property
+    def checkpoint_txn(self) -> int:
+        """Last transaction covered by the active checkpoint (0 = none)."""
+        return self._checkpoint_txn
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def record_count(self) -> int:
+        """Records currently held in segments (post-checkpoint)."""
+        return sum(seg.records for seg in self._segments)
+
+    @property
+    def records_dropped(self) -> int:
+        return len(self.dropped)
+
+    # ----------------------------------------------------------------- hooks
 
     def _fire(self, step: str, **payload: Any) -> None:
         if self.fault_hook is not None:
             self.fault_hook(step, payload)
 
+    # ------------------------------------------------------------------ open
+
+    def _open_journal(self) -> None:
+        self._maybe_finish_migration()
+        if self.path.exists() and self.path.is_file():
+            self._migrate_legacy()
+        self.path.mkdir(parents=True, exist_ok=True)
+        for stale in self.path.glob("*.tmp"):
+            stale.unlink()  # unpublished writes from a crashed process
+        ckpt_txn, ckpt_path, ckpt_ops, corrupt_ckpts = _find_checkpoint(
+            self.path, self.max_record_bytes
+        )
+        if corrupt_ckpts and ckpt_path is None and _checkpoint_paths(self.path):
+            raise WalCorruptionError(
+                f"no readable checkpoint in {self.path} "
+                f"(all {len(corrupt_ckpts)} candidate(s) corrupt)",
+                segment=str(corrupt_ckpts[0]),
+            )
+        for path in corrupt_ckpts:
+            logger.warning(
+                "journal %s: ignoring corrupt checkpoint %s "
+                "(recovered from an older one)", self.path, path.name,
+            )
+        self._checkpoint_txn = ckpt_txn
+        self._checkpoint_path = ckpt_path
+        self._checkpoint_ops = ckpt_ops
+        self._scan_segments(repair=True)
+        if not (self.path / MANIFEST_NAME).exists():
+            self._write_manifest()
+
+    def _scan_segments(self, repair: bool) -> None:
+        """Verify every segment, repairing torn tails and applying the
+        recovery policy to real damage; rebuilds the in-memory layout."""
+        self._segments = []
+        info = RecoveryInfo(
+            checkpoint_txn=self._checkpoint_txn,
+            checkpoint_ops=self._checkpoint_ops,
+        )
+        expected = self._checkpoint_txn
+        paths = _segment_paths(self.path)
+        stop = False
+        for position, seg_path in enumerate(paths):
+            is_last = position == len(paths) - 1
+            seq = int(seg_path.name[len("wal-"):-len(".seg")])
+            segment = SegmentInfo(seq=seq, path=seg_path)
+            scan = _SegmentScan(seg_path, self.max_record_bytes)
+            for record in scan.records():
+                if record.txn > expected + 1:
+                    raise WalCorruptionError(
+                        f"journal {self.path} is missing transactions "
+                        f"{expected + 1}..{record.txn - 1} (found txn "
+                        f"{record.txn} in {seg_path.name} after "
+                        f"txn {expected})",
+                        segment=str(seg_path),
+                        offset=record.offset, index=record.index,
+                    )
+                expected = max(expected, record.txn)
+                if record.txn <= self._checkpoint_txn:
+                    info.records_skipped += 1
+                else:
+                    info.segment_records += 1
+                segment.records += 1
+                if segment.first_txn is None:
+                    segment.first_txn = record.txn
+                segment.last_txn = record.txn
+            segment.size = scan.clean_bytes
+            problem = scan.problem
+            if problem is not None:
+                tolerable = problem.torn and is_last
+                if not tolerable and self.recovery == "strict":
+                    raise WalCorruptionError(
+                        f"corrupt journal record in {seg_path} at offset "
+                        f"{problem.offset} (record {problem.index}): "
+                        f"{problem.reason}",
+                        segment=str(seg_path),
+                        offset=problem.offset, index=problem.index,
+                    )
+                self._drop(info, seg_path, problem, repair)
+                if not tolerable:
+                    # tolerate_tail: everything after the damage goes too.
+                    for later in paths[position + 1:]:
+                        self._drop_segment(info, later, repair)
+                    stop = True
+            self._segments.append(segment)
+            if stop:
+                break
+        self._next_txn = expected + 1
+        self.last_recovery = info
+
+    def _drop(
+        self, info: RecoveryInfo, seg_path: Path,
+        problem: _ScanProblem, repair: bool,
+    ) -> None:
+        """Truncate a segment at its first bad record, recording the drop."""
+        dropped = DroppedRecord(
+            segment=str(seg_path), offset=problem.offset,
+            index=problem.index, reason=problem.reason,
+        )
+        logger.warning(
+            "journal %s: dropping record %d at offset %d (%s)%s",
+            seg_path, problem.index, problem.offset, problem.reason,
+            "" if repair else " [read-only pass]",
+        )
+        self.dropped.append(dropped)
+        info.dropped.append(dropped)
+        info.records_dropped += 1
+        if repair:
+            with open(seg_path, "rb+") as handle:
+                handle.truncate(problem.offset)
+
+    def _drop_segment(
+        self, info: RecoveryInfo, seg_path: Path, repair: bool
+    ) -> None:
+        """Drop a whole segment that follows damage (tolerate_tail only)."""
+        scan = _SegmentScan(seg_path, self.max_record_bytes)
+        count = sum(1 for _ in scan.records())
+        dropped = DroppedRecord(
+            segment=str(seg_path), offset=0, index=1,
+            reason="follows a corrupt segment",
+        )
+        logger.warning(
+            "journal %s: dropping whole segment (%d readable record(s)) "
+            "because an earlier segment is corrupt", seg_path, count,
+        )
+        self.dropped.append(dropped)
+        info.dropped.append(dropped)
+        info.records_dropped += max(count, 1)
+        if repair:
+            seg_path.rename(seg_path.with_suffix(".seg.dropped"))
+
+    # ------------------------------------------------------------- migration
+
+    def _migration_marker(self) -> Path:
+        return self.path.with_name(self.path.name + ".migrating")
+
+    def _maybe_finish_migration(self) -> None:
+        """A crash mid-migration leaves the original at ``*.migrating`` —
+        throw away the partial directory and redo from the original."""
+        marker = self._migration_marker()
+        if not marker.exists():
+            return
+        if self.path.is_dir():
+            shutil.rmtree(self.path)
+        os.replace(marker, self.path)
+
+    def _migrate_legacy(self) -> None:
+        """Convert a v0 single-file journal into the segmented layout."""
+        records = list(_replay_legacy(self.path, self.max_record_bytes))
+        marker = self._migration_marker()
+        os.replace(self.path, marker)
+        self.path.mkdir()
+        if records:
+            seg_path = self.path / _segment_name(1)
+            with open(seg_path, "wb") as handle:
+                for txn_id, ops in records:
+                    payload = json.dumps(
+                        {"txn": txn_id, "ops": [list(op) for op in ops]},
+                        separators=(",", ":"),
+                    ).encode("utf-8")
+                    handle.write(_frame(_RECORD_MAGIC, payload))
+                handle.flush()
+                os.fsync(handle.fileno())
+        _fsync_dir(self.path)
+        marker.unlink()
+        logger.info(
+            "journal %s: migrated %d legacy record(s) to the segmented "
+            "layout", self.path, len(records),
+        )
+
+    # -------------------------------------------------------------- manifest
+
+    def _write_manifest(self) -> None:
+        """Publish the layout summary via write-temp / fsync / rename.
+
+        The manifest is an observability cache — recovery trusts the
+        directory scan — so a crash between these steps costs nothing.
+        """
+        manifest = {
+            "version": 1,
+            "segments": [
+                {
+                    "name": seg.path.name,
+                    "records": seg.records,
+                    "first_txn": seg.first_txn,
+                    "last_txn": seg.last_txn,
+                }
+                for seg in self._segments
+            ],
+            "checkpoint": (
+                {
+                    "file": self._checkpoint_path.name,
+                    "txn": self._checkpoint_txn,
+                    "ops": self._checkpoint_ops,
+                }
+                if self._checkpoint_path is not None
+                else None
+            ),
+            "last_txn": self.last_txn,
+        }
+        target = self.path / MANIFEST_NAME
+        tmp = self.path / (MANIFEST_NAME + ".tmp")
+        self._fire("manifest.write", path=str(tmp))
+        with open(tmp, "wb") as handle:
+            handle.write(json.dumps(manifest, indent=1).encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._fire("manifest.rename", path=str(target))
+        os.replace(tmp, target)
+        _fsync_dir(self.path)
+
+    def manifest(self) -> dict[str, Any] | None:
+        """The on-disk manifest document (None when unreadable)."""
+        try:
+            raw = (self.path / MANIFEST_NAME).read_bytes()
+            return json.loads(raw)
+        except (OSError, ValueError):
+            return None
+
+    # ------------------------------------------------------------- appending
+
+    def _active_segment(self) -> SegmentInfo:
+        if self._segments and self._segments[-1].size < self.segment_max_bytes:
+            return self._segments[-1]
+        seq = self._segments[-1].seq + 1 if self._segments else 1
+        segment = SegmentInfo(seq=seq, path=self.path / _segment_name(seq))
+        # No fault-hook step here: a crash with the file created but the
+        # record unwritten is indistinguishable from one at append.start.
+        with open(segment.path, "wb"):
+            pass
+        _fsync_dir(self.path)
+        self._segments.append(segment)
+        return segment
+
+    def _segment_handle(self, segment: SegmentInfo) -> Any:
+        if self._handle is not None and self._handle.name == str(segment.path):
+            return self._handle
+        self._close_handle()
+        # "none" buffers appends in the process; the durable levels write
+        # straight through so a record is OS-durable the moment the write
+        # returns (the crash matrix's append.flush expectation).
+        buffering = -1 if self.durability == "none" else 0
+        self._handle = open(segment.path, "ab", buffering=buffering)
+        return self._handle
+
+    def _close_handle(self) -> None:
+        if self._handle is None:
+            return
+        try:
+            self._handle.close()
+        finally:
+            self._handle = None
+
     def append(self, ops: Sequence[WalOp]) -> int:
-        """Journal one committed transaction; returns its id."""
+        """Journal one committed transaction; returns its id.
+
+        On a disk fault (ENOSPC, I/O error, failed fsync) the partial
+        record is truncated away and :class:`WalWriteError` raised — the
+        journal stays valid and holds exactly the committed prefix.
+        """
         txn_id = self._next_txn
-        record = json.dumps(
+        payload = json.dumps(
             {"txn": txn_id, "ops": [list(op) for op in ops]},
             separators=(",", ":"),
-        )
-        data = record + "\n"
+        ).encode("utf-8")
+        if len(payload) > self.max_record_bytes:
+            raise WalWriteError(
+                f"refusing to journal a {len(payload)}-byte record "
+                f"(max_record_bytes={self.max_record_bytes})"
+            )
+        data = _frame(_RECORD_MAGIC, payload)
         self._fire("append.start", txn=txn_id)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            self._fire("append.write", txn=txn_id, data=data, handle=handle)
+        segment = self._active_segment()
+        handle = self._segment_handle(segment)
+        offset = segment.size
+        try:
+            self._fire(
+                "append.write", txn=txn_id, data=data, handle=handle,
+                offset=offset,
+            )
             handle.write(data)
-            self._fire("append.flush", txn=txn_id)
-            handle.flush()
-            if self.sync:
-                self._fire("append.fsync", txn=txn_id)
-                os.fsync(handle.fileno())
+            if self.durability != "none":
+                self._fire("append.flush", txn=txn_id)
+                handle.flush()
+            if self.durability == "fsync":
+                self._unsynced_appends += 1
+                if self._unsynced_appends >= self.group_fsync_interval:
+                    self._fire(
+                        "append.fsync", txn=txn_id, data=data, handle=handle,
+                        offset=offset,
+                    )
+                    os.fsync(handle.fileno())
+                    self._unsynced_appends = 0
+        except OSError as exc:
+            self._unwind_partial_append(handle, offset)
+            raise WalWriteError(
+                f"journal append for txn {txn_id} failed: {exc}"
+            ) from exc
+        segment.size = offset + len(data)
+        segment.records += 1
+        if segment.first_txn is None:
+            segment.first_txn = txn_id
+        segment.last_txn = txn_id
         self._next_txn = txn_id + 1
+        if segment.size >= self.segment_max_bytes:
+            self._rotate()
         return txn_id
 
-    def replay(self) -> Iterator[tuple[int, list[WalOp]]]:
-        """Yield ``(txn_id, ops)`` for every committed record, in order.
-
-        Streams one line at a time — the journal is never read whole into
-        memory — and refuses any record longer than ``max_record_bytes``.
-        """
-        if not self.path.exists():
-            return
-        limit = self.max_record_bytes
-        with open(self.path, "r", encoding="utf-8") as handle:
-            index = 0
-            while True:
-                # readline with a cap: a line that comes back longer than
-                # the limit (no newline within it) is an oversized record.
-                line = handle.readline(limit + 1)
-                if not line:
-                    return
-                index += 1
-                if len(line) > limit and not line.endswith("\n"):
-                    raise WalError(
-                        f"journal record at {self.path}:{index} exceeds "
-                        f"max_record_bytes={limit}"
-                    )
-                stripped = line.strip()
-                if not stripped:
-                    continue
-                try:
-                    record = json.loads(stripped)
-                    txn_id = record["txn"]
-                    ops = [
-                        (str(tag), str(s), str(p), str(o))
-                        for tag, s, p, o in record["ops"]
-                    ]
-                except (ValueError, KeyError, TypeError) as exc:
-                    if self._rest_is_blank(handle):
-                        return  # torn tail: the crash the journal exists for
-                    raise WalError(
-                        f"corrupt journal record at {self.path}:{index}: {exc}"
-                    ) from exc
-                for op in ops:
-                    if op[0] not in ("+", "-"):
-                        raise WalError(
-                            f"unknown operation tag {op[0]!r} "
-                            f"at {self.path}:{index}"
-                        )
-                yield txn_id, ops
-
-    @staticmethod
-    def _rest_is_blank(handle: Any) -> bool:
-        """True when nothing but whitespace follows the current position —
-        i.e. the record just rejected was the journal's final line."""
-        position = handle.tell()
+    def _unwind_partial_append(self, handle: Any, offset: int) -> None:
+        """Erase whatever prefix of a failed append reached the file."""
         try:
-            while True:
-                chunk = handle.read(8192)
-                if not chunk:
-                    return True
-                if chunk.strip():
-                    return False
-        finally:
-            handle.seek(position)
+            try:
+                handle.flush()
+            except OSError:
+                pass
+            os.ftruncate(handle.fileno(), offset)
+        except OSError:  # pragma: no cover - second fault while unwinding
+            logger.exception(
+                "journal %s: could not truncate a failed append; the tail "
+                "will be dropped as torn on the next open", self.path,
+            )
+
+    def _rotate(self) -> None:
+        """Seal the active segment; the next append opens a fresh one."""
+        self._fire("rotate.seal", segment=self._segments[-1].path.name)
+        try:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            self._close_handle()
+            self._write_manifest()
+        except OSError as exc:
+            # Rotation is advisory — the record is already durable, so a
+            # fault here must not fail the commit that triggered it.
+            logger.warning("journal %s: segment rotation failed: %s",
+                           self.path, exc)
+
+    # ---------------------------------------------------------------- replay
+
+    def replay(self) -> Iterator[tuple[int, list[WalOp]]]:
+        """Yield ``(txn_id, ops)`` for the whole committed history.
+
+        The checkpoint (if any) comes first as one consolidated entry,
+        then every post-checkpoint record in commit order. Streams one
+        record at a time; calling it again re-reads from disk and yields
+        the same history (replay is idempotent).
+        """
+        if self._checkpoint_path is not None:
+            txn, ops, _meta = _read_checkpoint(
+                self._checkpoint_path, self.max_record_bytes
+            )
+            yield txn, ops
+        for segment in list(self._segments):
+            scan = _SegmentScan(segment.path, self.max_record_bytes)
+            for record in scan.records():
+                if record.txn <= self._checkpoint_txn:
+                    continue
+                yield record.txn, record.ops
+            problem = scan.problem
+            if problem is not None and not problem.torn:
+                # Damage that appeared after the open-time repair pass.
+                raise WalCorruptionError(
+                    f"corrupt journal record in {segment.path} at offset "
+                    f"{problem.offset} (record {problem.index}): "
+                    f"{problem.reason}",
+                    segment=str(segment.path),
+                    offset=problem.offset, index=problem.index,
+                )
+
+    # ------------------------------------------------------------ durability
+
+    def flush(self) -> None:
+        """Push buffered appends to the OS (a no-op at durable levels)."""
+        if self._handle is not None:
+            self._handle.flush()
+
+    def sync_to_disk(self) -> None:
+        """Force everything appended so far onto stable storage."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._unsynced_appends = 0
+
+    def close(self) -> None:
+        """Flush, fsync, and release the active segment handle."""
+        if self._handle is not None:
+            try:
+                self.sync_to_disk()
+            finally:
+                self._close_handle()
+
+    # ------------------------------------------------------------ checkpoint
+
+    def should_checkpoint(self) -> bool:
+        """True when the auto-checkpoint policy says it is time."""
+        if self.checkpoint_every_records is not None:
+            if self.record_count >= self.checkpoint_every_records:
+                return True
+        if self.checkpoint_every_bytes is not None:
+            if sum(seg.size for seg in self._segments) >= self.checkpoint_every_bytes:
+                return True
+        return False
+
+    def checkpoint(self, meta: dict[str, Any] | None = None) -> CheckpointInfo:
+        """Consolidate the committed prefix and compact covered segments.
+
+        The net surviving delta of the old checkpoint plus every segment
+        record is written to a new checksummed checkpoint file
+        (write-temp, fsync, atomic rename), the manifest is republished,
+        and only then are the covered segments and the superseded
+        checkpoint deleted. Every step is crash-safe: recovery is scan-
+        based and filters replay by the checkpoint's transaction id, so a
+        kill between any two steps still recovers the exact committed
+        state. The caller must hold the store's writer bracket (no
+        concurrent commits).
+        """
+        last = self.last_txn
+        if last <= 0:
+            return CheckpointInfo(txn=0, ops=0, segments_removed=0, path="")
+        net: dict[tuple[str, str, str], str] = {}
+        for _txn, ops in self.replay():
+            for tag, s, p, o in ops:
+                net[(s, p, o)] = tag
+        ops_out = [[tag, s, p, o] for (s, p, o), tag in net.items()]
+        payload = json.dumps(
+            {"txn": last, "ops": ops_out, "meta": meta or {}},
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+        target = self.path / _checkpoint_name(last)
+        tmp = self.path / (_checkpoint_name(last) + ".tmp")
+        self._fire("checkpoint.write", txn=last, path=str(tmp))
+        with open(tmp, "wb") as handle:
+            handle.write(_frame(_CHECKPOINT_MAGIC, payload))
+            handle.flush()
+            self._fire("checkpoint.sync", txn=last)
+            os.fsync(handle.fileno())
+        self._fire("checkpoint.rename", txn=last, path=str(target))
+        os.replace(tmp, target)
+        _fsync_dir(self.path)
+
+        old_segments = self._segments
+        old_checkpoint = self._checkpoint_path
+        self._close_handle()
+        self._segments = []
+        self._checkpoint_txn = last
+        self._checkpoint_path = target
+        self._checkpoint_ops = len(ops_out)
+        self._write_manifest()
+
+        removed = 0
+        for segment in old_segments:
+            self._fire("compact.unlink", segment=segment.path.name)
+            segment.path.unlink()
+            removed += 1
+        if old_checkpoint is not None and old_checkpoint != target:
+            self._fire("compact.unlink", segment=old_checkpoint.name)
+            old_checkpoint.unlink()
+        _fsync_dir(self.path)
+        logger.info(
+            "journal %s: checkpoint at txn %d (%d op(s)), removed %d "
+            "segment(s)", self.path, last, len(ops_out), removed,
+        )
+        return CheckpointInfo(
+            txn=last, ops=len(ops_out), segments_removed=removed,
+            path=str(target),
+        )
+
+    # ---------------------------------------------------------------- backup
+
+    def backup_to(self, dest: str | os.PathLike) -> WalStatus:
+        """Copy the journal into ``dest`` and verify the copy's checksums.
+
+        The caller must hold the store's writer lock so no commit mutates
+        the layout mid-copy; concurrent *readers* are unaffected. The
+        manifest is copied last, after the data files it summarizes.
+        Returns the verified :class:`WalStatus` of the copy; raises
+        :class:`WalCorruptionError` if the copy fails verification.
+        """
+        target = Path(dest)
+        target.mkdir(parents=True, exist_ok=True)
+        if any(target.iterdir()):
+            raise WalError(f"backup destination {target} is not empty")
+        self.sync_to_disk()
+        if self._checkpoint_path is not None:
+            shutil.copyfile(
+                self._checkpoint_path, target / self._checkpoint_path.name
+            )
+        for segment in self._segments:
+            shutil.copyfile(segment.path, target / segment.path.name)
+        manifest = self.path / MANIFEST_NAME
+        if manifest.exists():
+            shutil.copyfile(manifest, target / MANIFEST_NAME)
+        _fsync_dir(target)
+        status = inspect_wal(target, self.max_record_bytes)
+        if not status.ok:
+            raise WalCorruptionError(
+                f"backup verification failed: {status.error}",
+                segment=status.error,
+            )
+        return status

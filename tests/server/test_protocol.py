@@ -11,6 +11,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
 import threading
 import urllib.parse
 
@@ -20,6 +25,7 @@ from repro import MiniRelBackend, RdfStore
 from repro.cli import EXIT_BUDGET, EXIT_SYNTAX, EXIT_TIMEOUT
 from repro.core.resilience import CircuitBreaker, ResilientBackend
 from repro.server.app import SparqlServer
+from repro.update import inspect_wal
 
 from ..conftest import figure1_graph
 
@@ -327,3 +333,117 @@ def test_overload_sheds_with_503():
     finally:
         server.shutdown()
         thread.join(10)
+
+
+# ------------------------------------------------------ graceful shutdown
+
+
+class _GatedBackend(MiniRelBackend):
+    """Holds query execution at a gate so the test controls in-flight."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.gate_queries = False
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def execute(self, statement, **kwargs):
+        if self.gate_queries:
+            self.started.set()
+            assert self.release.wait(10), "test never released the gate"
+        return super().execute(statement, **kwargs)
+
+
+def test_health_reports_wal_and_draining(tmp_path):
+    store = RdfStore.from_graph(figure1_graph(),
+                                wal_path=tmp_path / "j.wal")
+    server, thread = _serve(store)
+    try:
+        client = Client(server.port)
+        status, _, payload = client.request(
+            "POST", "/update",
+            body="INSERT DATA { <a> <p> <b> }",
+            headers={"Content-Type": "application/sparql-update"},
+        )
+        assert status == 200
+        _, _, payload = client.request("GET", "/health")
+        document = json.loads(payload)
+        assert document["draining"] is False
+        assert document["wal"]["last_txn"] == 1
+        assert document["wal"]["records_dropped"] == 0
+    finally:
+        server.shutdown()
+        thread.join(10)
+
+
+def test_shutdown_drains_inflight_and_flushes_the_journal(tmp_path):
+    """The drain contract: a request already executing when shutdown
+    arrives still gets its 200; afterwards the listener is gone and the
+    journal is flushed and checksum-clean."""
+    backend = _GatedBackend()
+    wal_path = tmp_path / "j.wal"
+    store = RdfStore.from_graph(figure1_graph(), backend=backend,
+                                wal_path=wal_path)
+    server, thread = _serve(store, drain_timeout=10.0)
+    client = Client(server.port)
+    status, _, _ = client.request(
+        "POST", "/update",
+        body="INSERT DATA { <a> <p> <b> }",
+        headers={"Content-Type": "application/sparql-update"},
+    )
+    assert status == 200
+
+    backend.gate_queries = True
+    results: list[tuple] = []
+
+    def inflight():
+        results.append(client.get_query(INDUSTRIES))
+
+    requester = threading.Thread(target=inflight)
+    requester.start()
+    try:
+        assert backend.started.wait(10), "request never reached the backend"
+        server.shutdown()  # drain begins with one request in flight
+    finally:
+        backend.release.set()
+    requester.join(10)
+    thread.join(10)
+    assert not thread.is_alive()
+
+    (status, _, payload), = results
+    assert status == 200  # the in-flight request was drained, not dropped
+    assert json.loads(payload)["results"]["bindings"]
+
+    with pytest.raises(ConnectionRefusedError):
+        client.request("GET", "/health")
+
+    status = inspect_wal(wal_path)
+    assert status.ok
+    assert status.last_txn == 1
+
+
+def test_sigterm_exits_zero(tmp_path):
+    """End-to-end: a real ``repro serve`` process receiving SIGTERM
+    drains and exits 0 (the contract init systems rely on)."""
+    data = tmp_path / "data.nt"
+    data.write_text("<http://e/a> <http://e/p> <http://e/b> .\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(data),
+         "--port", "0", "--wal", str(tmp_path / "j.wal")],
+        stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        for announce in proc.stderr:  # banner lines, then the bind notice
+            if "serving SPARQL" in announce:
+                break
+        else:  # pragma: no cover - server died before binding
+            pytest.fail("server exited before announcing its port")
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+    finally:
+        proc.stderr.close()
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.wait()

@@ -245,6 +245,97 @@ class TestExitCodes:
         assert "Traceback" not in proc.stderr
 
 
+class TestWalCommands:
+    """``repro wal info``, ``repro checkpoint``, and the durability flags."""
+
+    INSERT = "INSERT DATA { <http://e/c> <http://e/p> <http://e/d> }"
+    DELETE = "DELETE DATA { <http://e/c> <http://e/p> <http://e/d> }"
+
+    def _journal(self, nt_file, tmp_path, capsys, *extra):
+        wal = tmp_path / "j.wal"
+        assert main(["update", nt_file, self.INSERT, "--wal", str(wal),
+                     "--quiet", *extra]) == 0
+        assert main(["update", nt_file, self.DELETE, "--wal", str(wal),
+                     "--quiet", *extra]) == 0
+        capsys.readouterr()
+        return wal
+
+    @staticmethod
+    def _flip_bit(wal, record_index):
+        (segment,) = sorted(pathlib.Path(wal).glob("wal-*.seg"))
+        lines = segment.read_bytes().splitlines(keepends=True)
+        damaged = bytearray(lines[record_index])
+        damaged[damaged.index(b"{") + 4] ^= 0x01
+        lines[record_index] = bytes(damaged)
+        segment.write_bytes(b"".join(lines))
+
+    def test_wal_info_healthy(self, nt_file, tmp_path, capsys):
+        wal = self._journal(nt_file, tmp_path, capsys)
+        assert main(["wal", "info", str(wal)]) == 0
+        out = capsys.readouterr().out
+        assert "format:           segmented-v1" in out
+        assert "records:          2" in out
+        assert "checksums:        ok" in out
+
+    def test_wal_info_corrupt_exits_5_without_repairing(
+        self, nt_file, tmp_path, capsys
+    ):
+        wal = self._journal(nt_file, tmp_path, capsys)
+        self._flip_bit(wal, 0)
+        before = sorted(p.read_bytes()
+                        for p in pathlib.Path(wal).glob("wal-*.seg"))
+        assert main(["wal", "info", str(wal)]) == EXIT_WAL
+        captured = capsys.readouterr()
+        assert "CORRUPT" in captured.out
+        assert "error (wal):" in captured.err
+        after = sorted(p.read_bytes()
+                       for p in pathlib.Path(wal).glob("wal-*.seg"))
+        assert after == before  # inspection is read-only
+
+    def test_wal_info_absent_path(self, tmp_path, capsys):
+        assert main(["wal", "info", str(tmp_path / "missing.wal")]) == 0
+        assert "no journal at this path" in capsys.readouterr().out
+
+    def test_checkpoint_compacts_the_journal(self, nt_file, tmp_path, capsys):
+        wal = self._journal(nt_file, tmp_path, capsys)
+        assert main(["checkpoint", nt_file, "--wal", str(wal)]) == 0
+        err = capsys.readouterr().err
+        assert "# checkpoint at txn 2" in err
+        assert main(["wal", "info", str(wal)]) == 0
+        assert "checkpoint:       txn 2" in capsys.readouterr().out
+
+    def test_checkpoint_requires_wal_flag(self, nt_file, capsys):
+        assert main(["checkpoint", nt_file]) == 2
+        assert "requires --wal" in capsys.readouterr().err
+
+    def test_durability_flag_round_trips(self, nt_file, tmp_path, capsys):
+        wal = self._journal(nt_file, tmp_path, capsys,
+                            "--durability", "fsync")
+        assert main(["wal", "info", str(wal)]) == 0
+        assert "checksums:        ok" in capsys.readouterr().out
+
+    def test_recovery_policy_flag(self, nt_file, tmp_path, capsys):
+        """strict refuses a bit-flipped journal (exit 5); tolerate_tail
+        truncates at the damage and proceeds with the committed prefix."""
+        wal = self._journal(nt_file, tmp_path, capsys)
+        self._flip_bit(wal, 1)
+        query = ["query", nt_file, "SELECT ?s WHERE { ?s ?p ?o }",
+                 "--quiet", "--wal", str(wal)]
+        assert main(query) == EXIT_WAL
+        assert "error (wal):" in capsys.readouterr().err
+        assert main([*query, "--recovery", "tolerate_tail"]) == 0
+        out = capsys.readouterr().out
+        assert "http://e/c" in out  # txn 1 (the insert) survived
+
+    def test_info_shows_wal_counters(self, nt_file, tmp_path, capsys):
+        wal = self._journal(nt_file, tmp_path, capsys)
+        assert main(["info", nt_file, "--wal", str(wal), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "wal segments:         1" in out
+        assert "wal last txn:         2" in out
+        assert "wal records dropped:  0" in out
+
+
 class TestProfileAndPlan:
     QUERY = (
         "PREFIX ex: <http://e/> SELECT ?who WHERE "

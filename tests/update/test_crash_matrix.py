@@ -15,8 +15,8 @@ failure reproduces byte-for-byte.
 
 from __future__ import annotations
 
-import json
 import os
+import pathlib
 import random
 
 import pytest
@@ -55,6 +55,12 @@ def _recover(backend_factory, wal_path):
     store = RdfStore.from_graph(figure1_graph(), backend=backend_factory())
     store.attach_wal(wal_path)
     return _snapshot(store)
+
+
+def _segment_bytes(wal_path):
+    """The concatenated on-disk segment data of a journal directory."""
+    segments = sorted(pathlib.Path(wal_path).glob("wal-*.seg"))
+    return b"".join(segment.read_bytes() for segment in segments)
 
 
 def _reference_states(backend_factory, tmp_path):
@@ -133,12 +139,12 @@ def test_torn_wal_write_matrix(backend_factory, tmp_path):
     record: a complete record recovers to post, any torn prefix to pre."""
     pre, post = _reference_states(backend_factory, tmp_path)
 
-    # The record the workload commits (probe run, then read it back).
+    # The framed record the workload commits (probe run, read it back).
     probe_path = tmp_path / "torn-probe.wal"
     probe = RdfStore.from_graph(figure1_graph(), backend=backend_factory())
     probe.attach_wal(probe_path)
     _workload(probe)
-    record = probe_path.read_text()
+    record = _segment_bytes(probe_path)
 
     # Every prefix boundary would be ~200 cases; cover the structural ones
     # plus a seeded sample of interior cuts. Deterministic under SEED.
@@ -157,12 +163,10 @@ def test_torn_wal_write_matrix(backend_factory, tmp_path):
         store._wal.fault_hook = plan.wal_hook()
         with pytest.raises(SimulatedCrash):
             _workload(store)
-        assert wal_path.read_text() == record[:cut]
-        try:
-            json.loads(record[:cut].strip())
-            expected = post  # the whole record landed: the commit is durable
-        except ValueError:
-            expected = pre  # torn tail: replay must discard it
+        assert _segment_bytes(wal_path) == record[:cut]
+        # Length framing makes completeness exact: only the full frame
+        # (terminated by its newline) is a durable record.
+        expected = post if cut == len(record) else pre
         recovered = _recover(backend_factory, wal_path)
         assert recovered == expected, f"torn write at byte {cut}"
 

@@ -1,13 +1,28 @@
-"""The write-ahead journal: durability, replay, and torn-tail tolerance."""
+"""The write-ahead journal: framing, checksums, recovery policies, replay.
+
+Covers the segmented layout end to end — append/replay round trips, torn
+tails vs real corruption under both recovery policies, the legacy-format
+migration, durability levels, and the replay edge cases (empty journal,
+only a torn record, double replay, the max_record_bytes boundary).
+"""
 
 from __future__ import annotations
 
 import json
+import logging
 
 import pytest
 
 from repro import RdfStore, Triple, URI
-from repro.update import TransactionError, WalError, WriteAheadLog
+from repro.update import (
+    TransactionError,
+    WalCorruptionError,
+    WalError,
+    WalWriteError,
+    WriteAheadLog,
+    inspect_wal,
+)
+from repro.update.crc import crc32c
 
 from ..conftest import figure1_graph
 
@@ -16,6 +31,25 @@ QUERY = "SELECT ?x ?y WHERE { ?x <founder> ?y }"
 
 def t(subject: str, predicate: str, obj: str) -> Triple:
     return Triple(URI(subject), URI(predicate), URI(obj))
+
+
+def _segment_paths(wal_dir):
+    return sorted(wal_dir.glob("wal-*.seg"))
+
+
+def _only_segment(wal_dir):
+    (segment,) = _segment_paths(wal_dir)
+    return segment
+
+
+class TestChecksum:
+    def test_crc32c_known_answer(self):
+        # The iSCSI/RFC 3720 check value for the nine-digit test vector.
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_crc32c_streaming_matches_one_shot(self):
+        data = b"the quick brown fox jumps over the lazy dog"
+        assert crc32c(data) == crc32c(data[7:], crc32c(data[:7]))
 
 
 class TestJournal:
@@ -29,39 +63,24 @@ class TestJournal:
             (2, [("-", "a", "p", "b"), ("+", "c", "p", "d")]),
         ]
 
+    def test_journal_is_a_directory_of_framed_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "j.wal")
+        wal.append([("+", "a", "p", "b")])
+        wal.close()
+        segment = _only_segment(tmp_path / "j.wal")
+        line = segment.read_bytes()
+        magic, length, checksum, payload = line.split(b" ", 3)
+        assert magic == b"W1"
+        payload = payload[:-1]  # strip the record terminator
+        assert int(length) == len(payload)
+        assert int(checksum, 16) == crc32c(payload)
+        assert json.loads(payload) == {"txn": 1, "ops": [["+", "a", "p", "b"]]}
+        assert (tmp_path / "j.wal" / "MANIFEST.json").exists()
+
     def test_txn_ids_continue_after_reopen(self, tmp_path):
         path = tmp_path / "j.wal"
         WriteAheadLog(path).append([("+", "a", "p", "b")])
         assert WriteAheadLog(path).append([("+", "c", "p", "d")]) == 2
-
-    def test_torn_final_line_is_ignored(self, tmp_path):
-        path = tmp_path / "j.wal"
-        WriteAheadLog(path).append([("+", "a", "p", "b")])
-        with open(path, "a") as handle:
-            handle.write('{"txn": 2, "ops": [["+", "c", "p"')  # crash mid-write
-        assert list(WriteAheadLog(path).replay()) == [(1, [("+", "a", "p", "b")])]
-        # ... and appending after recovery reuses the torn record's slot
-        assert WriteAheadLog(path).append([("+", "x", "p", "y")]) == 2
-
-    def test_corrupt_interior_record_raises(self, tmp_path):
-        path = tmp_path / "j.wal"
-        wal = WriteAheadLog(path)
-        wal.append([("+", "a", "p", "b")])
-        wal.append([("+", "c", "p", "d")])
-        lines = path.read_text().splitlines()
-        lines[0] = lines[0][:-8]  # damage a NON-final record
-        path.write_text("\n".join(lines) + "\n")
-        with pytest.raises(WalError):
-            list(WriteAheadLog(path).replay())
-
-    def test_unknown_operation_tag_raises(self, tmp_path):
-        path = tmp_path / "j.wal"
-        path.write_text(
-            json.dumps({"txn": 1, "ops": [["*", "a", "p", "b"]]}) + "\n"
-            + json.dumps({"txn": 2, "ops": []}) + "\n"
-        )
-        with pytest.raises(WalError):
-            list(WriteAheadLog(path).replay())
 
     def test_replay_streams_records(self, tmp_path):
         """Replay is lazy: records are yielded as the file is read, not
@@ -75,32 +94,256 @@ class TestJournal:
         assert first == (1, [("+", "s0", "p", "o0")])
         assert sum(1 for _ in replay) == 49
 
-    def test_oversized_record_raises_typed_error(self, tmp_path):
+    def test_double_replay_is_idempotent(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "j.wal")
+        wal.append([("+", "a", "p", "b")])
+        wal.append([("-", "a", "p", "b")])
+        first = list(wal.replay())
+        second = list(wal.replay())
+        assert first == second == [
+            (1, [("+", "a", "p", "b")]),
+            (2, [("-", "a", "p", "b")]),
+        ]
+
+    def test_empty_journal_replays_nothing(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "j.wal")
+        assert list(wal.replay()) == []
+        assert wal.last_txn == 0
+        assert list(WriteAheadLog(tmp_path / "j.wal").replay()) == []
+
+    def test_segment_rotation_preserves_replay(self, tmp_path):
+        path = tmp_path / "j.wal"
+        wal = WriteAheadLog(path, segment_max_bytes=256)
+        for i in range(20):
+            wal.append([("+", f"subject-{i:04d}", "p", f"object-{i:04d}")])
+        wal.close()
+        assert len(_segment_paths(path)) > 1
+        reopened = WriteAheadLog(path)
+        replayed = list(reopened.replay())
+        assert [txn for txn, _ in replayed] == list(range(1, 21))
+        assert reopened.append([("+", "last", "p", "o")]) == 21
+
+
+class TestTornTail:
+    def test_torn_final_record_is_truncated_and_counted(self, tmp_path, caplog):
+        path = tmp_path / "j.wal"
+        WriteAheadLog(path).append([("+", "a", "p", "b")])
+        segment = _only_segment(path)
+        intact = segment.read_bytes()
+        with open(segment, "ab") as handle:
+            handle.write(b'W1 40 00000000 {"txn": 2, "ops": [["+", "c"')
+        with caplog.at_level(logging.WARNING, logger="repro.update.wal"):
+            wal = WriteAheadLog(path)
+        assert list(wal.replay()) == [(1, [("+", "a", "p", "b")])]
+        assert wal.records_dropped == 1
+        assert wal.dropped[0].offset == len(intact)
+        assert wal.dropped[0].index == 2
+        assert "dropping record" in caplog.text
+        # The repair physically removed the torn bytes...
+        assert segment.read_bytes() == intact
+        # ...and appending after recovery reuses the torn record's slot.
+        assert wal.append([("+", "x", "p", "y")]) == 2
+
+    def test_journal_with_only_a_torn_record(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.mkdir()
+        (path / "wal-00000001.seg").write_bytes(b'W1 30 deadbeef {"txn": 1,')
+        wal = WriteAheadLog(path)
+        assert list(wal.replay()) == []
+        assert wal.records_dropped == 1
+        assert wal.append([("+", "a", "p", "b")]) == 1
+
+    def test_torn_tail_tolerated_by_strict_policy_too(self, tmp_path):
+        path = tmp_path / "j.wal"
+        WriteAheadLog(path).append([("+", "a", "p", "b")])
+        with open(_only_segment(path), "ab") as handle:
+            handle.write(b"W1 10")
+        wal = WriteAheadLog(path, recovery="strict")
+        assert [txn for txn, _ in wal.replay()] == [1]
+
+
+class TestCorruption:
+    def _flip_bit_in_record(self, segment, record_index):
+        """Flip one payload bit of the (0-based) Nth record in a segment."""
+        lines = segment.read_bytes().splitlines(keepends=True)
+        damaged = bytearray(lines[record_index])
+        damaged[damaged.index(b"{") + 4] ^= 0x10
+        lines[record_index] = bytes(damaged)
+        segment.write_bytes(b"".join(lines))
+
+    def test_bit_flip_raises_typed_error_with_location(self, tmp_path):
+        path = tmp_path / "j.wal"
+        wal = WriteAheadLog(path)
+        wal.append([("+", "a", "p", "b")])
+        wal.append([("+", "c", "p", "d")])
+        wal.close()
+        segment = _only_segment(path)
+        self._flip_bit_in_record(segment, 0)
+        with pytest.raises(WalCorruptionError, match="checksum mismatch") as info:
+            WriteAheadLog(path)
+        assert info.value.segment == str(segment)
+        assert info.value.offset == 0
+        assert info.value.index == 1
+
+    def test_tolerate_tail_truncates_at_first_bad_record(self, tmp_path):
+        path = tmp_path / "j.wal"
+        wal = WriteAheadLog(path)
+        first = wal.append([("+", "a", "p", "b")])
+        wal.append([("+", "c", "p", "d")])
+        wal.append([("+", "e", "p", "f")])
+        wal.close()
+        segment = _only_segment(path)
+        self._flip_bit_in_record(segment, 1)
+        tolerant = WriteAheadLog(path, recovery="tolerate_tail")
+        assert [txn for txn, _ in tolerant.replay()] == [first]
+        assert tolerant.records_dropped >= 1
+        # The journal stays usable: new appends fill the reclaimed slots.
+        assert tolerant.append([("+", "x", "p", "y")]) == first + 1
+
+    def test_missing_interior_transactions_detected(self, tmp_path):
+        """Deleting a whole sealed segment is a hole in the committed
+        sequence — no recovery policy may silently skip it."""
+        path = tmp_path / "j.wal"
+        wal = WriteAheadLog(path, segment_max_bytes=64)
+        for i in range(6):
+            wal.append([("+", f"s{i}", "p", f"o{i}")])
+        wal.close()
+        segments = _segment_paths(path)
+        assert len(segments) >= 3
+        segments[1].unlink()
+        for policy in ("strict", "tolerate_tail"):
+            with pytest.raises(WalCorruptionError, match="missing transactions"):
+                WriteAheadLog(path, recovery=policy)
+
+    def test_unknown_operation_tag_raises(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.mkdir()
+        payload = json.dumps({"txn": 1, "ops": [["*", "a", "p", "b"]]}).encode()
+        frame = b"W1 %d %08x " % (len(payload), crc32c(payload)) + payload + b"\n"
+        (path / "wal-00000001.seg").write_bytes(frame)
+        with pytest.raises(WalCorruptionError, match="unknown operation"):
+            WriteAheadLog(path)
+
+
+class TestRecordCap:
+    def test_record_exactly_at_the_cap_round_trips(self, tmp_path):
+        path = tmp_path / "j.wal"
+        probe = json.dumps(
+            {"txn": 1, "ops": [["+", "s", "p", "x"]]}, separators=(",", ":")
+        )
+        pad = 512 - len(probe)
+        ops = [("+", "s", "p", "x" + "y" * pad)]
+        wal = WriteAheadLog(path, max_record_bytes=512)
+        assert wal.append(ops) == 1
+        wal.close()
+        reopened = WriteAheadLog(path, max_record_bytes=512)
+        assert list(reopened.replay()) == [(1, [ops[0]])]
+
+    def test_record_over_the_cap_is_refused_at_append(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "j.wal", max_record_bytes=512)
+        with pytest.raises(WalWriteError, match="max_record_bytes"):
+            wal.append([("+", "s", "p", "x" * 600)])
+        # The refusal journalled nothing: the next append takes txn 1.
+        assert wal.append([("+", "a", "p", "b")]) == 1
+
+    def test_replay_with_a_lower_cap_raises_typed_error(self, tmp_path):
         path = tmp_path / "j.wal"
         wal = WriteAheadLog(path)
         wal.append([("+", "a", "p", "b")])
         wal.append([("+", "x" * 4096, "p", "b")])
+        wal.close()
         with pytest.raises(WalError, match="max_record_bytes"):
-            list(WriteAheadLog(path, max_record_bytes=1024).replay())
+            WriteAheadLog(path, max_record_bytes=1024)
         # A generous ceiling accepts the same journal unchanged.
         assert len(list(WriteAheadLog(path, max_record_bytes=65536).replay())) == 2
 
-    def test_oversized_guard_never_buffers_past_the_cap(self, tmp_path):
-        """A record with no newline anywhere (worst case: one giant line)
-        still fails fast at the cap instead of slurping the file."""
-        path = tmp_path / "j.wal"
-        path.write_text('{"txn": 1, "ops": [' + '["+", "a", "p", "b"],' * 100_000)
-        with pytest.raises(WalError, match="max_record_bytes"):
-            list(WriteAheadLog(path, max_record_bytes=2048).replay())
 
-    def test_blank_lines_after_torn_tail_still_tolerated(self, tmp_path):
+class TestLegacyMigration:
+    def test_legacy_single_file_journal_is_migrated(self, tmp_path):
         path = tmp_path / "j.wal"
-        WriteAheadLog(path).append([("+", "a", "p", "b")])
-        with open(path, "a") as handle:
-            handle.write('{"txn": 2, "ops": [["+"' + "\n   \n\n")
-        assert list(WriteAheadLog(path).replay()) == [
-            (1, [("+", "a", "p", "b")])
+        path.write_text(
+            json.dumps({"txn": 1, "ops": [["+", "a", "p", "b"]]}) + "\n"
+            + json.dumps({"txn": 2, "ops": [["-", "a", "p", "b"]]}) + "\n"
+        )
+        wal = WriteAheadLog(path)
+        assert path.is_dir()
+        assert list(wal.replay()) == [
+            (1, [("+", "a", "p", "b")]),
+            (2, [("-", "a", "p", "b")]),
         ]
+        assert wal.append([("+", "c", "p", "d")]) == 3
+
+    def test_legacy_torn_tail_still_tolerated(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.write_text(
+            json.dumps({"txn": 1, "ops": [["+", "a", "p", "b"]]}) + "\n"
+            + '{"txn": 2, "ops": [["+"'  # crash mid-write, old format
+        )
+        wal = WriteAheadLog(path)
+        assert [txn for txn, _ in wal.replay()] == [1]
+
+    def test_legacy_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.write_text(
+            '{"bogus": true}\n'
+            + json.dumps({"txn": 2, "ops": []}) + "\n"
+        )
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(path)
+
+    def test_empty_legacy_file_migrates_to_empty_journal(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.write_text("")
+        wal = WriteAheadLog(path)
+        assert path.is_dir()
+        assert list(wal.replay()) == []
+        assert wal.append([("+", "a", "p", "b")]) == 1
+
+    def test_crashed_migration_is_redone_on_next_open(self, tmp_path):
+        path = tmp_path / "j.wal"
+        marker = tmp_path / "j.wal.migrating"
+        marker.write_text(
+            json.dumps({"txn": 1, "ops": [["+", "a", "p", "b"]]}) + "\n"
+        )
+        path.mkdir()  # the partial directory the crash left behind
+        (path / "wal-00000001.seg").write_bytes(b"half-written garbage")
+        wal = WriteAheadLog(path)
+        assert list(wal.replay()) == [(1, [("+", "a", "p", "b")])]
+        assert not marker.exists()
+
+
+class TestDurabilityLevels:
+    @pytest.mark.parametrize("durability", ["none", "flush", "fsync"])
+    def test_all_levels_round_trip(self, tmp_path, durability):
+        path = tmp_path / f"{durability}.wal"
+        wal = WriteAheadLog(path, durability=durability)
+        wal.append([("+", "a", "p", "b")])
+        wal.close()
+        assert [txn for txn, _ in WriteAheadLog(path).replay()] == [1]
+
+    def test_group_fsync_batches_the_fsync_step(self, tmp_path):
+        steps: list[str] = []
+        wal = WriteAheadLog(
+            tmp_path / "j.wal",
+            durability="fsync",
+            group_fsync_interval=3,
+        )
+        wal.fault_hook = lambda step, payload: steps.append(step)
+        for i in range(6):
+            wal.append([("+", f"s{i}", "p", "o")])
+        assert steps.count("append.write") == 6
+        assert steps.count("append.fsync") == 2  # every 3rd commit
+
+    def test_legacy_sync_flag_maps_to_fsync(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "j.wal", sync=True)
+        assert wal.durability == "fsync"
+        assert wal.sync is True
+
+    def test_invalid_options_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="durability"):
+            WriteAheadLog(tmp_path / "a.wal", durability="eventually")
+        with pytest.raises(ValueError, match="recovery"):
+            WriteAheadLog(tmp_path / "b.wal", recovery="optimistic")
 
     def test_fault_hook_sees_every_append_step(self, tmp_path):
         steps: list[str] = []
@@ -116,6 +359,43 @@ class TestJournal:
             "append.flush",
             "append.fsync",
         ]
+
+
+class TestInspect:
+    def test_inspect_absent_and_healthy(self, tmp_path):
+        assert inspect_wal(tmp_path / "nope.wal").format == "absent"
+        path = tmp_path / "j.wal"
+        wal = WriteAheadLog(path)
+        wal.append([("+", "a", "p", "b")])
+        wal.append([("+", "c", "p", "d")])
+        wal.close()
+        status = inspect_wal(path)
+        assert status.format == "segmented-v1"
+        assert status.ok
+        assert status.segments == 1
+        assert status.records == 2
+        assert status.last_txn == 2
+
+    def test_inspect_reports_corruption_without_mutating(self, tmp_path):
+        path = tmp_path / "j.wal"
+        wal = WriteAheadLog(path)
+        wal.append([("+", "a", "p", "b")])
+        wal.close()
+        segment = _only_segment(path)
+        damaged = segment.read_bytes()[:-10] + b"XXXXXXXXX\n"
+        segment.write_bytes(damaged)
+        status = inspect_wal(path)
+        assert not status.ok
+        assert segment.name in status.error
+        assert segment.read_bytes() == damaged  # read-only, no repair
+
+    def test_inspect_legacy_format(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.write_text(json.dumps({"txn": 1, "ops": [["+", "a", "p", "b"]]}) + "\n")
+        status = inspect_wal(path)
+        assert status.format == "legacy-v0"
+        assert status.ok
+        assert status.records == 1
 
 
 class TestStoreRecovery:
@@ -182,3 +462,21 @@ class TestStoreRecovery:
         with other.transaction():
             with pytest.raises(TransactionError):
                 other.attach_wal(tmp_path / "c.wal")  # mid-transaction
+
+    def test_report_surfaces_dropped_records(self, tmp_path):
+        path = tmp_path / "store.wal"
+        store = RdfStore.from_graph(figure1_graph(), wal_path=path)
+        store.add(t("a", "p", "b"))
+        store.flush_wal()
+        segment = _only_segment(path)
+        with open(segment, "ab") as handle:
+            handle.write(b'W1 20 00000000 {"txn"')  # torn tail
+        del store
+        reopened = RdfStore.from_graph(figure1_graph(), wal_path=path)
+        report = reopened.report()
+        assert report.wal_records_dropped == 1
+        assert report.wal_segments == 1
+        assert report.wal_last_txn == 1
+        summary = reopened.wal_summary()
+        assert summary["records_dropped"] == 1
+        assert summary["last_txn"] == 1
